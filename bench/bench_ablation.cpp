@@ -1,0 +1,106 @@
+// Ablation benches for the design choices DESIGN.md calls out. Each panel
+// sweeps one knob at the intermediate configuration (10 cores, intensity
+// 60) and reports average/median response time of the affected scheduler.
+//
+//   1. History window length (paper fixes 10, citing [18]).
+//   2. FC's sliding window T (paper suggests 60 s).
+//   3. The dispatch gate (how shallow the management pipeline is kept; the
+//      paper's invoker pulls one call at a time).
+//   4. Baseline dockerd strain (what the cold-start storms cost).
+//   5. Context-switch penalty of the proportional-share baseline (what
+//      CPU pinning saves).
+#include "bench_common.h"
+
+using namespace whisk;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  experiments::ExperimentConfig cfg;
+};
+
+void run_panel(const workload::FunctionCatalog& cat, const char* title,
+               const std::vector<Variant>& variants, int reps) {
+  std::printf("-- %s --\n", title);
+  util::Table table({"variant", "avg R", "p50 R", "p95 R", "avg S"});
+  for (const auto& v : variants) {
+    const auto runs = experiments::run_repetitions(v.cfg, cat, reps);
+    const auto r = util::summarize(experiments::pooled_responses(runs));
+    const auto s = util::summarize(experiments::pooled_stretches(runs));
+    table.add_row({v.label, util::fmt(r.mean), util::fmt(r.p50),
+                   util::fmt(r.p95), util::fmt(s.mean, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+experiments::ExperimentConfig base_cfg(core::PolicyKind policy) {
+  experiments::ExperimentConfig cfg;
+  cfg.cores = 10;
+  cfg.intensity = 60;
+  cfg.scheduler = {cluster::Approach::kOurs, policy};
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto cat = workload::sebs_catalog();
+  const int reps = std::max(2, bench::repetitions() - 2);
+  std::printf("Ablations at 10 cores, intensity 60 (%d seeds pooled)\n\n",
+              reps);
+
+  {
+    std::vector<Variant> vs;
+    for (std::size_t w : {1, 3, 10, 50}) {
+      auto cfg = base_cfg(core::PolicyKind::kSept);
+      cfg.history_window = w;
+      vs.push_back({"SEPT, window " + std::to_string(w), cfg});
+    }
+    run_panel(cat, "history window length (runtime estimate E(p))", vs,
+              reps);
+  }
+  {
+    std::vector<Variant> vs;
+    for (double t : {10.0, 60.0, 300.0}) {
+      auto cfg = base_cfg(core::PolicyKind::kFc);
+      cfg.fc_window_s = t;
+      vs.push_back({"FC, T = " + util::fmt(t, 0) + " s", cfg});
+    }
+    run_panel(cat, "FC sliding window T", vs, reps);
+  }
+  {
+    std::vector<Variant> vs;
+    for (int g : {1, 3, 8, 32}) {
+      auto cfg = base_cfg(core::PolicyKind::kSept);
+      cfg.dispatch_daemon_gate = g;
+      vs.push_back({"SEPT, gate " + std::to_string(g), cfg});
+    }
+    run_panel(cat,
+              "dispatch gate (pipeline backlog at which pops pause; large "
+              "values bury the priority queue)",
+              vs, reps);
+  }
+  {
+    std::vector<Variant> vs;
+    for (double strain : {0.0, 0.005, 0.01}) {
+      auto cfg = base_cfg(core::PolicyKind::kFifo);
+      cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
+      cfg.strain_per_container = strain;
+      vs.push_back({"baseline, strain " + util::fmt(strain, 3), cfg});
+    }
+    run_panel(cat, "baseline dockerd strain per live container", vs, reps);
+  }
+  {
+    std::vector<Variant> vs;
+    for (double beta : {0.0, 0.3, 1.0}) {
+      auto cfg = base_cfg(core::PolicyKind::kFifo);
+      cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
+      cfg.context_switch_beta = beta;
+      vs.push_back({"baseline, beta " + util::fmt(beta, 1), cfg});
+    }
+    run_panel(cat, "baseline context-switch penalty (what pinning avoids)",
+              vs, reps);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction bench binaries. Each binary
+// regenerates one table or figure of the paper and prints simulated values
+// next to the paper's measured ones where available (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for the recorded comparison).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/paper_data.h"
+#include "experiments/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace whisk::bench {
+
+// Number of seeded repetitions per configuration; the paper uses 5.
+// Override with WHISK_BENCH_REPS for quicker smoke runs.
+inline int repetitions() {
+  if (const char* env = std::getenv("WHISK_BENCH_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps > 0) return reps;
+  }
+  return 5;
+}
+
+// "value (paper ref)" cell, or just the value when no reference exists.
+inline std::string with_ref(double value, double ref, int precision = 2) {
+  return util::fmt(value, precision) + " (" + util::fmt(ref, precision) + ")";
+}
+
+struct SchedulerSweep {
+  std::string label;
+  std::vector<experiments::RunResult> runs;
+  util::Summary response;
+  util::Summary stretch;
+  double max_completion = 0.0;
+};
+
+// Run all six paper schedulers for one (cores, intensity) configuration.
+inline std::vector<SchedulerSweep> sweep_schedulers(
+    const workload::FunctionCatalog& cat, experiments::ExperimentConfig cfg,
+    int reps) {
+  std::vector<SchedulerSweep> out;
+  for (const auto& sched : experiments::paper_schedulers()) {
+    cfg.scheduler = sched;
+    SchedulerSweep sweep;
+    sweep.label = sched.label();
+    sweep.runs = experiments::run_repetitions(cfg, cat, reps);
+    const auto rs = experiments::pooled_responses(sweep.runs);
+    const auto ss = experiments::pooled_stretches(sweep.runs);
+    sweep.response = util::summarize(rs);
+    sweep.stretch = util::summarize(ss);
+    for (const auto& r : sweep.runs) {
+      sweep.max_completion = std::max(sweep.max_completion, r.max_completion);
+    }
+    out.push_back(std::move(sweep));
+  }
+  return out;
+}
+
+}  // namespace whisk::bench

@@ -1,0 +1,67 @@
+// Reproduces Fig. 6 and Tables V-VI: the multi-node experiments. A fixed
+// request sequence (1320 requests for 10-CPU workers, 2376 for 18-CPU
+// workers) is processed by 4, 3, 2 and 1 worker VMs under the baseline and
+// under our FC strategy.
+//
+// Headline shape (Sec. VIII): FC on 3 machines provides better
+// response-time statistics than the baseline on 4 machines.
+#include "bench_common.h"
+
+using namespace whisk;
+
+namespace {
+
+void run_series(const workload::FunctionCatalog& cat, int cpus_per_node,
+                std::size_t total_requests, int reps) {
+  std::printf(
+      "-- %d-CPU workers, constant load of %zu requests (%d seeds pooled) "
+      "--\n",
+      cpus_per_node, total_requests, reps);
+  util::Table table({"nodes", "scheduler", "avg", "p50", "p75", "p95", "p99",
+                     "max c(i)"});
+  for (int nodes = 4; nodes >= 1; --nodes) {
+    for (const char* label : {"baseline", "FC"}) {
+      experiments::ExperimentConfig cfg;
+      cfg.cores = cpus_per_node;
+      cfg.num_nodes = nodes;
+      cfg.scenario = experiments::ScenarioKind::kFixedTotal;
+      cfg.fixed_total_requests = total_requests;
+      if (std::string_view(label) == "baseline") {
+        cfg.scheduler = {cluster::Approach::kBaseline,
+                         core::PolicyKind::kFifo};
+      } else {
+        cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kFc};
+      }
+      const auto runs = experiments::run_repetitions(cfg, cat, reps);
+      const auto sum =
+          util::summarize(experiments::pooled_responses(runs));
+      double max_c = 0.0;
+      for (const auto& r : runs) max_c = std::max(max_c, r.max_completion);
+
+      const auto ref =
+          experiments::paper::find_multi_node(nodes, cpus_per_node, label);
+      table.add_row(
+          {std::to_string(nodes), label,
+           ref ? bench::with_ref(sum.mean, ref->r_avg) : util::fmt(sum.mean),
+           ref ? bench::with_ref(sum.p50, ref->r_p50) : util::fmt(sum.p50),
+           ref ? bench::with_ref(sum.p75, ref->r_p75) : util::fmt(sum.p75),
+           ref ? bench::with_ref(sum.p95, ref->r_p95) : util::fmt(sum.p95),
+           ref ? bench::with_ref(sum.p99, ref->r_p99) : util::fmt(sum.p99),
+           ref ? bench::with_ref(max_c, ref->max_c) : util::fmt(max_c)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto cat = workload::sebs_catalog();
+  const int reps = bench::repetitions();
+  std::printf(
+      "Fig. 6 / Tables V-VI — multi-node runs.\n"
+      "Simulated value with the paper's measurement in parentheses.\n\n");
+  run_series(cat, 10, 1320, reps);
+  run_series(cat, 18, 2376, reps);
+  return 0;
+}

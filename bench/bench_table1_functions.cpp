@@ -1,0 +1,32 @@
+// Reproduces Table I: client-side response-time percentiles of the 11 SeBS
+// functions, measured 50 calls each on an idle, warmed single-node setup.
+// The simulated medians should track the paper's (they calibrate the
+// workload model), and the ~10 ms constant overhead should be visible on
+// the very short graph functions.
+#include "bench_common.h"
+
+using namespace whisk;
+
+int main() {
+  const auto cat = workload::sebs_catalog();
+  std::printf(
+      "Table I — SeBS functions on an idle node (50 calls each, ms)\n"
+      "Simulated value with the paper's measurement in parentheses.\n\n");
+
+  util::Table table({"function", "5th perc.", "median", "95th perc."});
+  for (const auto& spec : cat.specs()) {
+    const auto responses =
+        experiments::run_idle_function_benchmark(cat, spec.id, 50, /*seed=*/7);
+    std::vector<double> ms;
+    ms.reserve(responses.size());
+    for (double r : responses) ms.push_back(r * 1000.0);
+    table.add_row({spec.name,
+                   bench::with_ref(util::percentile(ms, 5.0), spec.p5_ms, 0),
+                   bench::with_ref(util::percentile(ms, 50.0), spec.median_ms,
+                                   0),
+                   bench::with_ref(util::percentile(ms, 95.0), spec.p95_ms,
+                                   0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table II: maximum request completion times, reported as the
+// FIFO-to-baseline ratio (min-max over the 5 seeded experiments) for every
+// (CPU cores, intensity) pair.
+//
+// Expected shape: our FIFO is *slower* to drain the burst than the baseline
+// at few cores / low intensity (ratios > 1) and drains much faster at 20
+// cores (ratios well below 1), because the baseline's cold-start storms and
+// dockerd strain grow with the total request count.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace whisk;
+
+int main() {
+  const auto cat = workload::sebs_catalog();
+  const int reps = bench::repetitions();
+  const std::vector<int> core_counts = {5, 10, 20};
+  const std::vector<int> intensities = {30, 40, 60, 90, 120};
+
+  std::printf(
+      "Table II — max completion time, FIFO-to-baseline ratio "
+      "(min-max over %d seeds)\nSimulated range with the paper's range in "
+      "parentheses.\n\n",
+      reps);
+
+  std::vector<std::string> header = {"cores"};
+  for (int v : intensities) header.push_back("int " + std::to_string(v));
+  util::Table table(header);
+
+  for (int cores : core_counts) {
+    std::vector<std::string> row = {std::to_string(cores)};
+    for (int v : intensities) {
+      experiments::ExperimentConfig cfg;
+      cfg.cores = cores;
+      cfg.intensity = v;
+
+      cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kFifo};
+      const auto fifo = experiments::run_repetitions(cfg, cat, reps);
+      cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
+      const auto base = experiments::run_repetitions(cfg, cat, reps);
+
+      double lo = 1e30;
+      double hi = 0.0;
+      for (std::size_t i = 0; i < fifo.size(); ++i) {
+        const double ratio = fifo[i].max_completion / base[i].max_completion;
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+      }
+      std::string cell = util::fmt_range(lo, hi);
+      if (auto ref = experiments::paper::find_completion_ratio(cores, v)) {
+        cell += " (" + util::fmt_range(ref->ratio_lo, ref->ratio_hi) + ")";
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

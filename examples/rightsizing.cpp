@@ -1,0 +1,56 @@
+// Example: cluster right-sizing. The paper's operational claim (Sec. VIII)
+// is that the FC scheduler lets an operator run the same peak load on 25%
+// fewer machines without hurting the response-time statistics. This example
+// sweeps the worker count for a fixed burst and prints, for each fleet
+// size, the metrics under the baseline and under FC — so you can read off
+// how many machines each system needs to meet a latency target.
+//
+// Usage: rightsizing [total_requests] [cpus_per_node]
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/runner.h"
+#include "util/stats.h"
+
+using namespace whisk;
+
+int main(int argc, char** argv) {
+  const std::size_t total =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2376;
+  const int cpus = argc > 2 ? std::atoi(argv[2]) : 18;
+
+  const auto catalog = workload::sebs_catalog();
+  std::printf(
+      "Right-sizing sweep: %zu requests in a 60 s burst, %d-core workers\n\n",
+      total, cpus);
+  std::printf("%5s %-10s %10s %10s %10s %10s\n", "nodes", "scheduler",
+              "avg R [s]", "p75 R [s]", "p95 R [s]", "p99 R [s]");
+
+  for (int nodes = 5; nodes >= 1; --nodes) {
+    for (const bool baseline : {true, false}) {
+      experiments::ExperimentConfig cfg;
+      cfg.cores = cpus;
+      cfg.num_nodes = nodes;
+      cfg.scenario = experiments::ScenarioKind::kFixedTotal;
+      cfg.fixed_total_requests = total;
+      cfg.scheduler =
+          baseline
+              ? experiments::Scheduler{cluster::Approach::kBaseline,
+                                       core::PolicyKind::kFifo}
+              : experiments::Scheduler{cluster::Approach::kOurs,
+                                       core::PolicyKind::kFc};
+      const auto runs = experiments::run_repetitions(cfg, catalog, 3);
+      const auto sum =
+          util::summarize(experiments::pooled_responses(runs));
+      std::printf("%5d %-10s %10.1f %10.1f %10.1f %10.1f\n", nodes,
+                  baseline ? "baseline" : "FC", sum.mean, sum.p75, sum.p95,
+                  sum.p99);
+    }
+  }
+
+  std::printf(
+      "\nReading: find the smallest FC fleet whose row dominates the\n"
+      "baseline fleet you run today. In the paper's setup FC on 3 nodes\n"
+      "beats the baseline on 4 (a >=25%% fleet reduction).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "cluster/cluster.h"
+
+#include "node/baseline_invoker.h"
+#include "node/our_invoker.h"
+#include "util/check.h"
+
+namespace whisk::cluster {
+
+Cluster::Cluster(sim::Engine& engine,
+                 const workload::FunctionCatalog& catalog,
+                 ClusterParams params, std::uint64_t seed)
+    : engine_(&engine),
+      catalog_(&catalog),
+      params_(params),
+      balancer_(make_balancer(params.balancer)),
+      collector_(catalog) {
+  WHISK_CHECK(params_.num_nodes > 0, "cluster needs at least one node");
+  sim::Rng root(seed);
+  auto delivery = [this](const metrics::CallRecord& rec) { deliver(rec); };
+  for (int i = 0; i < params_.num_nodes; ++i) {
+    sim::Rng node_rng = root.fork(sim::hash_tag("node") + i);
+    std::unique_ptr<node::Invoker> inv;
+    if (params_.approach == Approach::kBaseline) {
+      inv = std::make_unique<node::BaselineInvoker>(
+          engine, catalog, params_.node, node_rng, delivery);
+    } else {
+      inv = std::make_unique<node::OurInvoker>(engine, catalog, params_.node,
+                                               node_rng, delivery,
+                                               params_.policy);
+    }
+    inv->set_node_index(i);
+    invokers_.push_back(std::move(inv));
+    invoker_ptrs_.push_back(invokers_.back().get());
+  }
+}
+
+void Cluster::warmup() {
+  for (auto& inv : invokers_) inv->warmup();
+}
+
+void Cluster::run_scenario(const workload::Scenario& scenario) {
+  collector_.reserve(collector_.size() + scenario.size());
+  for (const auto& call : scenario.calls) {
+    engine_->schedule_at(call.release + params_.client_to_controller_s,
+                         [this, call] { submit_to_controller(call); });
+  }
+}
+
+void Cluster::submit_to_controller(const workload::CallRequest& call) {
+  // The controller routes the invocation to a worker; the invoker pulls it
+  // from Kafka one hop later (that pull time is r'(i)).
+  const std::size_t target = balancer_->pick(call, invoker_ptrs_);
+  WHISK_CHECK(target < invokers_.size(), "balancer picked a bad index");
+  engine_->schedule_in(params_.controller_to_invoker_s, [this, call, target] {
+    invokers_[target]->submit(call);
+  });
+}
+
+void Cluster::deliver(const metrics::CallRecord& record) {
+  // Response travels back to the blocking HTTP client; c(i) is stamped on
+  // arrival there.
+  metrics::CallRecord rec = record;
+  engine_->schedule_in(params_.response_return_s, [this, rec]() mutable {
+    rec.completion = engine_->now();
+    collector_.add(rec);
+  });
+}
+
+node::Invoker& Cluster::invoker(std::size_t i) {
+  WHISK_CHECK(i < invokers_.size(), "invoker index out of range");
+  return *invokers_[i];
+}
+
+const node::Invoker& Cluster::invoker(std::size_t i) const {
+  WHISK_CHECK(i < invokers_.size(), "invoker index out of range");
+  return *invokers_[i];
+}
+
+node::InvokerStats Cluster::total_stats() const {
+  node::InvokerStats total;
+  for (const auto& inv : invokers_) {
+    const auto& s = inv->stats();
+    total.calls_received += s.calls_received;
+    total.calls_completed += s.calls_completed;
+    total.cold_starts += s.cold_starts;
+    total.prewarm_starts += s.prewarm_starts;
+    total.warm_starts += s.warm_starts;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+}  // namespace whisk::cluster

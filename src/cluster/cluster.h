@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/load_balancer.h"
+#include "core/policy.h"
+#include "metrics/collector.h"
+#include "node/invoker.h"
+#include "node/params.h"
+#include "sim/engine.h"
+#include "sim/random.h"
+#include "workload/function.h"
+#include "workload/scenario.h"
+
+namespace whisk::cluster {
+
+// Which node-level resource manager runs on the workers.
+enum class Approach {
+  kBaseline,  // stock OpenWhisk invoker
+  kOurs,      // the paper's CPU-based invoker with a scheduling policy
+};
+
+struct ClusterParams {
+  Approach approach = Approach::kOurs;
+  core::PolicyKind policy = core::PolicyKind::kFifo;  // used when kOurs
+
+  int num_nodes = 1;
+  node::NodeParams node;  // identical workers, as in the paper
+
+  BalancerKind balancer = BalancerKind::kRoundRobin;
+
+  // Request-path latencies (the ~10 ms client-observable overhead of
+  // Table I splits across these plus the node-side idle op costs).
+  double client_to_controller_s = 0.002;  // Gatling/NGINX -> controller
+  double controller_to_invoker_s = 0.003;  // Kafka hop, r'(i) stamp
+  double response_return_s = 0.004;        // node -> end client
+};
+
+// One full FaaS deployment under test: a controller with a load balancer,
+// `num_nodes` identical workers, and the client-side measurement point.
+// Mirrors Fig. 1 of the paper (Gatling -> NGINX -> controller -> Kafka ->
+// invoker -> action container).
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, const workload::FunctionCatalog& catalog,
+          ClusterParams params, std::uint64_t seed);
+
+  // Pre-warm every worker (paper Sec. V-A); administrative.
+  void warmup();
+
+  // Schedule the whole scenario. The caller then drives `engine.run()`
+  // until the event queue drains (Gatling "waits until all the responses
+  // are returned").
+  void run_scenario(const workload::Scenario& scenario);
+
+  [[nodiscard]] const metrics::Collector& collector() const {
+    return collector_;
+  }
+  [[nodiscard]] std::size_t num_nodes() const { return invokers_.size(); }
+  [[nodiscard]] node::Invoker& invoker(std::size_t i);
+  [[nodiscard]] const node::Invoker& invoker(std::size_t i) const;
+
+  // Aggregate invoker stats over all workers.
+  [[nodiscard]] node::InvokerStats total_stats() const;
+
+ private:
+  void submit_to_controller(const workload::CallRequest& call);
+  void deliver(const metrics::CallRecord& record);
+
+  sim::Engine* engine_;
+  const workload::FunctionCatalog* catalog_;
+  ClusterParams params_;
+
+  std::vector<std::unique_ptr<node::Invoker>> invokers_;
+  std::vector<node::Invoker*> invoker_ptrs_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  metrics::Collector collector_;
+};
+
+}  // namespace whisk::cluster

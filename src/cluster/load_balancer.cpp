@@ -1,0 +1,104 @@
+#include "cluster/load_balancer.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace whisk::cluster {
+namespace {
+
+class RoundRobinBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const workload::CallRequest& call,
+                   const std::vector<node::Invoker*>& invokers) override {
+    (void)call;
+    WHISK_CHECK(!invokers.empty(), "no invokers");
+    return next_++ % invokers.size();
+  }
+  BalancerKind kind() const override { return BalancerKind::kRoundRobin; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class HomeInvokerBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const workload::CallRequest& call,
+                   const std::vector<node::Invoker*>& invokers) override {
+    WHISK_CHECK(!invokers.empty(), "no invokers");
+    const std::size_t n = invokers.size();
+    const std::size_t home =
+        static_cast<std::size_t>(call.function) % n;
+    // Probe from the home invoker onward; accept the first invoker whose
+    // backlog is below a small threshold, falling back to the least loaded
+    // probe when all are busy (an approximation of OpenWhisk's
+    // ShardingContainerPoolBalancer semantics).
+    std::size_t best = home;
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (home + k) % n;
+      const std::size_t load =
+          invokers[idx]->queue_length() + invokers[idx]->executing();
+      if (load < static_cast<std::size_t>(
+                     2 * invokers[idx]->params().cores)) {
+        return idx;
+      }
+      if (load < best_load) {
+        best_load = load;
+        best = idx;
+      }
+    }
+    return best;
+  }
+  BalancerKind kind() const override { return BalancerKind::kHomeInvoker; }
+};
+
+class LeastLoadedBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const workload::CallRequest& call,
+                   const std::vector<node::Invoker*>& invokers) override {
+    (void)call;
+    WHISK_CHECK(!invokers.empty(), "no invokers");
+    std::size_t best = 0;
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < invokers.size(); ++i) {
+      const std::size_t load =
+          invokers[i]->queue_length() + invokers[i]->executing();
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    return best;
+  }
+  BalancerKind kind() const override { return BalancerKind::kLeastLoaded; }
+};
+
+}  // namespace
+
+std::string_view to_string(BalancerKind kind) {
+  switch (kind) {
+    case BalancerKind::kRoundRobin:
+      return "round-robin";
+    case BalancerKind::kHomeInvoker:
+      return "home-invoker";
+    case BalancerKind::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "?";
+}
+
+std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind) {
+  switch (kind) {
+    case BalancerKind::kRoundRobin:
+      return std::make_unique<RoundRobinBalancer>();
+    case BalancerKind::kHomeInvoker:
+      return std::make_unique<HomeInvokerBalancer>();
+    case BalancerKind::kLeastLoaded:
+      return std::make_unique<LeastLoadedBalancer>();
+  }
+  WHISK_CHECK(false, "unhandled balancer kind");
+  return nullptr;
+}
+
+}  // namespace whisk::cluster

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "node/invoker.h"
+#include "workload/scenario.h"
+
+namespace whisk::cluster {
+
+// How the controller spreads invocations over invokers (paper Sec. III /
+// VIII). The paper's multi-node experiments use the stock behaviour, which
+// spreads each function's calls across invokers starting from a
+// function-specific home invoker; we also provide plain round-robin and
+// least-loaded for the ablation benches.
+enum class BalancerKind {
+  kRoundRobin,   // calls rotate over invokers regardless of function
+  kHomeInvoker,  // hash(function) picks a home; overflow probes onward
+  kLeastLoaded,  // fewest queued + executing calls at decision time
+};
+
+[[nodiscard]] std::string_view to_string(BalancerKind kind);
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  // Choose the invoker index in [0, invokers.size()) for this call.
+  [[nodiscard]] virtual std::size_t pick(
+      const workload::CallRequest& call,
+      const std::vector<node::Invoker*>& invokers) = 0;
+
+  [[nodiscard]] virtual BalancerKind kind() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind);
+
+}  // namespace whisk::cluster

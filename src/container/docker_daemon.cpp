@@ -1,0 +1,46 @@
+#include "container/docker_daemon.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace whisk::container {
+
+DockerDaemon::DockerDaemon(sim::Engine& engine) : engine_(&engine) {}
+
+void DockerDaemon::submit(sim::SimTime base_duration, Callback done,
+                          bool urgent) {
+  WHISK_CHECK(base_duration >= 0.0, "negative op duration");
+  WHISK_CHECK(static_cast<bool>(done), "null op callback");
+  auto& q = urgent ? urgent_queue_ : queue_;
+  q.push_back(Op{base_duration, std::move(done)});
+  max_queue_length_ = std::max(max_queue_length_, queue_length());
+  if (!busy_) start_next();
+}
+
+void DockerDaemon::start_next() {
+  auto& q = !urgent_queue_.empty() ? urgent_queue_ : queue_;
+  if (q.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Op op = std::move(q.front());
+  q.pop_front();
+
+  double factor = 1.0;
+  if (load_factor_) factor = std::max(1.0, load_factor_());
+  const sim::SimTime duration = op.base_duration * factor;
+  busy_seconds_ += duration;
+
+  engine_->schedule_in(duration, [this, done = std::move(op.done)]() mutable {
+    ++ops_completed_;
+    // Run the completion first so it can enqueue follow-up ops that then
+    // start immediately in submission order.
+    done();
+    start_next();
+  });
+}
+
+}  // namespace whisk::container

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace whisk::container {
+
+// The node's serialized container-management station.
+//
+// Docker daemon operations (create/start/pause/update) and the invoker's
+// per-activation bookkeeping execute one at a time. This station is the
+// hidden bottleneck behind the paper's observation that "managing [the]
+// container executing the function [may require] more time, on average per
+// call, than executing the function itself" (Sec. V-B), and behind the
+// baseline's meltdown when cold-start storms flood the daemon (Sec. VI:
+// "Docker had problems running them").
+//
+// Callers sample the base duration of each op themselves (so different op
+// kinds can use different distributions); the daemon stretches it by a
+// caller-provided load factor evaluated when the op actually starts, which
+// models dockerd slowing down as it juggles more live containers.
+class DockerDaemon {
+ public:
+  using Callback = std::function<void()>;
+  using LoadFactorFn = std::function<double()>;
+
+  explicit DockerDaemon(sim::Engine& engine);
+
+  DockerDaemon(const DockerDaemon&) = delete;
+  DockerDaemon& operator=(const DockerDaemon&) = delete;
+
+  // Install a function returning the current op-duration multiplier
+  // (>= 1.0). Default: no strain (factor 1.0).
+  void set_load_factor(LoadFactorFn fn) { load_factor_ = std::move(fn); }
+
+  // Enqueue an operation with the given base duration; `done` fires when it
+  // finishes. Ops run in submission order within a class; `urgent` ops
+  // (dispatch path) run before any queued normal ops (background
+  // result/log processing) but never preempt the op in progress.
+  void submit(sim::SimTime base_duration, Callback done, bool urgent = false);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const {
+    return urgent_queue_.size() + queue_.size();
+  }
+
+  // Telemetry.
+  [[nodiscard]] std::size_t ops_completed() const { return ops_completed_; }
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+  [[nodiscard]] std::size_t max_queue_length() const {
+    return max_queue_length_;
+  }
+
+ private:
+  struct Op {
+    sim::SimTime base_duration;
+    Callback done;
+  };
+
+  void start_next();
+
+  sim::Engine* engine_;
+  LoadFactorFn load_factor_;
+  std::deque<Op> urgent_queue_;
+  std::deque<Op> queue_;
+  bool busy_ = false;
+
+  std::size_t ops_completed_ = 0;
+  double busy_seconds_ = 0.0;
+  std::size_t max_queue_length_ = 0;
+};
+
+}  // namespace whisk::container

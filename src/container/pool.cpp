@@ -1,0 +1,199 @@
+#include "container/pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace whisk::container {
+
+ContainerPool::ContainerPool(double memory_limit_mb)
+    : memory_limit_mb_(memory_limit_mb) {
+  WHISK_CHECK(memory_limit_mb > 0.0, "non-positive memory pool");
+}
+
+ContainerInfo& ContainerPool::mutable_info(ContainerId id) {
+  auto it = containers_.find(id);
+  WHISK_CHECK(it != containers_.end(), "unknown container id");
+  return it->second;
+}
+
+const ContainerInfo& ContainerPool::info(ContainerId id) const {
+  auto it = containers_.find(id);
+  WHISK_CHECK(it != containers_.end(), "unknown container id");
+  return it->second;
+}
+
+void ContainerPool::count_state(ContainerState s, int delta) {
+  auto apply = [delta](std::size_t& counter) {
+    if (delta > 0) {
+      counter += static_cast<std::size_t>(delta);
+    } else {
+      WHISK_CHECK(counter >= static_cast<std::size_t>(-delta),
+                  "state counter underflow");
+      counter -= static_cast<std::size_t>(-delta);
+    }
+  };
+  switch (s) {
+    case ContainerState::kCreating:
+      apply(creating_count_);
+      break;
+    case ContainerState::kPrewarm:
+      apply(prewarm_count_);
+      break;
+    case ContainerState::kIdle:
+      apply(idle_count_);
+      break;
+    case ContainerState::kBusy:
+      apply(busy_count_);
+      break;
+  }
+}
+
+std::optional<ContainerId> ContainerPool::acquire_warm(
+    workload::FunctionId fn) {
+  auto it = idle_.find(fn);
+  if (it == idle_.end() || it->second.empty()) return std::nullopt;
+  // Most recently used first: keeps the working set hot and leaves the
+  // stalest containers as eviction candidates.
+  const ContainerId id = it->second.back();
+  it->second.pop_back();
+  ContainerInfo& c = mutable_info(id);
+  count_state(c.state, -1);
+  c.state = ContainerState::kBusy;
+  count_state(c.state, +1);
+  return id;
+}
+
+std::optional<ContainerId> ContainerPool::acquire_prewarm() {
+  if (prewarm_.empty()) return std::nullopt;
+  const ContainerId id = prewarm_.back();
+  prewarm_.pop_back();
+  ContainerInfo& c = mutable_info(id);
+  count_state(c.state, -1);
+  c.state = ContainerState::kBusy;
+  count_state(c.state, +1);
+  return id;
+}
+
+std::optional<ContainerId> ContainerPool::begin_creation(double memory_mb) {
+  WHISK_CHECK(memory_mb > 0.0, "non-positive container memory");
+  if (memory_used_mb_ + memory_mb > memory_limit_mb_) return std::nullopt;
+  const ContainerId id = next_id_++;
+  ContainerInfo c;
+  c.id = id;
+  c.memory_mb = memory_mb;
+  c.state = ContainerState::kCreating;
+  containers_.emplace(id, c);
+  memory_used_mb_ += memory_mb;
+  count_state(ContainerState::kCreating, +1);
+  ++creations_;
+  return id;
+}
+
+void ContainerPool::finish_creation_busy(ContainerId id,
+                                         workload::FunctionId fn) {
+  ContainerInfo& c = mutable_info(id);
+  WHISK_CHECK(c.state == ContainerState::kCreating,
+              "finish_creation on a non-creating container");
+  count_state(c.state, -1);
+  c.state = ContainerState::kBusy;
+  c.function = fn;
+  count_state(c.state, +1);
+}
+
+void ContainerPool::finish_creation_prewarm(ContainerId id) {
+  ContainerInfo& c = mutable_info(id);
+  WHISK_CHECK(c.state == ContainerState::kCreating,
+              "finish_creation on a non-creating container");
+  count_state(c.state, -1);
+  c.state = ContainerState::kPrewarm;
+  count_state(c.state, +1);
+  prewarm_.push_back(id);
+}
+
+void ContainerPool::cancel_creation(ContainerId id) {
+  const ContainerInfo& c = info(id);
+  WHISK_CHECK(c.state == ContainerState::kCreating,
+              "cancel_creation on a non-creating container");
+  destroy(id);
+}
+
+void ContainerPool::assign_function(ContainerId id, workload::FunctionId fn) {
+  ContainerInfo& c = mutable_info(id);
+  WHISK_CHECK(c.state == ContainerState::kBusy,
+              "assign_function expects a busy (prewarm-origin) container");
+  c.function = fn;
+}
+
+void ContainerPool::release(ContainerId id, sim::SimTime now) {
+  ContainerInfo& c = mutable_info(id);
+  WHISK_CHECK(c.state == ContainerState::kBusy,
+              "release on a container that is not busy");
+  WHISK_CHECK(c.function != workload::kInvalidFunction,
+              "released container has no function");
+  count_state(c.state, -1);
+  c.state = ContainerState::kIdle;
+  c.last_used = now;
+  count_state(c.state, +1);
+  idle_[c.function].push_back(id);
+}
+
+std::size_t ContainerPool::evict_idle_until_free(double memory_mb) {
+  std::size_t evicted = 0;
+  while (memory_free_mb() < memory_mb && idle_count_ > 0) {
+    // Find the least recently used idle container across all functions.
+    ContainerId victim = kInvalidContainer;
+    sim::SimTime oldest = 0.0;
+    for (const auto& [fn, list] : idle_) {
+      for (const ContainerId id : list) {
+        const ContainerInfo& c = info(id);
+        if (victim == kInvalidContainer || c.last_used < oldest) {
+          victim = id;
+          oldest = c.last_used;
+        }
+      }
+    }
+    WHISK_CHECK(victim != kInvalidContainer, "idle_count_ out of sync");
+    destroy(victim);
+    ++evicted;
+    ++evictions_;
+  }
+  return evicted;
+}
+
+void ContainerPool::destroy(ContainerId id) {
+  auto it = containers_.find(id);
+  WHISK_CHECK(it != containers_.end(), "destroy of unknown container");
+  const ContainerInfo& c = it->second;
+  WHISK_CHECK(c.state != ContainerState::kBusy,
+              "cannot destroy a busy container");
+  if (c.state == ContainerState::kIdle) {
+    auto& list = idle_[c.function];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  } else if (c.state == ContainerState::kPrewarm) {
+    prewarm_.erase(std::remove(prewarm_.begin(), prewarm_.end(), id),
+                   prewarm_.end());
+  }
+  count_state(c.state, -1);
+  memory_used_mb_ -= c.memory_mb;
+  WHISK_CHECK(memory_used_mb_ > -1e-6, "memory accounting underflow");
+  memory_used_mb_ = std::max(0.0, memory_used_mb_);
+  containers_.erase(it);
+}
+
+double ContainerPool::memory_reclaimable_mb() const {
+  double reclaimable = memory_free_mb();
+  for (const auto& [fn, list] : idle_) {
+    for (const ContainerId id : list) {
+      reclaimable += info(id).memory_mb;
+    }
+  }
+  return reclaimable;
+}
+
+std::size_t ContainerPool::idle_count_of(workload::FunctionId fn) const {
+  auto it = idle_.find(fn);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+}  // namespace whisk::container

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/function.h"
+
+namespace whisk::container {
+
+using ContainerId = std::int64_t;
+
+inline constexpr ContainerId kInvalidContainer = -1;
+
+// Lifecycle of an action container on a worker node.
+enum class ContainerState {
+  kCreating,  // docker create/init in flight (memory already reserved)
+  kPrewarm,   // runtime environment up, no function injected yet
+  kIdle,      // initialized with a function, waiting in the free pool
+  kBusy,      // executing a call
+};
+
+struct ContainerInfo {
+  ContainerId id = kInvalidContainer;
+  workload::FunctionId function = workload::kInvalidFunction;
+  double memory_mb = 0.0;
+  ContainerState state = ContainerState::kCreating;
+  sim::SimTime last_used = 0.0;  // for LRU eviction of idle containers
+};
+
+// The node's container pool with memory accounting (paper Sec. III):
+// free-pool (idle, function-initialized) containers, prewarm containers,
+// busy containers, plus in-flight creations. Eviction removes idle
+// containers in LRU order to make room for new ones.
+class ContainerPool {
+ public:
+  explicit ContainerPool(double memory_limit_mb);
+
+  // --- acquisition -------------------------------------------------------
+
+  // Pop an idle container already initialized with `fn`; marks it busy.
+  std::optional<ContainerId> acquire_warm(workload::FunctionId fn);
+
+  // Pop any prewarm container; marks it busy (caller injects the function
+  // via assign_function once initialization completes).
+  std::optional<ContainerId> acquire_prewarm();
+
+  // --- creation ----------------------------------------------------------
+
+  // Reserve memory for a new container; returns nullopt when the free
+  // memory (ignoring evictable idle containers) is insufficient.
+  std::optional<ContainerId> begin_creation(double memory_mb);
+
+  // Transition a creating container to busy with the target function.
+  void finish_creation_busy(ContainerId id, workload::FunctionId fn);
+
+  // Transition a creating container to the prewarm pool.
+  void finish_creation_prewarm(ContainerId id);
+
+  // Abort an in-flight creation, releasing its reservation.
+  void cancel_creation(ContainerId id);
+
+  // --- release / eviction -------------------------------------------------
+
+  // Inject a function into a (busy) prewarm-origin container.
+  void assign_function(ContainerId id, workload::FunctionId fn);
+
+  // Busy -> idle; records `now` for LRU ordering.
+  void release(ContainerId id, sim::SimTime now);
+
+  // Evict idle containers (oldest last_used first) until at least
+  // `memory_mb` is free or no idle containers remain. Returns the number
+  // evicted.
+  std::size_t evict_idle_until_free(double memory_mb);
+
+  // Remove a container outright (any non-busy state).
+  void destroy(ContainerId id);
+
+  // --- queries ------------------------------------------------------------
+
+  [[nodiscard]] double memory_limit_mb() const { return memory_limit_mb_; }
+  [[nodiscard]] double memory_used_mb() const { return memory_used_mb_; }
+  [[nodiscard]] double memory_free_mb() const {
+    return memory_limit_mb_ - memory_used_mb_;
+  }
+
+  // Free memory counting evictable (idle) containers as reclaimable.
+  [[nodiscard]] double memory_reclaimable_mb() const;
+
+  [[nodiscard]] std::size_t total_containers() const {
+    return containers_.size();
+  }
+  [[nodiscard]] std::size_t busy_count() const { return busy_count_; }
+  [[nodiscard]] std::size_t idle_count() const { return idle_count_; }
+  [[nodiscard]] std::size_t prewarm_count() const { return prewarm_count_; }
+  [[nodiscard]] std::size_t creating_count() const { return creating_count_; }
+  [[nodiscard]] std::size_t idle_count_of(workload::FunctionId fn) const;
+
+  [[nodiscard]] const ContainerInfo& info(ContainerId id) const;
+
+  // Lifetime counters.
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t creations() const { return creations_; }
+
+ private:
+  ContainerInfo& mutable_info(ContainerId id);
+  void count_state(ContainerState s, int delta);
+
+  double memory_limit_mb_;
+  double memory_used_mb_ = 0.0;
+  ContainerId next_id_ = 1;
+
+  std::unordered_map<ContainerId, ContainerInfo> containers_;
+  // Idle containers per function, most recently used last.
+  std::unordered_map<workload::FunctionId, std::vector<ContainerId>> idle_;
+  std::vector<ContainerId> prewarm_;
+
+  std::size_t busy_count_ = 0;
+  std::size_t idle_count_ = 0;
+  std::size_t prewarm_count_ = 0;
+  std::size_t creating_count_ = 0;
+
+  std::size_t evictions_ = 0;
+  std::size_t creations_ = 0;
+};
+
+}  // namespace whisk::container

@@ -1,0 +1,61 @@
+#include "core/history.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace whisk::core {
+
+RuntimeHistory::RuntimeHistory(std::size_t window) : window_(window) {
+  WHISK_CHECK(window > 0, "history window must be positive");
+}
+
+void RuntimeHistory::record_runtime(workload::FunctionId fn,
+                                    sim::SimTime runtime,
+                                    sim::SimTime completion_time) {
+  WHISK_CHECK(runtime >= 0.0, "negative runtime");
+  auto [it, inserted] =
+      runtimes_.try_emplace(fn, util::RingBuffer<double>(window_));
+  it->second.push(runtime);
+
+  auto& completions = completions_[fn];
+  WHISK_CHECK(completions.empty() || completions.back() <= completion_time,
+              "completion times must be recorded in order");
+  completions.push_back(completion_time);
+}
+
+void RuntimeHistory::record_arrival(workload::FunctionId fn,
+                                    sim::SimTime time) {
+  last_arrival_[fn] = time;
+}
+
+double RuntimeHistory::expected_runtime(workload::FunctionId fn) const {
+  auto it = runtimes_.find(fn);
+  if (it == runtimes_.end() || it->second.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : it->second.values()) sum += r;
+  return sum / static_cast<double>(it->second.size());
+}
+
+sim::SimTime RuntimeHistory::previous_arrival(workload::FunctionId fn) const {
+  auto it = last_arrival_.find(fn);
+  return it == last_arrival_.end() ? 0.0 : it->second;
+}
+
+std::size_t RuntimeHistory::completions_within(workload::FunctionId fn,
+                                               sim::SimTime window_t,
+                                               sim::SimTime now) const {
+  auto it = completions_.find(fn);
+  if (it == completions_.end()) return 0;
+  const auto& deque = it->second;
+  const auto first =
+      std::lower_bound(deque.begin(), deque.end(), now - window_t);
+  return static_cast<std::size_t>(deque.end() - first);
+}
+
+std::size_t RuntimeHistory::samples(workload::FunctionId fn) const {
+  auto it = runtimes_.find(fn);
+  return it == runtimes_.end() ? 0 : it->second.size();
+}
+
+}  // namespace whisk::core

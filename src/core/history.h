@@ -1,0 +1,66 @@
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/time.h"
+#include "util/ring_buffer.h"
+#include "workload/function.h"
+
+namespace whisk::core {
+
+// Node-local historical data on function calls (paper Sec. IV).
+//
+// Holds, per function:
+//   * the processing times of the <= `window` most recent finished calls
+//     (default 10, the value [18] showed to be sufficient) -> E(p(i));
+//   * the receive time of the most recent call -> r-bar(i) for RECT;
+//   * the completion timestamps inside a sliding window -> #(f, -T) for FC.
+//
+// All estimates are node-level: they are fed by the invoker and never see
+// network latency, exactly as in the paper.
+class RuntimeHistory {
+ public:
+  explicit RuntimeHistory(std::size_t window = 10);
+
+  // Record the measured processing time of a finished call of `fn` that
+  // completed at `completion_time`.
+  void record_runtime(workload::FunctionId fn, sim::SimTime runtime,
+                      sim::SimTime completion_time);
+
+  // Record that a call of `fn` was received (pulled from Kafka) at `time`.
+  // Call this *after* computing the call's priority so RECT sees the
+  // previous call's receive time.
+  void record_arrival(workload::FunctionId fn, sim::SimTime time);
+
+  // E(p(i)): average processing time over the <= window most recent
+  // finished calls of `fn`; 0 if the function has never finished a call
+  // ("if a function has never been executed, we set its estimated execution
+  // time to 0", Sec. IV-B).
+  [[nodiscard]] double expected_runtime(workload::FunctionId fn) const;
+
+  // r-bar(i): the moment the previous call of `fn` was received; 0 if none.
+  [[nodiscard]] sim::SimTime previous_arrival(workload::FunctionId fn) const;
+
+  // #(f, -T): number of calls of `fn` concluded during the last `window_t`
+  // seconds before `now`.
+  [[nodiscard]] std::size_t completions_within(workload::FunctionId fn,
+                                               sim::SimTime window_t,
+                                               sim::SimTime now) const;
+
+  [[nodiscard]] std::size_t samples(workload::FunctionId fn) const;
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  std::unordered_map<workload::FunctionId, util::RingBuffer<double>>
+      runtimes_;
+  std::unordered_map<workload::FunctionId, sim::SimTime> last_arrival_;
+  // Completion timestamps, oldest first (record_runtime is called in
+  // simulation-time order, so each deque stays sorted and queries can
+  // binary-search). Experiments are minutes long, so no pruning is needed.
+  std::unordered_map<workload::FunctionId, std::deque<sim::SimTime>>
+      completions_;
+};
+
+}  // namespace whisk::core

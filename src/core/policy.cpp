@@ -1,0 +1,119 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace whisk::core {
+namespace {
+
+class FifoPolicy final : public Policy {
+ public:
+  double priority(const PolicyContext& ctx) const override {
+    return ctx.received;
+  }
+  PolicyKind kind() const override { return PolicyKind::kFifo; }
+  bool starvation_free() const override { return true; }
+};
+
+class SeptPolicy final : public Policy {
+ public:
+  double priority(const PolicyContext& ctx) const override {
+    return ctx.history->expected_runtime(ctx.function);
+  }
+  PolicyKind kind() const override { return PolicyKind::kSept; }
+  bool starvation_free() const override { return false; }
+};
+
+class EectPolicy final : public Policy {
+ public:
+  double priority(const PolicyContext& ctx) const override {
+    return ctx.received + ctx.history->expected_runtime(ctx.function);
+  }
+  PolicyKind kind() const override { return PolicyKind::kEect; }
+  bool starvation_free() const override { return true; }
+};
+
+class RectPolicy final : public Policy {
+ public:
+  double priority(const PolicyContext& ctx) const override {
+    return ctx.history->previous_arrival(ctx.function) +
+           ctx.history->expected_runtime(ctx.function);
+  }
+  PolicyKind kind() const override { return PolicyKind::kRect; }
+  bool starvation_free() const override { return true; }
+};
+
+class FcPolicy final : public Policy {
+ public:
+  explicit FcPolicy(sim::SimTime window) : window_(window) {}
+  double priority(const PolicyContext& ctx) const override {
+    const auto count = ctx.history->completions_within(
+        ctx.function, window_, ctx.received);
+    return static_cast<double>(count) *
+           ctx.history->expected_runtime(ctx.function);
+  }
+  PolicyKind kind() const override { return PolicyKind::kFc; }
+  bool starvation_free() const override { return false; }
+
+ private:
+  sim::SimTime window_;
+};
+
+}  // namespace
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return "FIFO";
+    case PolicyKind::kSept:
+      return "SEPT";
+    case PolicyKind::kEect:
+      return "EECT";
+    case PolicyKind::kRect:
+      return "RECT";
+    case PolicyKind::kFc:
+      return "FC";
+  }
+  return "?";
+}
+
+PolicyKind policy_from_string(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "fifo") return PolicyKind::kFifo;
+  if (lower == "sept") return PolicyKind::kSept;
+  if (lower == "eect") return PolicyKind::kEect;
+  if (lower == "rect") return PolicyKind::kRect;
+  if (lower == "fc" || lower == "fair-choice") return PolicyKind::kFc;
+  WHISK_CHECK(false, "unknown policy name");
+  return PolicyKind::kFifo;
+}
+
+const std::vector<PolicyKind>& all_policies() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kFifo, PolicyKind::kSept, PolicyKind::kEect,
+      PolicyKind::kRect, PolicyKind::kFc};
+  return kAll;
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind, PolicyParams params) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case PolicyKind::kSept:
+      return std::make_unique<SeptPolicy>();
+    case PolicyKind::kEect:
+      return std::make_unique<EectPolicy>();
+    case PolicyKind::kRect:
+      return std::make_unique<RectPolicy>();
+    case PolicyKind::kFc:
+      return std::make_unique<FcPolicy>(params.fc_window);
+  }
+  WHISK_CHECK(false, "unhandled policy kind");
+  return nullptr;
+}
+
+}  // namespace whisk::core

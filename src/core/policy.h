@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/history.h"
+#include "sim/time.h"
+#include "workload/function.h"
+
+namespace whisk::core {
+
+// The node-level scheduling policies of the paper (Sec. IV). A policy maps
+// an incoming call to a static numeric priority; the invoker serves pending
+// calls in ascending priority order (ties broken by arrival). Priorities
+// are computed once, when the call is received, and never change — exactly
+// the paper's simplification.
+enum class PolicyKind {
+  kFifo,  // priority = r'(i), the receive time
+  kSept,  // priority = E(p(i))
+  kEect,  // priority = r'(i) + E(p(i))
+  kRect,  // priority = r-bar(i) + E(p(i))
+  kFc,    // priority = #(f(i), -T) * E(p(i))
+};
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+
+// Parse "fifo"/"sept"/"eect"/"rect"/"fc" (case-insensitive). Aborts on an
+// unknown name.
+[[nodiscard]] PolicyKind policy_from_string(std::string_view name);
+
+// All policies, in the order the paper's figures list them.
+[[nodiscard]] const std::vector<PolicyKind>& all_policies();
+
+// Everything a policy may consult when prioritizing a call.
+struct PolicyContext {
+  sim::SimTime received = 0.0;  // r'(i): when the invoker pulled the call
+  workload::FunctionId function = workload::kInvalidFunction;
+  const RuntimeHistory* history = nullptr;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Lower priority value = served earlier.
+  [[nodiscard]] virtual double priority(const PolicyContext& ctx) const = 0;
+
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+  [[nodiscard]] std::string_view name() const { return to_string(kind()); }
+
+  // EECT and RECT are starvation-free (paper Sec. IV); FIFO trivially so.
+  [[nodiscard]] virtual bool starvation_free() const = 0;
+};
+
+struct PolicyParams {
+  // FC's sliding window T ("for T being a long time interval, e.g. 60
+  // seconds").
+  sim::SimTime fc_window = 60.0;
+};
+
+[[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                                  PolicyParams params = {});
+
+}  // namespace whisk::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace whisk::experiments::paper {
+
+// Reference values transcribed from the paper's appendix (Tables II, III
+// and V), used by the bench binaries to print measured-vs-paper rows and by
+// the reproduction tests to assert that the simulated *shapes* (orderings,
+// rough ratios, crossovers) match.
+
+// One aggregated row of Table III (single-node, on-premises, 5 seeds
+// pooled).
+struct SingleNodeRow {
+  int cores;
+  int intensity;
+  std::string_view scheduler;  // "baseline", "FIFO", "SEPT", "EECT",
+                               // "RECT", "FC"
+  double r_avg;   // average response time [s]
+  double r_p50;   // median response time [s]
+  double r_p95;   // 95th percentile response time [s]
+  double s_avg;   // average stretch
+  double max_c;   // maximum completion time [s]
+};
+
+// All Table III rows: cores {5,10,20} x intensity {30,40,60,90,120} x the
+// six schedulers.
+[[nodiscard]] const std::vector<SingleNodeRow>& table3();
+
+[[nodiscard]] std::optional<SingleNodeRow> find_single_node(
+    int cores, int intensity, std::string_view scheduler);
+
+// One row of Table II: the FIFO-to-baseline ratio of maximum request
+// completion times, reported as a min-max range over the 5 experiments.
+struct CompletionRatioRow {
+  int cores;
+  int intensity;
+  double ratio_lo;
+  double ratio_hi;
+};
+
+[[nodiscard]] const std::vector<CompletionRatioRow>& table2();
+
+[[nodiscard]] std::optional<CompletionRatioRow> find_completion_ratio(
+    int cores, int intensity);
+
+// One aggregated row of Table V (multi-node, cloud, 5 seeds pooled). The
+// total load is fixed (1320 requests for the 10-CPU VMs, 2376 for the
+// 18-CPU VMs) while the worker count varies.
+struct MultiNodeRow {
+  int nodes;
+  int cpus_per_node;
+  std::string_view scheduler;  // "baseline" or "FC"
+  double r_avg;
+  double r_p50;
+  double r_p75;
+  double r_p95;
+  double r_p99;
+  double max_c;
+};
+
+[[nodiscard]] const std::vector<MultiNodeRow>& table5();
+
+[[nodiscard]] std::optional<MultiNodeRow> find_multi_node(
+    int nodes, int cpus_per_node, std::string_view scheduler);
+
+// Fig. 5 (fairness, 10 CPUs, intensity 90): headline stretch numbers quoted
+// in Sec. VII-D.
+struct FairnessReference {
+  double fc_dna_avg_stretch = 2.1;    // FC, dna-visualisation
+  double sept_dna_avg_stretch = 5.3;  // SEPT, dna-visualisation
+  double fc_dna_p50_stretch = 1.6;
+  double sept_dna_p50_stretch = 5.2;
+  double fc_bfs_avg_stretch = 25.8;  // FC, graph-bfs (the price of fairness)
+  double sept_bfs_avg_stretch = 22.2;
+};
+
+[[nodiscard]] FairnessReference fig5_reference();
+
+}  // namespace whisk::experiments::paper

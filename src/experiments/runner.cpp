@@ -1,0 +1,181 @@
+#include "experiments/runner.h"
+
+#include <utility>
+
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace whisk::experiments {
+
+std::string Scheduler::label() const {
+  if (approach == cluster::Approach::kBaseline) return "baseline";
+  return std::string(core::to_string(policy));
+}
+
+const std::vector<Scheduler>& paper_schedulers() {
+  static const std::vector<Scheduler> kAll = {
+      {cluster::Approach::kBaseline, core::PolicyKind::kFifo},
+      {cluster::Approach::kOurs, core::PolicyKind::kFifo},
+      {cluster::Approach::kOurs, core::PolicyKind::kSept},
+      {cluster::Approach::kOurs, core::PolicyKind::kEect},
+      {cluster::Approach::kOurs, core::PolicyKind::kRect},
+      {cluster::Approach::kOurs, core::PolicyKind::kFc},
+  };
+  return kAll;
+}
+
+node::NodeParams make_node_params(const ExperimentConfig& cfg) {
+  node::NodeParams p;
+  p.cores = cfg.cores;
+  p.memory_limit_mb = cfg.memory_mb;
+  if (cfg.our_post_factor_loaded >= 0.0) {
+    p.our_post_factor_loaded = cfg.our_post_factor_loaded;
+  }
+  if (cfg.strain_per_container >= 0.0) {
+    p.strain_per_container = cfg.strain_per_container;
+  }
+  if (cfg.context_switch_beta >= 0.0) {
+    p.context_switch_beta = cfg.context_switch_beta;
+  }
+  if (cfg.history_window > 0) p.history_window = cfg.history_window;
+  if (cfg.fc_window_s > 0.0) p.policy.fc_window = cfg.fc_window_s;
+  if (cfg.dispatch_daemon_gate > 0) {
+    p.dispatch_daemon_gate = cfg.dispatch_daemon_gate;
+  }
+  return p;
+}
+
+namespace {
+
+workload::Scenario make_scenario(const ExperimentConfig& cfg,
+                                 const workload::FunctionCatalog& cat,
+                                 sim::Rng& rng) {
+  workload::ScenarioGenerator gen(cat);
+  switch (cfg.scenario) {
+    case ScenarioKind::kUniform:
+      // Intensity is defined against the per-node core count; a multi-node
+      // run spreads 1.1 * (num_nodes * cores) * intensity requests.
+      return gen.uniform_burst(cfg.cores * cfg.num_nodes, cfg.intensity, rng);
+    case ScenarioKind::kFixedTotal:
+      WHISK_CHECK(cfg.fixed_total_requests > 0,
+                  "kFixedTotal needs fixed_total_requests");
+      return gen.fixed_total_burst(cfg.fixed_total_requests, rng);
+    case ScenarioKind::kFairness: {
+      auto fn = cat.find(cfg.fairness_rare_function);
+      WHISK_CHECK(fn.has_value(), "unknown fairness rare function");
+      return gen.fairness_burst(cfg.cores * cfg.num_nodes, cfg.intensity, *fn,
+                                cfg.fairness_rare_calls, rng);
+    }
+  }
+  WHISK_CHECK(false, "unhandled scenario kind");
+  return {};
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& cfg,
+                         const workload::FunctionCatalog& cat) {
+  sim::Engine engine;
+
+  cluster::ClusterParams cp;
+  cp.approach = cfg.scheduler.approach;
+  cp.policy = cfg.scheduler.policy;
+  cp.num_nodes = cfg.num_nodes;
+  cp.node = make_node_params(cfg);
+  cp.balancer = cfg.balancer;
+
+  // Scenario and cluster noise derive from independent streams of the same
+  // seed, so two schedulers at the same seed see the identical call
+  // sequence (the paper compares schedulers on the same 5 sequences).
+  sim::Rng scenario_rng = sim::Rng(cfg.seed).fork(sim::hash_tag("scenario"));
+  const workload::Scenario scenario = make_scenario(cfg, cat, scenario_rng);
+
+  cluster::Cluster cluster(engine, cat, cp,
+                           sim::Rng(cfg.seed)
+                               .fork(sim::hash_tag("cluster"))
+                               .next_u64());
+  cluster.warmup();
+  cluster.run_scenario(scenario);
+  engine.run();
+
+  const auto& col = cluster.collector();
+  WHISK_CHECK(col.size() == scenario.size(),
+              "not every call completed: the simulation deadlocked");
+
+  RunResult out;
+  out.records = col.records();
+  out.responses = col.response_times();
+  out.stretches = col.stretches();
+  out.max_completion = col.max_completion();
+  out.stats = cluster.total_stats();
+  return out;
+}
+
+std::vector<RunResult> run_repetitions(ExperimentConfig cfg,
+                                       const workload::FunctionCatalog& cat,
+                                       int reps) {
+  std::vector<RunResult> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    cfg.seed = static_cast<std::uint64_t>(r);
+    out.push_back(run_experiment(cfg, cat));
+  }
+  return out;
+}
+
+std::vector<double> pooled_responses(const std::vector<RunResult>& reps) {
+  std::vector<double> out;
+  for (const auto& r : reps) {
+    out.insert(out.end(), r.responses.begin(), r.responses.end());
+  }
+  return out;
+}
+
+std::vector<double> pooled_stretches(const std::vector<RunResult>& reps) {
+  std::vector<double> out;
+  for (const auto& r : reps) {
+    out.insert(out.end(), r.stretches.begin(), r.stretches.end());
+  }
+  return out;
+}
+
+std::vector<double> run_idle_function_benchmark(
+    const workload::FunctionCatalog& cat, workload::FunctionId fn, int calls,
+    std::uint64_t seed, int cores) {
+  sim::Engine engine;
+  cluster::ClusterParams cp;
+  cp.approach = cluster::Approach::kOurs;
+  cp.policy = core::PolicyKind::kFifo;
+  cp.num_nodes = 1;
+  cp.node.cores = cores;
+
+  cluster::Cluster cluster(engine, cat, cp, seed);
+  cluster.warmup();
+
+  // Closed loop: issue the next call only after the previous response
+  // arrives (the paper benchmarks each function 50 times on an idle warmed
+  // system).
+  std::vector<double> responses;
+  responses.reserve(static_cast<std::size_t>(calls));
+
+  workload::Scenario one;
+  one.calls.push_back(workload::CallRequest{0, fn, 0.0});
+  cluster.run_scenario(one);
+  std::size_t seen = 0;
+  while (static_cast<int>(seen) < calls) {
+    engine.run();
+    const auto& recs = cluster.collector().records();
+    WHISK_CHECK(recs.size() == seen + 1, "idle benchmark lost a call");
+    responses.push_back(recs.back().response());
+    ++seen;
+    if (static_cast<int>(seen) < calls) {
+      workload::Scenario next;
+      next.calls.push_back(workload::CallRequest{
+          static_cast<workload::CallId>(seen), fn, engine.now() + 0.05});
+      cluster.run_scenario(next);
+    }
+  }
+  return responses;
+}
+
+}  // namespace whisk::experiments

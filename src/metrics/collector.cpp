@@ -1,0 +1,104 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace whisk::metrics {
+
+void Collector::add(const CallRecord& record) {
+  WHISK_CHECK(record.completion >= record.release,
+              "completion before release");
+  WHISK_CHECK(record.exec_end >= record.exec_start,
+              "execution ends before it starts");
+  records_.push_back(record);
+}
+
+std::vector<double> Collector::response_times() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.response());
+  return out;
+}
+
+std::vector<double> Collector::stretches() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    out.push_back(r.response() / catalog_->reference_median(r.function));
+  }
+  return out;
+}
+
+std::vector<double> Collector::response_times_of(
+    workload::FunctionId f) const {
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (r.function == f) out.push_back(r.response());
+  }
+  return out;
+}
+
+std::vector<double> Collector::stretches_of(workload::FunctionId f) const {
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (r.function == f) {
+      out.push_back(r.response() / catalog_->reference_median(f));
+    }
+  }
+  return out;
+}
+
+util::Summary Collector::response_summary() const {
+  const auto rs = response_times();
+  return util::summarize(rs);
+}
+
+util::Summary Collector::stretch_summary() const {
+  const auto ss = stretches();
+  return util::summarize(ss);
+}
+
+double Collector::max_completion() const {
+  double m = 0.0;
+  for (const auto& r : records_) m = std::max(m, r.completion);
+  return m;
+}
+
+std::size_t Collector::cold_starts() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const CallRecord& r) {
+        return r.start_kind == StartKind::kCold;
+      }));
+}
+
+std::size_t Collector::prewarm_starts() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const CallRecord& r) {
+        return r.start_kind == StartKind::kPrewarm;
+      }));
+}
+
+std::size_t Collector::warm_starts() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const CallRecord& r) {
+        return r.start_kind == StartKind::kWarm;
+      }));
+}
+
+std::size_t Collector::calls_of(workload::FunctionId f) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [f](const CallRecord& r) { return r.function == f; }));
+}
+
+std::vector<double> concat(const std::vector<std::vector<double>>& reps) {
+  std::vector<double> out;
+  std::size_t total = 0;
+  for (const auto& r : reps) total += r.size();
+  out.reserve(total);
+  for (const auto& r : reps) out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+}  // namespace whisk::metrics

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/record.h"
+#include "util/stats.h"
+#include "workload/function.h"
+
+namespace whisk::metrics {
+
+// Collects completed-call records for one experiment run and derives the
+// paper's metrics: response time R(i), stretch S(i) (w.r.t. the Table I
+// idle-system medians), cold-start counts and the maximum completion time.
+class Collector {
+ public:
+  explicit Collector(const workload::FunctionCatalog& catalog)
+      : catalog_(&catalog) {}
+
+  void add(const CallRecord& record);
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<CallRecord>& records() const {
+    return records_;
+  }
+
+  // R(i) for every completed call, seconds.
+  [[nodiscard]] std::vector<double> response_times() const;
+
+  // S(i) = R(i) / reference_median(f(i)). Can be < 1 because the reference
+  // is a client-side median, not the true processing time (Sec. V-A).
+  [[nodiscard]] std::vector<double> stretches() const;
+
+  // Metrics restricted to one function (for the fairness experiment and the
+  // per-function discrimination check, Sec. II/VII-D).
+  [[nodiscard]] std::vector<double> response_times_of(
+      workload::FunctionId f) const;
+  [[nodiscard]] std::vector<double> stretches_of(
+      workload::FunctionId f) const;
+
+  [[nodiscard]] util::Summary response_summary() const;
+  [[nodiscard]] util::Summary stretch_summary() const;
+
+  // max c(i): the request completion time of the whole burst (Table II).
+  [[nodiscard]] double max_completion() const;
+
+  [[nodiscard]] std::size_t cold_starts() const;
+  [[nodiscard]] std::size_t prewarm_starts() const;
+  [[nodiscard]] std::size_t warm_starts() const;
+
+  [[nodiscard]] std::size_t calls_of(workload::FunctionId f) const;
+
+ private:
+  const workload::FunctionCatalog* catalog_;
+  std::vector<CallRecord> records_;
+};
+
+// Merge the samples of several repetitions into one flat vector (the paper
+// aggregates "all individual calls from all 5 sequences of calls").
+[[nodiscard]] std::vector<double> concat(
+    const std::vector<std::vector<double>>& reps);
+
+}  // namespace whisk::metrics

@@ -1,0 +1,29 @@
+#include "metrics/csv.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace whisk::metrics {
+
+void write_csv(std::ostream& out, const std::vector<CallRecord>& records,
+               const workload::FunctionCatalog& catalog) {
+  out << "id,function,node,release,received,exec_start,exec_end,completion,"
+         "service,start_kind,response,stretch\n";
+  for (const auto& r : records) {
+    const double stretch = r.response() / catalog.reference_median(r.function);
+    out << r.id << ',' << catalog.spec(r.function).name << ',' << r.node
+        << ',' << r.release << ',' << r.received << ',' << r.exec_start
+        << ',' << r.exec_end << ',' << r.completion << ',' << r.service
+        << ',' << to_string(r.start_kind) << ',' << r.response() << ','
+        << stretch << '\n';
+  }
+}
+
+std::string to_csv(const std::vector<CallRecord>& records,
+                   const workload::FunctionCatalog& catalog) {
+  std::ostringstream out;
+  write_csv(out, records, catalog);
+  return out.str();
+}
+
+}  // namespace whisk::metrics

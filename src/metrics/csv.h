@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/record.h"
+#include "workload/function.h"
+
+namespace whisk::metrics {
+
+// CSV export of per-call records for offline analysis (pandas/R). One row
+// per call with the paper's notation in the header:
+//   id,function,node,release,received,exec_start,exec_end,completion,
+//   service,start_kind,response,stretch
+void write_csv(std::ostream& out, const std::vector<CallRecord>& records,
+               const workload::FunctionCatalog& catalog);
+
+// Convenience: render to a string (used by tests and small tools).
+[[nodiscard]] std::string to_csv(const std::vector<CallRecord>& records,
+                                 const workload::FunctionCatalog& catalog);
+
+}  // namespace whisk::metrics

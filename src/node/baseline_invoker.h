@@ -1,0 +1,80 @@
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "container/docker_daemon.h"
+#include "container/pool.h"
+#include "node/invoker.h"
+#include "os/cpu_system.h"
+
+namespace whisk::node {
+
+// Stock OpenWhisk node-level resource management (paper Sec. III):
+//
+//   * pending calls are handled in FIFO order;
+//   * a request with no matching free-pool container greedily triggers a
+//     prewarm take-over or a brand-new container, evicting idle containers
+//     of other functions when memory is short (the source of the eviction
+//     thrash and cold-start storms of Fig. 2a);
+//   * busy concurrency is bounded only by the memory pool, so the OS
+//     preempts freely: execution runs under weighted processor sharing with
+//     a context-switch penalty (ExecMode::kProportionalShare);
+//   * dockerd ops slow down as the live-container count grows
+//     (strain_per_container), reproducing the baseline's superlinear
+//     degradation at higher core counts / request totals.
+class BaselineInvoker final : public Invoker {
+ public:
+  BaselineInvoker(sim::Engine& engine,
+                  const workload::FunctionCatalog& catalog, NodeParams params,
+                  sim::Rng rng, DeliveryFn delivery);
+
+  void warmup() override;
+  void submit(const workload::CallRequest& call) override;
+
+  [[nodiscard]] std::size_t queue_length() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t executing() const override {
+    return running_.size();
+  }
+  [[nodiscard]] std::string_view approach() const override {
+    return "baseline";
+  }
+
+  // Introspection for tests and telemetry.
+  [[nodiscard]] const container::ContainerPool& pool() const { return pool_; }
+  [[nodiscard]] const container::DockerDaemon& daemon() const {
+    return daemon_;
+  }
+
+ private:
+  struct ActiveCall {
+    metrics::CallRecord record;
+    container::ContainerId cid = container::kInvalidContainer;
+  };
+
+  [[nodiscard]] double activity() const {
+    return static_cast<double>(running_.size()) +
+           static_cast<double>(queue_.size()) +
+           static_cast<double>(pool_.creating_count());
+  }
+
+  void process_queue();
+  void dispatch(metrics::CallRecord rec, container::ContainerId cid,
+                metrics::StartKind kind);
+  void begin_exec(ActiveCall active);
+  void on_exec_complete(os::CpuSystem::TaskId task);
+  void finish_call(ActiveCall active);
+  void replenish_prewarm();
+
+  container::ContainerPool pool_;
+  container::DockerDaemon daemon_;
+  os::CpuSystem cpu_;
+
+  std::deque<metrics::CallRecord> queue_;
+  std::unordered_map<os::CpuSystem::TaskId, ActiveCall> running_;
+  int prewarm_creating_ = 0;
+};
+
+}  // namespace whisk::node

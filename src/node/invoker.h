@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string_view>
+
+#include "metrics/record.h"
+#include "node/params.h"
+#include "sim/engine.h"
+#include "sim/random.h"
+#include "workload/function.h"
+#include "workload/scenario.h"
+
+namespace whisk::node {
+
+// Counters every invoker maintains for the cold-start experiment (Fig. 2)
+// and general telemetry. Start-kind counts cover only measured calls;
+// warm-up is excluded, as in the paper.
+struct InvokerStats {
+  std::size_t calls_received = 0;
+  std::size_t calls_completed = 0;
+  std::size_t cold_starts = 0;
+  std::size_t prewarm_starts = 0;
+  std::size_t warm_starts = 0;
+  std::size_t evictions = 0;
+};
+
+// A worker node's resource manager. Two implementations:
+//   * BaselineInvoker — stock OpenWhisk (Sec. III): FIFO handling, greedy
+//     container creation bounded by memory, memory-proportional CPU shares.
+//   * OurInvoker — the paper's approach (Sec. IV): policy priority queue,
+//     busy containers capped at the core count, one core per container.
+//
+// The invoker's `submit` is called at the moment the request is pulled from
+// Kafka (r'(i)); `delivery` fires when the response leaves the node, with
+// exec_* timestamps and the start kind filled in. The cluster layer adds the
+// return-path latency and stamps c(i).
+class Invoker {
+ public:
+  using DeliveryFn = std::function<void(const metrics::CallRecord&)>;
+
+  Invoker(sim::Engine& engine, const workload::FunctionCatalog& catalog,
+          NodeParams params, sim::Rng rng, DeliveryFn delivery)
+      : engine_(&engine),
+        catalog_(&catalog),
+        params_(params),
+        rng_(rng),
+        delivery_(std::move(delivery)) {}
+
+  virtual ~Invoker() = default;
+  Invoker(const Invoker&) = delete;
+  Invoker& operator=(const Invoker&) = delete;
+
+  // Pre-populate the node as the paper's warm-up phase does: up to `cores`
+  // containers per function (memory permitting) and a primed runtime
+  // history. Administrative: costs no simulated time and no cold-start
+  // counts.
+  virtual void warmup() = 0;
+
+  // Receive a call (now == r'(i)).
+  virtual void submit(const workload::CallRequest& call) = 0;
+
+  [[nodiscard]] virtual std::size_t queue_length() const = 0;
+  [[nodiscard]] virtual std::size_t executing() const = 0;
+  [[nodiscard]] virtual std::string_view approach() const = 0;
+
+  [[nodiscard]] const InvokerStats& stats() const { return stats_; }
+  [[nodiscard]] const NodeParams& params() const { return params_; }
+
+  // Node index stamped into call records (set by the cluster layer).
+  void set_node_index(int index) { node_index_ = index; }
+  [[nodiscard]] int node_index() const { return node_index_; }
+
+ protected:
+  // Lognormal sample around `median` with spread `sigma`.
+  double sample_lognormal(double median, double sigma) {
+    return rng_.lognormal(std::log(median), sigma);
+  }
+
+  // Idle->loaded interpolated op duration for the current activity level.
+  double ramped_op(double idle_median, double loaded_median, double sigma,
+                   double activity) {
+    const double f = params_.ramp(activity);
+    const double median = idle_median + (loaded_median - idle_median) * f;
+    return sample_lognormal(median, sigma);
+  }
+
+  sim::Engine* engine_;
+  const workload::FunctionCatalog* catalog_;
+  NodeParams params_;
+  sim::Rng rng_;
+  DeliveryFn delivery_;
+  InvokerStats stats_;
+  int node_index_ = 0;
+};
+
+}  // namespace whisk::node

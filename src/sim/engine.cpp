@@ -1,0 +1,78 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace whisk::sim {
+
+EventId Engine::schedule_at(SimTime at, Callback fn) {
+  WHISK_CHECK(at >= now_, "cannot schedule events in the past");
+  WHISK_CHECK(static_cast<bool>(fn), "cannot schedule a null callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  slots_.emplace(id, Slot{std::move(fn), false});
+  ++live_events_;
+  return id;
+}
+
+EventId Engine::schedule_in(SimTime delay, Callback fn) {
+  WHISK_CHECK(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end() || it->second.cancelled) return false;
+  it->second.cancelled = true;
+  --live_events_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = slots_.find(top.id);
+    WHISK_CHECK(it != slots_.end(), "heap entry without slot");
+    if (it->second.cancelled) {
+      slots_.erase(it);
+      continue;
+    }
+    Callback fn = std::move(it->second.fn);
+    slots_.erase(it);
+    --live_events_;
+    WHISK_CHECK(top.time >= now_, "time went backwards");
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run(SimTime until) {
+  std::size_t ran = 0;
+  while (!heap_.empty()) {
+    if (until >= 0.0) {
+      // Peek at the next live event's timestamp without executing it.
+      const Entry top = heap_.top();
+      auto it = slots_.find(top.id);
+      if (it != slots_.end() && it->second.cancelled) {
+        heap_.pop();
+        slots_.erase(it);
+        continue;
+      }
+      if (top.time > until) {
+        now_ = until;
+        break;
+      }
+    }
+    if (!step()) break;
+    ++ran;
+  }
+  if (until >= 0.0 && now_ < until && heap_.empty()) now_ = until;
+  return ran;
+}
+
+}  // namespace whisk::sim

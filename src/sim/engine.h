@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace whisk::sim {
+
+// Handle to a scheduled event; allows cancellation. Cancelled events stay in
+// the heap but are skipped when popped (lazy deletion), which keeps
+// cancellation O(1).
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+// A single-threaded discrete-event simulation engine.
+//
+// Events are (time, callback) pairs ordered by time, with insertion order as
+// the tie-breaker so same-timestamp events run deterministically in the order
+// they were scheduled. Every component of the simulator (clients, Kafka,
+// invokers, the Docker daemon, the CPU model) drives itself exclusively
+// through this engine, which makes whole-cluster runs reproducible from a
+// single seed.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (>= now).
+  EventId schedule_at(SimTime at, Callback fn);
+
+  // Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, Callback fn);
+
+  // Cancel a pending event. Cancelling an already-run or unknown id is a
+  // no-op and returns false.
+  bool cancel(EventId id);
+
+  // Run until the event queue drains or `until` is reached (if >= 0).
+  // Returns the number of callbacks executed.
+  std::size_t run(SimTime until = kNever);
+
+  // Execute exactly one pending event, if any. Returns false when drained.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+  [[nodiscard]] std::size_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Min-heap on (time, id): earlier time first, FIFO among equal times.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  struct Slot {
+    Callback fn;
+    bool cancelled = false;
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // id -> callback for pending events. Erased on execution/cancellation.
+  std::unordered_map<EventId, Slot> slots_;
+};
+
+}  // namespace whisk::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace whisk::sim {
+
+// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+// SplitMix64. We avoid std::mt19937 + std::*_distribution because their
+// results are not guaranteed identical across standard library
+// implementations; experiments must reproduce bit-for-bit from a seed on any
+// platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derive an independent child stream (e.g. one per node, one per
+  // experiment repetition). Streams derived with distinct tags do not
+  // overlap in practice.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  // Standard normal via Box–Muller (no cached spare: keeps the stream
+  // position deterministic regardless of call interleaving).
+  double normal();
+
+  // Normal with mean/stddev.
+  double normal(double mu, double sigma);
+
+  // Lognormal parameterized by the *underlying* normal's mu/sigma,
+  // i.e. median = exp(mu).
+  double lognormal(double mu, double sigma);
+
+  // Fisher–Yates shuffle of an index permutation [0, n).
+  template <typename T>
+  void shuffle(std::vector<T>& xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      std::swap(xs[i - 1], xs[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t initial_seed_;
+};
+
+// Stable 64-bit hash of a string (FNV-1a); used to derive substream tags
+// from names ("node-0", "gatling", ...).
+[[nodiscard]] std::uint64_t hash_tag(const std::string& name);
+
+}  // namespace whisk::sim

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant checking used across the simulator. Unlike assert(),
+// WHISK_CHECK stays active in release builds: a simulator that silently
+// continues after a broken invariant produces plausible-looking garbage,
+// which is worse than a crash.
+#define WHISK_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "WHISK_CHECK failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

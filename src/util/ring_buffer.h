@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace whisk::util {
+
+// Fixed-capacity ring buffer keeping the most recent `capacity` pushed
+// values. This is the backing store for the per-function runtime history the
+// paper's policies rely on ("the average processing time over last 10
+// finished calls of the same function", Sec. IV).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {
+    WHISK_CHECK(capacity > 0, "ring buffer capacity must be positive");
+    data_.reserve(capacity);
+  }
+
+  void push(const T& value) {
+    if (data_.size() < capacity_) {
+      data_.push_back(value);
+    } else {
+      data_[head_] = value;
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  // Oldest-to-newest is not needed by any caller; values() exposes the
+  // retained window in unspecified order (sufficient for averaging).
+  [[nodiscard]] const std::vector<T>& values() const { return data_; }
+
+  // Most recently pushed element.
+  [[nodiscard]] const T& newest() const {
+    WHISK_CHECK(!data_.empty(), "newest() on empty ring buffer");
+    if (data_.size() < capacity_) return data_.back();
+    return data_[(head_ + capacity_ - 1) % capacity_];
+  }
+
+  void clear() {
+    data_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next slot to overwrite once full
+  std::vector<T> data_;
+};
+
+}  // namespace whisk::util

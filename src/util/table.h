@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace whisk::util {
+
+// Minimal fixed-layout ASCII table printer for the paper-reproduction
+// benches. Columns are right-aligned; header separated by a dash rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Render the table with per-column widths fitted to contents.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with fixed precision (default 2), trimming to a compact
+// representation suitable for table cells.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+// Format a ratio range like the paper's Table II cells ("0.59-0.66").
+[[nodiscard]] std::string fmt_range(double lo, double hi, int precision = 2);
+
+}  // namespace whisk::util

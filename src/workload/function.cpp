@@ -1,0 +1,114 @@
+#include "workload/function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace whisk::workload {
+namespace {
+
+// 95th percentile of the standard normal; used to fit the lognormal sigma
+// from the median/p95 ratio.
+constexpr double kZ95 = 1.6448536269514722;
+
+// Warm processing time never drops below this, even for the ~12 ms graph
+// functions whose client-side figures are dominated by the constant
+// overhead.
+constexpr double kMinWarmMs = 1.5;
+
+}  // namespace
+
+double FunctionSpec::warm_median_ms() const {
+  return std::max(median_ms - kClientOverheadMs, kMinWarmMs);
+}
+
+double FunctionSpec::lognormal_mu() const {
+  return std::log(warm_median_ms() / 1000.0);
+}
+
+double FunctionSpec::lognormal_sigma() const {
+  // Fit sigma to the overhead-stripped p95/median ratio. For the very short
+  // functions the stripped ratio is noisy; clamp to a sane band.
+  const double p95 = std::max(p95_ms - kClientOverheadMs, kMinWarmMs);
+  const double ratio = std::max(p95 / warm_median_ms(), 1.001);
+  return std::clamp(std::log(ratio) / kZ95, 0.01, 0.8);
+}
+
+FunctionCatalog::FunctionCatalog(std::vector<FunctionSpec> specs)
+    : specs_(std::move(specs)) {
+  WHISK_CHECK(!specs_.empty(), "empty function catalog");
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    specs_[i].id = static_cast<FunctionId>(i);
+    WHISK_CHECK(specs_[i].median_ms > 0.0, "non-positive median");
+    WHISK_CHECK(specs_[i].p5_ms <= specs_[i].median_ms &&
+                    specs_[i].median_ms <= specs_[i].p95_ms,
+                "percentiles out of order");
+    WHISK_CHECK(specs_[i].cpu_fraction >= 0.0 &&
+                    specs_[i].cpu_fraction <= 1.0,
+                "cpu_fraction out of [0,1]");
+    WHISK_CHECK(specs_[i].memory_mb > 0.0, "non-positive memory");
+  }
+}
+
+const FunctionSpec& FunctionCatalog::spec(FunctionId id) const {
+  WHISK_CHECK(id >= 0 && static_cast<std::size_t>(id) < specs_.size(),
+              "function id out of range");
+  return specs_[static_cast<std::size_t>(id)];
+}
+
+std::optional<FunctionId> FunctionCatalog::find(
+    const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return s.id;
+  }
+  return std::nullopt;
+}
+
+sim::SimTime FunctionCatalog::sample_service(FunctionId id,
+                                             sim::Rng& rng) const {
+  const FunctionSpec& s = spec(id);
+  const double median_s = s.warm_median_ms() / 1000.0;
+  const double draw = rng.lognormal(s.lognormal_mu(), s.lognormal_sigma());
+  // Clamp to a generous envelope: a draw far outside the measured
+  // percentiles would represent a failure mode SeBS did not observe.
+  return std::clamp(draw, 0.25 * median_s, 8.0 * median_s);
+}
+
+sim::SimTime FunctionCatalog::reference_median(FunctionId id) const {
+  return spec(id).median_ms / 1000.0;
+}
+
+double FunctionCatalog::mean_reference_median_s() const {
+  double sum = 0.0;
+  for (const auto& s : specs_) sum += s.median_ms;
+  return sum / 1000.0 / static_cast<double>(specs_.size());
+}
+
+FunctionCatalog sebs_catalog() {
+  // Table I of the paper, client side, on-premises idle setup.
+  // cpu_fraction: dna-visualisation, compression, video-processing and the
+  // graph suite are compute-bound; sleep is a pure wait; uploader strains
+  // network/storage; thumbnailer and image-recognition mix CPU with I/O
+  // (paper: "roughly half of these functions are computationally-intensive,
+  // while others strain I/O and network").
+  std::vector<FunctionSpec> specs = {
+      {kInvalidFunction, "dna-visualisation", 8415.0, 8552.0, 8847.0, 0.95,
+       160.0},
+      {kInvalidFunction, "sleep", 1020.0, 1022.0, 1026.0, 0.02, 160.0},
+      {kInvalidFunction, "compression", 793.0, 807.0, 832.0, 0.90, 160.0},
+      {kInvalidFunction, "video-processing", 586.0, 593.0, 605.0, 0.90,
+       160.0},
+      {kInvalidFunction, "uploader", 184.0, 192.0, 405.0, 0.15, 160.0},
+      {kInvalidFunction, "image-recognition", 117.0, 121.0, 237.0, 0.80,
+       160.0},
+      {kInvalidFunction, "thumbnailer", 112.0, 118.0, 124.0, 0.50, 160.0},
+      {kInvalidFunction, "dynamic-html", 18.0, 19.0, 22.0, 0.90, 160.0},
+      {kInvalidFunction, "graph-pagerank", 11.0, 12.0, 15.0, 1.00, 160.0},
+      {kInvalidFunction, "graph-bfs", 11.0, 12.0, 13.0, 1.00, 160.0},
+      {kInvalidFunction, "graph-mst", 11.0, 12.0, 13.0, 1.00, 160.0},
+  };
+  return FunctionCatalog(std::move(specs));
+}
+
+}  // namespace whisk::workload

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace whisk::workload {
+
+using FunctionId = int;
+
+inline constexpr FunctionId kInvalidFunction = -1;
+
+// A FaaS function (OpenWhisk "action") as characterized by the SeBS
+// benchmark in the paper's Table I. Client-side response-time percentiles
+// were measured on an idle on-premises node and include ~10 ms of Kafka
+// overhead; the warm *processing* time distribution is derived by stripping
+// that overhead.
+struct FunctionSpec {
+  FunctionId id = kInvalidFunction;
+  std::string name;
+
+  // Client-side response time on an idle system (Table I), milliseconds.
+  double p5_ms = 0.0;
+  double median_ms = 0.0;
+  double p95_ms = 0.0;
+
+  // Fraction of the wall-clock processing time that is CPU-bound work
+  // (1.0 = compute-bound, ~0 = pure I/O or sleep). Roughly half of the SeBS
+  // functions are computationally intensive (paper Sec. V).
+  double cpu_fraction = 1.0;
+
+  // Container memory requirement. OpenWhisk's default action memory is
+  // 256 MB; we keep it homogeneous so 11 functions x cores containers fit in
+  // the paper's 32 GiB pool (Sec. VI).
+  double memory_mb = 256.0;
+
+  // Warm processing-time median with the constant client/Kafka overhead
+  // stripped (never below a small floor for the sub-20 ms functions).
+  [[nodiscard]] double warm_median_ms() const;
+
+  // Parameters of the fitted lognormal warm service-time distribution.
+  [[nodiscard]] double lognormal_mu() const;
+  [[nodiscard]] double lognormal_sigma() const;
+};
+
+// Constant client-observable overhead baked into Table I measurements
+// (Kafka hop + HTTP path), milliseconds.
+inline constexpr double kClientOverheadMs = 10.0;
+
+// The set of functions an experiment runs. Provides deterministic service
+// time sampling and reference medians for stretch computation.
+class FunctionCatalog {
+ public:
+  explicit FunctionCatalog(std::vector<FunctionSpec> specs);
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] const FunctionSpec& spec(FunctionId id) const;
+  [[nodiscard]] const std::vector<FunctionSpec>& specs() const {
+    return specs_;
+  }
+
+  [[nodiscard]] std::optional<FunctionId> find(const std::string& name) const;
+
+  // Sample a warm processing time (seconds on a dedicated core) from the
+  // fitted lognormal, clamped to a plausible envelope around the measured
+  // percentiles so a single outlier draw cannot dominate an experiment.
+  [[nodiscard]] sim::SimTime sample_service(FunctionId id, sim::Rng& rng) const;
+
+  // Reference response time used as p(i) in the stretch metric: the paper
+  // substitutes the client-side idle-system median (Sec. V-A), so stretch
+  // can be < 1.
+  [[nodiscard]] sim::SimTime reference_median(FunctionId id) const;
+
+  // Mean of the client-side medians over all functions; the paper reports
+  // ~1.042 s for Table I and derives intensity-to-utilization from it.
+  [[nodiscard]] double mean_reference_median_s() const;
+
+ private:
+  std::vector<FunctionSpec> specs_;
+};
+
+// The 11 SeBS functions used in the paper (Table I): all benchmark functions
+// except the Node.js variants and the network microbenchmarks.
+[[nodiscard]] FunctionCatalog sebs_catalog();
+
+}  // namespace whisk::workload

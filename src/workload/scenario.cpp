@@ -1,0 +1,94 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace whisk::workload {
+
+Scenario ScenarioGenerator::finalize(std::vector<CallRequest> calls,
+                                     sim::SimTime window) const {
+  std::sort(calls.begin(), calls.end(),
+            [](const CallRequest& a, const CallRequest& b) {
+              if (a.release != b.release) return a.release < b.release;
+              return a.function < b.function;
+            });
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    calls[i].id = static_cast<CallId>(i);
+  }
+  Scenario s;
+  s.calls = std::move(calls);
+  s.window = window;
+  return s;
+}
+
+Scenario ScenarioGenerator::uniform_burst(int cores, int intensity,
+                                          sim::Rng& rng,
+                                          sim::SimTime window) const {
+  WHISK_CHECK(cores > 0, "cores must be positive");
+  WHISK_CHECK(intensity > 0, "intensity must be positive");
+  // 1.1 * c * v requests over nf functions -> 0.1 * c * v calls per function
+  // for the 11-function SeBS catalog (paper Sec. V-B).
+  const std::size_t nf = catalog_->size();
+  const std::size_t total =
+      static_cast<std::size_t>(1.1 * cores * intensity + 0.5);
+  const std::size_t per_function = total / nf;
+  WHISK_CHECK(per_function * nf == total,
+              "intensity/core combination does not split evenly across "
+              "functions; use multiples of 10 as the paper does");
+
+  std::vector<CallRequest> calls;
+  calls.reserve(total);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::size_t k = 0; k < per_function; ++k) {
+      calls.push_back(CallRequest{-1, static_cast<FunctionId>(f),
+                                  rng.uniform(0.0, window)});
+    }
+  }
+  return finalize(std::move(calls), window);
+}
+
+Scenario ScenarioGenerator::fixed_total_burst(std::size_t total_requests,
+                                              sim::Rng& rng,
+                                              sim::SimTime window) const {
+  WHISK_CHECK(total_requests > 0, "empty burst");
+  const std::size_t nf = catalog_->size();
+  std::vector<CallRequest> calls;
+  calls.reserve(total_requests);
+  for (std::size_t i = 0; i < total_requests; ++i) {
+    calls.push_back(CallRequest{-1, static_cast<FunctionId>(i % nf),
+                                rng.uniform(0.0, window)});
+  }
+  return finalize(std::move(calls), window);
+}
+
+Scenario ScenarioGenerator::fairness_burst(int cores, int intensity,
+                                           FunctionId rare_function,
+                                           std::size_t rare_calls,
+                                           sim::Rng& rng,
+                                           sim::SimTime window) const {
+  const std::size_t total =
+      static_cast<std::size_t>(1.1 * cores * intensity + 0.5);
+  WHISK_CHECK(rare_calls <= total, "more rare calls than total requests");
+  catalog_->spec(rare_function);  // bounds check
+
+  std::vector<CallRequest> calls;
+  calls.reserve(total);
+  for (std::size_t k = 0; k < rare_calls; ++k) {
+    calls.push_back(
+        CallRequest{-1, rare_function, rng.uniform(0.0, window)});
+  }
+  // Remaining calls: uniformly random over the other functions (the paper
+  // drops the equal-counts assumption here).
+  const std::size_t nf = catalog_->size();
+  for (std::size_t k = rare_calls; k < total; ++k) {
+    FunctionId f;
+    do {
+      f = static_cast<FunctionId>(rng.uniform_index(nf));
+    } while (f == rare_function);
+    calls.push_back(CallRequest{-1, f, rng.uniform(0.0, window)});
+  }
+  return finalize(std::move(calls), window);
+}
+
+}  // namespace whisk::workload

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+#include "workload/function.h"
+
+namespace whisk::workload {
+
+using CallId = std::int64_t;
+
+// A single end-user request in a test scenario: function f(i) is invoked at
+// client release time r(i).
+struct CallRequest {
+  CallId id = -1;
+  FunctionId function = kInvalidFunction;
+  sim::SimTime release = 0.0;  // r(i), seconds from experiment start
+};
+
+// A full test scenario: the measured burst (paper Sec. V-A). Requests are
+// sorted by release time.
+struct Scenario {
+  std::vector<CallRequest> calls;
+  sim::SimTime window = 60.0;  // burst duration
+
+  [[nodiscard]] std::size_t size() const { return calls.size(); }
+};
+
+// Generators for the paper's scenarios. All draws come from the provided
+// Rng, so a (seed, parameters) pair fully determines the call sequence —
+// the paper's "5 different random sequences of calls" are seeds 0..4.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(const FunctionCatalog& catalog)
+      : catalog_(&catalog) {}
+
+  // The standard burst (Sec. V-B): intensity v and c CPU cores yield exactly
+  // 1.1 * c * v requests, the same number of calls per function, all release
+  // times uniform in the 60 s window.
+  [[nodiscard]] Scenario uniform_burst(int cores, int intensity,
+                                       sim::Rng& rng,
+                                       sim::SimTime window = 60.0) const;
+
+  // A burst with an explicit total request count, split equally among the
+  // functions (used by the multi-node experiments: 1320 or 2376 requests
+  // regardless of the number of worker VMs, Sec. VIII).
+  [[nodiscard]] Scenario fixed_total_burst(std::size_t total_requests,
+                                           sim::Rng& rng,
+                                           sim::SimTime window = 60.0) const;
+
+  // The fairness scenario (Sec. VII-D): exactly `rare_calls` calls of
+  // `rare_function`; the remaining requests drawn uniformly at random from
+  // the other functions (no partial-uniformity assumption).
+  [[nodiscard]] Scenario fairness_burst(int cores, int intensity,
+                                        FunctionId rare_function,
+                                        std::size_t rare_calls,
+                                        sim::Rng& rng,
+                                        sim::SimTime window = 60.0) const;
+
+ private:
+  [[nodiscard]] Scenario finalize(std::vector<CallRequest> calls,
+                                  sim::SimTime window) const;
+
+  const FunctionCatalog* catalog_;
+};
+
+}  // namespace whisk::workload

@@ -1,0 +1,167 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/scenario.h"
+
+namespace whisk::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : catalog_(workload::sebs_catalog()), gen_(catalog_) {}
+
+  workload::FunctionCatalog catalog_;
+  workload::ScenarioGenerator gen_;
+};
+
+TEST_F(ClusterTest, CompletesEveryCall) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  Cluster cluster(engine, catalog_, params, 1);
+  cluster.warmup();
+  sim::Rng rng(1);
+  const auto scenario = gen_.uniform_burst(5, 30, rng);
+  cluster.run_scenario(scenario);
+  engine.run();
+  EXPECT_EQ(cluster.collector().size(), scenario.size());
+  EXPECT_EQ(cluster.total_stats().calls_completed, scenario.size());
+}
+
+TEST_F(ClusterTest, ResponseIncludesNetworkPath) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 2;
+  params.client_to_controller_s = 0.002;
+  params.controller_to_invoker_s = 0.003;
+  params.response_return_s = 0.004;
+  Cluster cluster(engine, catalog_, params, 1);
+  cluster.warmup();
+  workload::Scenario s;
+  s.calls.push_back(
+      workload::CallRequest{0, *catalog_.find("graph-bfs"), 0.0});
+  cluster.run_scenario(s);
+  engine.run();
+  const auto& rec = cluster.collector().records().at(0);
+  // r'(i) = release + client->controller + controller->invoker.
+  EXPECT_NEAR(rec.received - rec.release, 0.005, 1e-9);
+  // c(i) >= exec_end + return path.
+  EXPECT_GE(rec.completion - rec.exec_end, 0.004 - 1e-9);
+}
+
+TEST_F(ClusterTest, IdleResponseMatchesTableOneOverhead) {
+  // On an idle warmed node the end-to-end overhead on top of the service
+  // time is ~10 ms (the paper's Table I note).
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 4;
+  Cluster cluster(engine, catalog_, params, 3);
+  cluster.warmup();
+  workload::Scenario s;
+  s.calls.push_back(
+      workload::CallRequest{0, *catalog_.find("graph-bfs"), 0.0});
+  cluster.run_scenario(s);
+  engine.run();
+  const auto& rec = cluster.collector().records().at(0);
+  const double overhead = rec.response() - rec.service;
+  EXPECT_GT(overhead, 0.005);
+  EXPECT_LT(overhead, 0.05);
+}
+
+TEST_F(ClusterTest, MultiNodeSpreadsCalls) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.num_nodes = 4;
+  params.node.cores = 5;
+  params.balancer = BalancerKind::kRoundRobin;
+  Cluster cluster(engine, catalog_, params, 2);
+  cluster.warmup();
+  sim::Rng rng(2);
+  const auto scenario = gen_.fixed_total_burst(220, rng);
+  cluster.run_scenario(scenario);
+  engine.run();
+  std::set<int> nodes;
+  for (const auto& rec : cluster.collector().records()) {
+    nodes.insert(rec.node);
+  }
+  EXPECT_EQ(nodes.size(), 4u) << "round-robin uses every worker";
+  EXPECT_EQ(cluster.num_nodes(), 4u);
+}
+
+TEST_F(ClusterTest, RoundRobinBalancesEvenly) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.num_nodes = 2;
+  params.node.cores = 5;
+  Cluster cluster(engine, catalog_, params, 2);
+  cluster.warmup();
+  sim::Rng rng(3);
+  const auto scenario = gen_.fixed_total_burst(200, rng);
+  cluster.run_scenario(scenario);
+  engine.run();
+  int node0 = 0;
+  for (const auto& rec : cluster.collector().records()) {
+    if (rec.node == 0) ++node0;
+  }
+  EXPECT_EQ(node0, 100);
+}
+
+TEST_F(ClusterTest, BaselineApproachUsesBaselineInvoker) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.approach = Approach::kBaseline;
+  Cluster cluster(engine, catalog_, params, 1);
+  EXPECT_EQ(cluster.invoker(0).approach(), "baseline");
+}
+
+TEST_F(ClusterTest, OurApproachUsesOurInvoker) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.approach = Approach::kOurs;
+  params.policy = core::PolicyKind::kSept;
+  Cluster cluster(engine, catalog_, params, 1);
+  EXPECT_EQ(cluster.invoker(0).approach(), "our");
+}
+
+TEST_F(ClusterTest, DeterministicAcrossRuns) {
+  auto run_once = [&](std::uint64_t seed) {
+    sim::Engine engine;
+    ClusterParams params;
+    params.node.cores = 5;
+    Cluster cluster(engine, catalog_, params, seed);
+    cluster.warmup();
+    sim::Rng rng(seed);
+    const auto scenario = gen_.uniform_burst(5, 30, rng);
+    cluster.run_scenario(scenario);
+    engine.run();
+    double sum = 0.0;
+    for (double r : cluster.collector().response_times()) sum += r;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST_F(ClusterTest, TotalStatsAggregateAcrossNodes) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.num_nodes = 3;
+  params.node.cores = 5;
+  Cluster cluster(engine, catalog_, params, 4);
+  cluster.warmup();
+  sim::Rng rng(4);
+  const auto scenario = gen_.fixed_total_burst(330, rng);
+  cluster.run_scenario(scenario);
+  engine.run();
+  const auto stats = cluster.total_stats();
+  EXPECT_EQ(stats.calls_received, 330u);
+  EXPECT_EQ(stats.calls_completed, 330u);
+  EXPECT_EQ(stats.warm_starts + stats.prewarm_starts + stats.cold_starts,
+            330u);
+}
+
+}  // namespace
+}  // namespace whisk::cluster

@@ -1,0 +1,109 @@
+#include "cluster/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "node/our_invoker.h"
+#include "sim/engine.h"
+
+namespace whisk::cluster {
+namespace {
+
+// A small fixture that builds real invokers (the balancer interface takes
+// Invoker*), optionally loading some of them with calls.
+class BalancerTest : public ::testing::Test {
+ protected:
+  BalancerTest() : catalog_(workload::sebs_catalog()) {
+    for (int i = 0; i < 4; ++i) {
+      node::NodeParams p;
+      p.cores = 2;
+      invokers_.push_back(std::make_unique<node::OurInvoker>(
+          engine_, catalog_, p, sim::Rng(i),
+          [](const metrics::CallRecord&) {}, core::PolicyKind::kFifo));
+      invokers_.back()->warmup();
+      ptrs_.push_back(invokers_.back().get());
+    }
+  }
+
+  void load_node(std::size_t idx, int calls) {
+    const auto sleep = *catalog_.find("sleep");
+    for (int k = 0; k < calls; ++k) {
+      ptrs_[idx]->submit(workload::CallRequest{k, sleep, 0.0});
+    }
+  }
+
+  workload::CallRequest call(workload::FunctionId fn = 0) const {
+    return workload::CallRequest{0, fn, 0.0};
+  }
+
+  sim::Engine engine_;
+  workload::FunctionCatalog catalog_;
+  std::vector<std::unique_ptr<node::Invoker>> invokers_;
+  std::vector<node::Invoker*> ptrs_;
+};
+
+TEST_F(BalancerTest, RoundRobinCycles) {
+  auto b = make_balancer(BalancerKind::kRoundRobin);
+  EXPECT_EQ(b->pick(call(), ptrs_), 0u);
+  EXPECT_EQ(b->pick(call(), ptrs_), 1u);
+  EXPECT_EQ(b->pick(call(), ptrs_), 2u);
+  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+  EXPECT_EQ(b->pick(call(), ptrs_), 0u);
+}
+
+TEST_F(BalancerTest, RoundRobinIgnoresFunction) {
+  auto b = make_balancer(BalancerKind::kRoundRobin);
+  EXPECT_EQ(b->pick(call(3), ptrs_), 0u);
+  EXPECT_EQ(b->pick(call(3), ptrs_), 1u);
+}
+
+TEST_F(BalancerTest, HomeInvokerIsFunctionSticky) {
+  auto b = make_balancer(BalancerKind::kHomeInvoker);
+  const auto first = b->pick(call(5), ptrs_);
+  const auto second = b->pick(call(5), ptrs_);
+  EXPECT_EQ(first, second) << "same function lands on its home while idle";
+  EXPECT_EQ(first, 5u % ptrs_.size());
+}
+
+TEST_F(BalancerTest, HomeInvokerOverflowsWhenHomeBusy) {
+  auto b = make_balancer(BalancerKind::kHomeInvoker);
+  const std::size_t home = 1u;  // function 5 % 4 == 1
+  load_node(home, 10);          // well beyond 2 * cores
+  const auto got = b->pick(call(5), ptrs_);
+  EXPECT_NE(got, home);
+}
+
+TEST_F(BalancerTest, LeastLoadedPicksEmptiestNode) {
+  auto b = make_balancer(BalancerKind::kLeastLoaded);
+  load_node(0, 3);
+  load_node(1, 1);
+  load_node(2, 5);
+  // Node 3 untouched.
+  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+}
+
+TEST_F(BalancerTest, LeastLoadedBreaksTiesByIndex) {
+  auto b = make_balancer(BalancerKind::kLeastLoaded);
+  EXPECT_EQ(b->pick(call(), ptrs_), 0u);
+}
+
+TEST_F(BalancerTest, AllBalancersReturnValidIndices) {
+  for (const auto kind :
+       {BalancerKind::kRoundRobin, BalancerKind::kHomeInvoker,
+        BalancerKind::kLeastLoaded}) {
+    auto b = make_balancer(kind);
+    for (int i = 0; i < 32; ++i) {
+      const auto idx =
+          b->pick(call(static_cast<workload::FunctionId>(i % 11)), ptrs_);
+      ASSERT_LT(idx, ptrs_.size()) << to_string(kind);
+    }
+  }
+}
+
+TEST(BalancerNames, ToString) {
+  EXPECT_EQ(to_string(BalancerKind::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(BalancerKind::kHomeInvoker), "home-invoker");
+  EXPECT_EQ(to_string(BalancerKind::kLeastLoaded), "least-loaded");
+}
+
+}  // namespace
+}  // namespace whisk::cluster

@@ -1,0 +1,173 @@
+#include "container/docker_daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whisk::container {
+namespace {
+
+TEST(DockerDaemon, RunsSubmittedOp) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  double done_at = -1.0;
+  d.submit(0.5, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.5);
+  EXPECT_EQ(d.ops_completed(), 1u);
+}
+
+TEST(DockerDaemon, OpsSerialize) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  std::vector<double> done;
+  d.submit(1.0, [&] { done.push_back(e.now()); });
+  d.submit(2.0, [&] { done.push_back(e.now()); });
+  d.submit(0.5, [&] { done.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 3.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.5);
+}
+
+TEST(DockerDaemon, UrgentOpsJumpQueuedNormalOps) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  std::vector<int> order;
+  d.submit(1.0, [&] { order.push_back(0); });           // in progress
+  d.submit(1.0, [&] { order.push_back(1); });           // queued normal
+  d.submit(1.0, [&] { order.push_back(2); }, true);     // urgent
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(DockerDaemon, UrgentDoesNotPreemptInProgressOp) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  std::vector<double> done;
+  d.submit(2.0, [&] { done.push_back(e.now()); });
+  e.schedule_at(0.5, [&] { d.submit(0.1, [&] { done.push_back(e.now()); },
+                                    true); });
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.1);
+}
+
+TEST(DockerDaemon, UrgentOpsKeepFifoAmongThemselves) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  std::vector<int> order;
+  d.submit(1.0, [&] { order.push_back(0); });
+  d.submit(0.1, [&] { order.push_back(1); }, true);
+  d.submit(0.1, [&] { order.push_back(2); }, true);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DockerDaemon, LoadFactorStretchesOps) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  d.set_load_factor([] { return 3.0; });
+  double done_at = -1.0;
+  d.submit(1.0, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(DockerDaemon, LoadFactorBelowOneClamped) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  d.set_load_factor([] { return 0.25; });
+  double done_at = -1.0;
+  d.submit(1.0, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(done_at, 1.0) << "factor is never below 1";
+}
+
+TEST(DockerDaemon, LoadFactorEvaluatedAtOpStart) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  double factor = 1.0;
+  d.set_load_factor([&] { return factor; });
+  std::vector<double> done;
+  d.submit(1.0, [&] { done.push_back(e.now()); });
+  d.submit(1.0, [&] { done.push_back(e.now()); });
+  // Raise the strain while the first op is running: only the second op
+  // (which starts later) is affected.
+  e.schedule_at(0.5, [&] { factor = 2.0; });
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 3.0);
+}
+
+TEST(DockerDaemon, OpsSubmittedFromCallbacksRun) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  std::vector<double> done;
+  d.submit(1.0, [&] {
+    done.push_back(e.now());
+    d.submit(1.0, [&] { done.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(DockerDaemon, TelemetryCounters) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  d.submit(1.0, [] {});
+  d.submit(2.0, [] {});
+  d.submit(3.0, [] {});
+  EXPECT_EQ(d.queue_length(), 2u);
+  EXPECT_TRUE(d.busy());
+  EXPECT_EQ(d.max_queue_length(), 2u);
+  e.run();
+  EXPECT_EQ(d.ops_completed(), 3u);
+  EXPECT_FALSE(d.busy());
+  EXPECT_DOUBLE_EQ(d.busy_seconds(), 6.0);
+}
+
+TEST(DockerDaemon, ZeroDurationOpCompletesInstantly) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  bool done = false;
+  d.submit(0.0, [&] { done = true; });
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.now(), 0.0);
+}
+
+TEST(DockerDaemonDeath, NegativeDurationAborts) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  EXPECT_DEATH(d.submit(-1.0, [] {}), "negative");
+}
+
+// Property: total busy time equals the sum of submitted durations when the
+// load factor is 1, for arbitrary op mixes.
+class DaemonBusyTime : public ::testing::TestWithParam<int> {};
+
+TEST_P(DaemonBusyTime, BusySecondsEqualSumOfDurations) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  double total = 0.0;
+  unsigned state = static_cast<unsigned>(GetParam()) + 99u;
+  for (int i = 0; i < 50; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double dur = static_cast<double>(state % 100) / 100.0;
+    d.submit(dur, [] {}, (state & 1) != 0);
+    total += dur;
+  }
+  e.run();
+  EXPECT_NEAR(d.busy_seconds(), total, 1e-9);
+  EXPECT_EQ(d.ops_completed(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, DaemonBusyTime, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace whisk::container

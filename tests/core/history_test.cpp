@@ -1,0 +1,143 @@
+#include "core/history.h"
+
+#include <gtest/gtest.h>
+
+namespace whisk::core {
+namespace {
+
+TEST(History, UnknownFunctionHasZeroEstimate) {
+  RuntimeHistory h(10);
+  // "If a function has never been executed, we set its estimated execution
+  // time to 0" (paper Sec. IV-B).
+  EXPECT_EQ(h.expected_runtime(3), 0.0);
+  EXPECT_EQ(h.samples(3), 0u);
+}
+
+TEST(History, SingleSampleIsTheEstimate) {
+  RuntimeHistory h(10);
+  h.record_runtime(1, 2.5, 0.0);
+  EXPECT_DOUBLE_EQ(h.expected_runtime(1), 2.5);
+}
+
+TEST(History, AveragesRecentSamples) {
+  RuntimeHistory h(10);
+  h.record_runtime(1, 1.0, 0.0);
+  h.record_runtime(1, 2.0, 1.0);
+  h.record_runtime(1, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.expected_runtime(1), 2.0);
+}
+
+TEST(History, WindowDropsOldSamples) {
+  RuntimeHistory h(3);
+  h.record_runtime(1, 100.0, 0.0);
+  h.record_runtime(1, 1.0, 1.0);
+  h.record_runtime(1, 1.0, 2.0);
+  h.record_runtime(1, 1.0, 3.0);
+  // The 100.0 sample fell out of the 3-sample window.
+  EXPECT_DOUBLE_EQ(h.expected_runtime(1), 1.0);
+}
+
+TEST(History, TenSampleWindowMatchesPaper) {
+  RuntimeHistory h;  // default window
+  EXPECT_EQ(h.window(), 10u);
+  for (int i = 0; i < 20; ++i) {
+    h.record_runtime(2, static_cast<double>(i), static_cast<double>(i));
+  }
+  // Average of the last 10 values (10..19) = 14.5.
+  EXPECT_DOUBLE_EQ(h.expected_runtime(2), 14.5);
+  EXPECT_EQ(h.samples(2), 10u);
+}
+
+TEST(History, FunctionsAreIndependent) {
+  RuntimeHistory h(10);
+  h.record_runtime(1, 1.0, 0.0);
+  h.record_runtime(2, 9.0, 0.0);
+  EXPECT_DOUBLE_EQ(h.expected_runtime(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.expected_runtime(2), 9.0);
+}
+
+TEST(History, PreviousArrivalDefaultsToZero) {
+  RuntimeHistory h(10);
+  EXPECT_EQ(h.previous_arrival(1), 0.0);
+}
+
+TEST(History, PreviousArrivalTracksLastRecord) {
+  RuntimeHistory h(10);
+  h.record_arrival(1, 5.0);
+  EXPECT_DOUBLE_EQ(h.previous_arrival(1), 5.0);
+  h.record_arrival(1, 7.5);
+  EXPECT_DOUBLE_EQ(h.previous_arrival(1), 7.5);
+  EXPECT_EQ(h.previous_arrival(2), 0.0);
+}
+
+TEST(History, CompletionsWithinWindow) {
+  RuntimeHistory h(10);
+  h.record_runtime(1, 0.1, 10.0);
+  h.record_runtime(1, 0.1, 30.0);
+  h.record_runtime(1, 0.1, 50.0);
+  // At t=60 with T=60: completions at 10, 30, 50 are >= 0 -> all 3.
+  EXPECT_EQ(h.completions_within(1, 60.0, 60.0), 3u);
+  // At t=80 with T=60: completions at 30 and 50 remain.
+  EXPECT_EQ(h.completions_within(1, 60.0, 80.0), 2u);
+  // At t=120 with T=60: only the one at 50... 120-60=60 > 50 -> none.
+  EXPECT_EQ(h.completions_within(1, 60.0, 120.0), 0u);
+}
+
+TEST(History, CompletionsWindowPerFunction) {
+  RuntimeHistory h(10);
+  h.record_runtime(1, 0.1, 10.0);
+  h.record_runtime(2, 0.1, 10.0);
+  h.record_runtime(2, 0.1, 11.0);
+  EXPECT_EQ(h.completions_within(1, 60.0, 20.0), 1u);
+  EXPECT_EQ(h.completions_within(2, 60.0, 20.0), 2u);
+  EXPECT_EQ(h.completions_within(3, 60.0, 20.0), 0u);
+}
+
+TEST(History, CompletionsCountBeyondRuntimeWindow) {
+  // The FC count #(f, -T) counts *all* completions in the sliding time
+  // window, not just those still inside the 10-sample runtime window.
+  RuntimeHistory h(2);
+  for (int i = 0; i < 30; ++i) {
+    h.record_runtime(1, 0.1, static_cast<double>(i));
+  }
+  EXPECT_EQ(h.completions_within(1, 60.0, 30.0), 30u);
+  EXPECT_EQ(h.samples(1), 2u);
+}
+
+TEST(HistoryDeath, NegativeRuntimeAborts) {
+  RuntimeHistory h(10);
+  EXPECT_DEATH(h.record_runtime(1, -1.0, 0.0), "negative");
+}
+
+TEST(HistoryDeath, OutOfOrderCompletionsAbort) {
+  RuntimeHistory h(10);
+  h.record_runtime(1, 0.1, 10.0);
+  EXPECT_DEATH(h.record_runtime(1, 0.1, 5.0), "order");
+}
+
+// Property: the estimate always lies within [min, max] of the recorded
+// samples in the window.
+class HistoryBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistoryBounds, EstimateWithinSampleRange) {
+  RuntimeHistory h(10);
+  unsigned state = static_cast<unsigned>(GetParam()) * 31u + 17u;
+  double lo = 1e30, hi = 0.0;
+  std::vector<double> window;
+  for (int i = 0; i < 40; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double r = 0.01 + static_cast<double>(state % 1000) / 100.0;
+    h.record_runtime(1, r, static_cast<double>(i));
+    window.push_back(r);
+    if (window.size() > 10) window.erase(window.begin());
+    lo = *std::min_element(window.begin(), window.end());
+    hi = *std::max_element(window.begin(), window.end());
+    ASSERT_GE(h.expected_runtime(1), lo - 1e-12);
+    ASSERT_LE(h.expected_runtime(1), hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistoryBounds, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace whisk::core

@@ -1,0 +1,259 @@
+// End-to-end reproduction tests: assert the *shapes* of the paper's
+// results (who wins, rough factors, crossovers) rather than absolute
+// numbers. These are the contract of the whole library; see EXPERIMENTS.md
+// for the full measured-vs-paper record.
+//
+// To keep test time low the shapes are checked with 2 seeds; the bench
+// binaries run the full 5-seed versions.
+#include <gtest/gtest.h>
+
+#include "experiments/paper_data.h"
+#include "experiments/runner.h"
+#include "util/stats.h"
+
+namespace whisk::experiments {
+namespace {
+
+class Reproduction : public ::testing::Test {
+ protected:
+  static constexpr int kReps = 2;
+
+  util::Summary responses(int cores, int intensity, const Scheduler& sched) {
+    ExperimentConfig cfg;
+    cfg.cores = cores;
+    cfg.intensity = intensity;
+    cfg.scheduler = sched;
+    const auto runs = run_repetitions(cfg, cat_, kReps);
+    return util::summarize(pooled_responses(runs));
+  }
+
+  static Scheduler ours(core::PolicyKind policy) {
+    return {cluster::Approach::kOurs, policy};
+  }
+  static Scheduler baseline() {
+    return {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
+  }
+
+  workload::FunctionCatalog cat_ = workload::sebs_catalog();
+};
+
+TEST_F(Reproduction, Table1_IdleMediansTrackPaper) {
+  for (const auto& spec : cat_.specs()) {
+    const auto rs = run_idle_function_benchmark(cat_, spec.id, 50, 7);
+    const double median_ms = util::percentile(rs, 50.0) * 1000.0;
+    // Within 20% + 5 ms of the paper's client-side median.
+    EXPECT_NEAR(median_ms, spec.median_ms, 0.2 * spec.median_ms + 5.0)
+        << spec.name;
+  }
+}
+
+TEST_F(Reproduction, Fig2a_BaselineColdStartsScaleWithIntensityNotMemory) {
+  auto colds = [&](int intensity, double memory_mb) {
+    ExperimentConfig cfg;
+    cfg.cores = 10;
+    cfg.intensity = intensity;
+    cfg.memory_mb = memory_mb;
+    cfg.scheduler = baseline();
+    const auto run = run_experiment(cfg, cat_);
+    return run.stats.cold_starts;
+  };
+  const auto at32 = colds(120, 32.0 * 1024.0);
+  const auto at128 = colds(120, 128.0 * 1024.0);
+  // Paper: >1100 of 1320 requests cold at intensity 120, with almost no
+  // dependency on memory.
+  EXPECT_GT(at32, 800u);
+  EXPECT_GT(at128, 800u);
+  const double rel = std::abs(static_cast<double>(at32) -
+                              static_cast<double>(at128)) /
+                     static_cast<double>(at32);
+  EXPECT_LT(rel, 0.35) << "memory size barely matters for the baseline";
+  // Intensity matters a lot.
+  EXPECT_GT(colds(120, 32.0 * 1024.0), colds(60, 32.0 * 1024.0));
+}
+
+TEST_F(Reproduction, Fig2b_OurColdStartsVanishWithMemory) {
+  auto colds = [&](double memory_mb) {
+    ExperimentConfig cfg;
+    cfg.cores = 10;
+    cfg.intensity = 120;
+    cfg.memory_mb = memory_mb;
+    cfg.scheduler = ours(core::PolicyKind::kFifo);
+    const auto run = run_experiment(cfg, cat_);
+    return run.stats.cold_starts;
+  };
+  const auto tiny = colds(2.0 * 1024.0);
+  const auto small = colds(8.0 * 1024.0);
+  const auto ample = colds(32.0 * 1024.0);
+  const auto huge = colds(128.0 * 1024.0);
+  EXPECT_GT(tiny, 100u) << "2 GiB thrashes";
+  EXPECT_GT(tiny, small) << "cold starts fall as memory grows";
+  EXPECT_LT(ample, 20u) << "32 GiB: warm-up set never evicted";
+  EXPECT_EQ(huge, ample) << "beyond 32 GiB nothing changes";
+}
+
+TEST_F(Reproduction, Table2_CompletionRatioCrossesOneWithCores) {
+  auto ratio = [&](int cores, int intensity) {
+    ExperimentConfig cfg;
+    cfg.cores = cores;
+    cfg.intensity = intensity;
+    cfg.scheduler = ours(core::PolicyKind::kFifo);
+    const auto fifo = run_repetitions(cfg, cat_, kReps);
+    cfg.scheduler = baseline();
+    const auto base = run_repetitions(cfg, cat_, kReps);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+      sum += fifo[i].max_completion / base[i].max_completion;
+    }
+    return sum / static_cast<double>(fifo.size());
+  };
+  // Paper Table II: FIFO slower than baseline at 5 cores / intensity 30
+  // (1.14-1.20), much faster at 20 cores (0.55-0.78).
+  EXPECT_GT(ratio(5, 30), 1.0);
+  EXPECT_LT(ratio(20, 30), 0.85);
+  EXPECT_LT(ratio(20, 120), 0.75);
+}
+
+TEST_F(Reproduction, Fig3_SeptAndFcBeatFifoSeveralFold) {
+  // Paper Sec. VII-A: average relative response-time improvement of SEPT
+  // over FIFO is 3.59 and of FC is 4.10. Require at least 2x at the
+  // intermediate configuration.
+  const auto fifo = responses(10, 60, ours(core::PolicyKind::kFifo));
+  const auto sept = responses(10, 60, ours(core::PolicyKind::kSept));
+  const auto fc = responses(10, 60, ours(core::PolicyKind::kFc));
+  EXPECT_GT(fifo.mean / sept.mean, 2.0);
+  EXPECT_GT(fifo.mean / fc.mean, 2.0);
+  // Medians collapse even harder (paper: 95.9x at intensity 60).
+  EXPECT_GT(fifo.p50 / sept.p50, 10.0);
+}
+
+TEST_F(Reproduction, Fig3_EectAndRectSitBetweenFifoAndSept) {
+  const auto fifo = responses(10, 60, ours(core::PolicyKind::kFifo));
+  const auto eect = responses(10, 60, ours(core::PolicyKind::kEect));
+  const auto rect = responses(10, 60, ours(core::PolicyKind::kRect));
+  const auto sept = responses(10, 60, ours(core::PolicyKind::kSept));
+  EXPECT_LT(eect.mean, fifo.mean);
+  EXPECT_LT(rect.mean, fifo.mean);
+  EXPECT_GT(eect.mean, sept.mean);
+  EXPECT_GT(rect.mean, sept.mean);
+}
+
+TEST_F(Reproduction, Fig3_BaselineBeatsOurFifoAtLowScaleOnly) {
+  // The paper's improvement factor at 10 cores/intensity 30 is 0.41 (the
+  // baseline is better); at 20 cores the baseline loses (factor 1.79-1.98).
+  const auto base_low = responses(10, 30, baseline());
+  const auto fifo_low = responses(10, 30, ours(core::PolicyKind::kFifo));
+  EXPECT_LT(base_low.mean, fifo_low.mean);
+
+  const auto base_high = responses(20, 40, baseline());
+  const auto fifo_high = responses(20, 40, ours(core::PolicyKind::kFifo));
+  EXPECT_GT(base_high.mean / fifo_high.mean, 1.2);
+}
+
+TEST_F(Reproduction, Fig3_FifoImprovementGrowsWithIntensity) {
+  // Paper Sec. VII-B: with 20 CPUs the baseline-to-FIFO ratio stays ~1.8-2
+  // across intensities; the absolute gap widens.
+  const auto base40 = responses(20, 40, baseline());
+  const auto fifo40 = responses(20, 40, ours(core::PolicyKind::kFifo));
+  const auto base120 = responses(20, 120, baseline());
+  const auto fifo120 = responses(20, 120, ours(core::PolicyKind::kFifo));
+  EXPECT_GT(base40.mean, fifo40.mean);
+  EXPECT_GT(base120.mean, fifo120.mean);
+  EXPECT_GT(base120.mean - fifo120.mean, base40.mean - fifo40.mean);
+}
+
+TEST_F(Reproduction, Fig4_StretchImprovementIsLargerThanResponse) {
+  // Paper: stretch improvements (14.9x SEPT, 18x FC vs FIFO) exceed the
+  // response improvements because short calls dominate the stretch.
+  ExperimentConfig cfg;
+  cfg.cores = 10;
+  cfg.intensity = 60;
+  cfg.scheduler = ours(core::PolicyKind::kFifo);
+  const auto fifo = util::summarize(
+      pooled_stretches(run_repetitions(cfg, cat_, kReps)));
+  cfg.scheduler = ours(core::PolicyKind::kSept);
+  const auto sept = util::summarize(
+      pooled_stretches(run_repetitions(cfg, cat_, kReps)));
+  EXPECT_GT(fifo.mean / sept.mean, 5.0);
+}
+
+TEST_F(Reproduction, Fig4_SeptKeepsShortCallsNearIdleLatency) {
+  // Under SEPT the median response stays near ~1-3 s even under heavy
+  // overload (paper: 1.07 s at 10 cores / intensity 60).
+  const auto sept = responses(10, 60, ours(core::PolicyKind::kSept));
+  EXPECT_LT(sept.p50, 6.0);
+}
+
+TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
+  const auto dna = *cat_.find("dna-visualisation");
+  auto dna_stretch = [&](core::PolicyKind policy) {
+    ExperimentConfig cfg;
+    cfg.cores = 10;
+    cfg.intensity = 90;
+    cfg.scenario = ScenarioKind::kFairness;
+    cfg.scheduler = ours(policy);
+    const auto runs = run_repetitions(cfg, cat_, kReps);
+    std::vector<double> pool;
+    for (const auto& run : runs) {
+      for (const auto& rec : run.records) {
+        if (rec.function == dna) {
+          pool.push_back(rec.response() / cat_.reference_median(dna));
+        }
+      }
+    }
+    return util::summarize(pool);
+  };
+  const auto sept = dna_stretch(core::PolicyKind::kSept);
+  const auto fc = dna_stretch(core::PolicyKind::kFc);
+  // FC treats the rare long function much better than SEPT (paper: avg
+  // stretch 5.3 -> 2.1, median 5.2 -> 1.6). Our reproduction preserves the
+  // direction and a several-fold margin; the absolute median lands higher
+  // than the paper's 1.6 (see EXPERIMENTS.md, Fig. 5 notes).
+  EXPECT_LT(fc.mean, 0.8 * sept.mean);
+  EXPECT_LT(fc.p50, 0.8 * sept.p50);
+  EXPECT_LT(fc.p50, 15.0);
+}
+
+TEST_F(Reproduction, Fig6_FcOnThreeNodesBeatsBaselineOnFour) {
+  auto multi = [&](int nodes, bool use_baseline) {
+    ExperimentConfig cfg;
+    cfg.cores = 18;
+    cfg.num_nodes = nodes;
+    cfg.scenario = ScenarioKind::kFixedTotal;
+    cfg.fixed_total_requests = 2376;
+    cfg.scheduler = use_baseline ? baseline() : ours(core::PolicyKind::kFc);
+    const auto runs = run_repetitions(cfg, cat_, kReps);
+    return util::summarize(pooled_responses(runs));
+  };
+  const auto base4 = multi(4, true);
+  const auto fc3 = multi(3, false);
+  // The paper's headline: every reported statistic improves.
+  EXPECT_LT(fc3.mean, base4.mean);
+  EXPECT_LT(fc3.p75, base4.p75);
+  EXPECT_LT(fc3.p95, base4.p95);
+
+  // And FC-2 remains in the baseline-4 ballpark on average while clearly
+  // winning on p75 (paper: 58% / 93% reductions; our baseline-4 is less
+  // melted than the paper's, so the average margin is thinner).
+  const auto fc2 = multi(2, false);
+  EXPECT_LT(fc2.mean, base4.mean * 1.25);
+  EXPECT_LT(fc2.p75, base4.p75);
+}
+
+TEST_F(Reproduction, MultiNode_BaselineScalesWithNodes) {
+  auto avg = [&](int nodes) {
+    ExperimentConfig cfg;
+    cfg.cores = 10;
+    cfg.num_nodes = nodes;
+    cfg.scenario = ScenarioKind::kFixedTotal;
+    cfg.fixed_total_requests = 1320;
+    cfg.scheduler = baseline();
+    const auto runs = run_repetitions(cfg, cat_, kReps);
+    return util::summarize(pooled_responses(runs)).mean;
+  };
+  // More machines always help the baseline (Table V).
+  EXPECT_GT(avg(1), avg(2));
+  EXPECT_GT(avg(2), avg(4));
+}
+
+}  // namespace
+}  // namespace whisk::experiments

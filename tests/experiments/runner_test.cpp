@@ -1,0 +1,210 @@
+#include "experiments/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/paper_data.h"
+
+namespace whisk::experiments {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  workload::FunctionCatalog cat_ = workload::sebs_catalog();
+};
+
+TEST_F(RunnerTest, SchedulerLabels) {
+  EXPECT_EQ(
+      (Scheduler{cluster::Approach::kBaseline, core::PolicyKind::kFifo})
+          .label(),
+      "baseline");
+  EXPECT_EQ(
+      (Scheduler{cluster::Approach::kOurs, core::PolicyKind::kSept}).label(),
+      "SEPT");
+}
+
+TEST_F(RunnerTest, PaperSchedulersInFigureOrder) {
+  const auto& all = paper_schedulers();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].label(), "baseline");
+  EXPECT_EQ(all[1].label(), "FIFO");
+  EXPECT_EQ(all[2].label(), "SEPT");
+  EXPECT_EQ(all[3].label(), "EECT");
+  EXPECT_EQ(all[4].label(), "RECT");
+  EXPECT_EQ(all[5].label(), "FC");
+}
+
+TEST_F(RunnerTest, RunProducesOneRecordPerRequest) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.intensity = 30;
+  const auto run = run_experiment(cfg, cat_);
+  EXPECT_EQ(run.records.size(), 165u);
+  EXPECT_EQ(run.responses.size(), 165u);
+  EXPECT_EQ(run.stretches.size(), 165u);
+  EXPECT_GT(run.max_completion, 60.0);
+}
+
+TEST_F(RunnerTest, SameSeedIsReproducible) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.intensity = 30;
+  cfg.seed = 3;
+  const auto a = run_experiment(cfg, cat_);
+  const auto b = run_experiment(cfg, cat_);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.responses[i], b.responses[i]);
+  }
+}
+
+TEST_F(RunnerTest, SchedulersShareTheCallSequencePerSeed) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.intensity = 30;
+  cfg.seed = 2;
+  cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kFifo};
+  const auto fifo = run_experiment(cfg, cat_);
+  cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kSept};
+  const auto sept = run_experiment(cfg, cat_);
+  // Identical releases and functions per call id (the paper compares
+  // schedulers on the same 5 sequences).
+  ASSERT_EQ(fifo.records.size(), sept.records.size());
+  for (std::size_t i = 0; i < fifo.records.size(); ++i) {
+    const auto& a = fifo.records[i];
+    // Records arrive in completion order; match by id.
+    bool found = false;
+    for (const auto& b : sept.records) {
+      if (b.id == a.id) {
+        EXPECT_EQ(b.function, a.function);
+        EXPECT_DOUBLE_EQ(b.release, a.release);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+}
+
+TEST_F(RunnerTest, RepetitionsUseDistinctSeeds) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.intensity = 30;
+  const auto reps = run_repetitions(cfg, cat_, 3);
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_NE(reps[0].responses, reps[1].responses);
+  EXPECT_NE(reps[1].responses, reps[2].responses);
+}
+
+TEST_F(RunnerTest, PooledVectorsConcatenate) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.intensity = 30;
+  const auto reps = run_repetitions(cfg, cat_, 2);
+  EXPECT_EQ(pooled_responses(reps).size(), 330u);
+  EXPECT_EQ(pooled_stretches(reps).size(), 330u);
+}
+
+TEST_F(RunnerTest, NodeParamOverridesApply) {
+  ExperimentConfig cfg;
+  cfg.cores = 7;
+  cfg.memory_mb = 1234.0;
+  cfg.history_window = 5;
+  cfg.fc_window_s = 30.0;
+  cfg.context_switch_beta = 0.7;
+  cfg.strain_per_container = 0.02;
+  cfg.dispatch_daemon_gate = 9;
+  cfg.our_post_factor_loaded = 0.1;
+  const auto p = make_node_params(cfg);
+  EXPECT_EQ(p.cores, 7);
+  EXPECT_DOUBLE_EQ(p.memory_limit_mb, 1234.0);
+  EXPECT_EQ(p.history_window, 5u);
+  EXPECT_DOUBLE_EQ(p.policy.fc_window, 30.0);
+  EXPECT_DOUBLE_EQ(p.context_switch_beta, 0.7);
+  EXPECT_DOUBLE_EQ(p.strain_per_container, 0.02);
+  EXPECT_EQ(p.dispatch_daemon_gate, 9);
+  EXPECT_DOUBLE_EQ(p.our_post_factor_loaded, 0.1);
+}
+
+TEST_F(RunnerTest, DefaultsPreservedWithoutOverrides) {
+  ExperimentConfig cfg;
+  const auto p = make_node_params(cfg);
+  const node::NodeParams ref;
+  EXPECT_EQ(p.history_window, ref.history_window);
+  EXPECT_DOUBLE_EQ(p.policy.fc_window, ref.policy.fc_window);
+  EXPECT_DOUBLE_EQ(p.context_switch_beta, ref.context_switch_beta);
+  EXPECT_EQ(p.dispatch_daemon_gate, ref.dispatch_daemon_gate);
+}
+
+TEST_F(RunnerTest, FairnessScenarioHasRareFunction) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.intensity = 30;
+  cfg.scenario = ScenarioKind::kFairness;
+  cfg.fairness_rare_calls = 4;
+  const auto run = run_experiment(cfg, cat_);
+  const auto dna = *cat_.find("dna-visualisation");
+  int rare = 0;
+  for (const auto& rec : run.records) {
+    if (rec.function == dna) ++rare;
+  }
+  EXPECT_EQ(rare, 4);
+}
+
+TEST_F(RunnerTest, MultiNodeFixedTotal) {
+  ExperimentConfig cfg;
+  cfg.cores = 5;
+  cfg.num_nodes = 2;
+  cfg.scenario = ScenarioKind::kFixedTotal;
+  cfg.fixed_total_requests = 110;
+  const auto run = run_experiment(cfg, cat_);
+  EXPECT_EQ(run.records.size(), 110u);
+}
+
+TEST_F(RunnerTest, IdleBenchmarkHasRequestedCalls) {
+  const auto rs = run_idle_function_benchmark(
+      cat_, *cat_.find("graph-bfs"), 20, 1);
+  EXPECT_EQ(rs.size(), 20u);
+  for (double r : rs) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 0.1) << "idle graph-bfs responds in tens of milliseconds";
+  }
+}
+
+TEST(PaperData, TablesAreComplete) {
+  EXPECT_EQ(paper::table3().size(), 90u);  // 3 cores x 5 intensities x 6
+  EXPECT_EQ(paper::table2().size(), 15u);  // 3 cores x 5 intensities
+  EXPECT_EQ(paper::table5().size(), 16u);  // 2 series x 4 fleets x 2
+}
+
+TEST(PaperData, LookupsWork) {
+  const auto row = paper::find_single_node(10, 60, "SEPT");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ(row->r_avg, 25.14);
+  EXPECT_FALSE(paper::find_single_node(10, 60, "LIFO").has_value());
+  EXPECT_FALSE(paper::find_single_node(15, 60, "SEPT").has_value());
+
+  const auto ratio = paper::find_completion_ratio(20, 120);
+  ASSERT_TRUE(ratio.has_value());
+  EXPECT_DOUBLE_EQ(ratio->ratio_lo, 0.55);
+
+  const auto multi = paper::find_multi_node(3, 18, "FC");
+  ASSERT_TRUE(multi.has_value());
+  EXPECT_DOUBLE_EQ(multi->r_avg, 68.62);
+}
+
+TEST(PaperData, BaselineDegradesWithIntensityInPaper) {
+  // Internal consistency of the transcription: the paper's baseline average
+  // response grows monotonically with intensity at every core count.
+  for (int cores : {5, 10, 20}) {
+    double prev = 0.0;
+    for (int v : {30, 40, 60, 90, 120}) {
+      const auto row = paper::find_single_node(cores, v, "baseline");
+      ASSERT_TRUE(row.has_value());
+      EXPECT_GT(row->r_avg, prev);
+      prev = row->r_avg;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace whisk::experiments

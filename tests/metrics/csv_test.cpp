@@ -1,0 +1,57 @@
+#include "metrics/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace whisk::metrics {
+namespace {
+
+CallRecord sample_record(const workload::FunctionCatalog& cat) {
+  CallRecord r;
+  r.id = 7;
+  r.function = *cat.find("sleep");
+  r.node = 2;
+  r.release = 1.0;
+  r.received = 1.01;
+  r.exec_start = 1.02;
+  r.exec_end = 2.04;
+  r.completion = 2.05;
+  r.service = 1.02;
+  r.start_kind = StartKind::kCold;
+  return r;
+}
+
+TEST(Csv, HeaderOnlyForEmptyRecords) {
+  const auto cat = workload::sebs_catalog();
+  const std::string csv = to_csv({}, cat);
+  EXPECT_EQ(csv.find("id,function,node"), 0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+TEST(Csv, OneRowPerRecord) {
+  const auto cat = workload::sebs_catalog();
+  const std::string csv = to_csv({sample_record(cat), sample_record(cat)},
+                                 cat);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Csv, RowCarriesNameKindAndDerivedMetrics) {
+  const auto cat = workload::sebs_catalog();
+  const std::string csv = to_csv({sample_record(cat)}, cat);
+  EXPECT_NE(csv.find(",sleep,"), std::string::npos);
+  EXPECT_NE(csv.find(",cold,"), std::string::npos);
+  // response = 1.05 s; stretch = 1.05 / 1.022.
+  EXPECT_NE(csv.find("1.05,"), std::string::npos);
+}
+
+TEST(Csv, StreamAndStringAgree) {
+  const auto cat = workload::sebs_catalog();
+  const std::vector<CallRecord> recs = {sample_record(cat)};
+  std::ostringstream out;
+  write_csv(out, recs, cat);
+  EXPECT_EQ(out.str(), to_csv(recs, cat));
+}
+
+}  // namespace
+}  // namespace whisk::metrics

@@ -1,0 +1,174 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whisk::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameTimestampRunsInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(2.0, [&] {
+    e.schedule_in(3.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 0.0) << "cancelled events do not advance time";
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(12345));
+}
+
+TEST(Engine, CancelAfterExecutionReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsBeforeLaterEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(10.0, [&] { ++fired; });
+  e.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 5.0) << "run(until) advances the clock to the horizon";
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilWithEmptyQueueAdvancesClock) {
+  Engine e;
+  e.run(7.5);
+  EXPECT_EQ(e.now(), 7.5);
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(1.0, [&] {
+    times.push_back(e.now());
+    e.schedule_in(1.0, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Engine, ZeroDelayEventRunsAtSameTime) {
+  Engine e;
+  double t = -1.0;
+  e.schedule_at(4.0, [&] { e.schedule_in(0.0, [&] { t = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(Engine, StepExecutesOneEvent) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, PendingAndExecutedCounts) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  const EventId id = e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(id);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(EngineDeath, SchedulingInThePastAborts) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(1.0, [] {}), "past");
+}
+
+TEST(EngineDeath, NegativeDelayAborts) {
+  Engine e;
+  EXPECT_DEATH(e.schedule_in(-1.0, [] {}), "negative delay");
+}
+
+// Property: N events at pseudo-random times always execute in nondecreasing
+// time order, regardless of insertion order.
+class EngineOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineOrdering, NondecreasingExecution) {
+  Engine e;
+  std::vector<double> seen;
+  unsigned state = static_cast<unsigned>(GetParam()) * 747796405u + 1u;
+  for (int i = 0; i < 200; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double t = static_cast<double>(state % 1000) / 10.0;
+    e.schedule_at(t, [&seen, &e] { seen.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(seen.size(), 200u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    ASSERT_LE(seen[i - 1], seen[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOrdering, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace whisk::sim

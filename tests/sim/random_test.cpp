@@ -1,0 +1,168 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace whisk::sim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child1 = parent.fork(1);
+  parent.next_u64();  // consuming the parent must not change future forks
+  Rng child2 = Rng(7).fork(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(rng.exponential(0.1), 0.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(14);
+  const int n = 200000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(15);
+  const int n = 100001;
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(1.0), 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(16);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(rng.lognormal(-2.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = xs;
+  rng.shuffle(xs);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(xs, sorted);
+}
+
+TEST(HashTag, StableAndDistinct) {
+  EXPECT_EQ(hash_tag("node"), hash_tag("node"));
+  EXPECT_NE(hash_tag("node"), hash_tag("scenario"));
+  EXPECT_NE(hash_tag(""), hash_tag("a"));
+}
+
+// Property: chi-squared-style uniformity check over seeds.
+class RngUniformBuckets : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformBuckets, RoughlyUniform) {
+  Rng rng(GetParam());
+  const int buckets = 10;
+  const int n = 50000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < n; ++i) {
+    ++count[static_cast<std::size_t>(rng.uniform() * buckets)];
+  }
+  for (int c : count) {
+    EXPECT_NEAR(c, n / buckets, n / buckets * 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformBuckets,
+                         ::testing::Values(1u, 42u, 1234567u, 0u));
+
+}  // namespace
+}  // namespace whisk::sim

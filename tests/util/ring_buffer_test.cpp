@@ -1,0 +1,98 @@
+#include "util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace whisk::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FillsUpToCapacity) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  rb.push(4);
+  EXPECT_EQ(rb.size(), 3u) << "size never exceeds capacity";
+}
+
+TEST(RingBuffer, KeepsMostRecentValues) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 10; ++i) rb.push(i);
+  const auto& vals = rb.values();
+  int sum = std::accumulate(vals.begin(), vals.end(), 0);
+  // The retained window must be {8, 9, 10}.
+  EXPECT_EQ(sum, 27);
+}
+
+TEST(RingBuffer, NewestTracksLastPush) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  EXPECT_EQ(rb.newest(), 1);
+  rb.push(2);
+  EXPECT_EQ(rb.newest(), 2);
+  for (int i = 3; i <= 8; ++i) {
+    rb.push(i);
+    EXPECT_EQ(rb.newest(), i);
+  }
+}
+
+TEST(RingBuffer, CapacityOneKeepsOnlyLast) {
+  RingBuffer<double> rb(1);
+  rb.push(1.0);
+  rb.push(2.5);
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_DOUBLE_EQ(rb.values().front(), 2.5);
+  EXPECT_DOUBLE_EQ(rb.newest(), 2.5);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.newest(), 9);
+}
+
+// The paper's runtime history keeps the last <= 10 samples; the average of
+// a ring buffer window must equal the average of the trailing slice.
+class RingWindowAverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingWindowAverage, MatchesTrailingSlice) {
+  const int n = GetParam();
+  RingBuffer<double> rb(10);
+  std::vector<double> all;
+  for (int i = 0; i < n; ++i) {
+    const double v = 0.5 * i + 1.0;
+    rb.push(v);
+    all.push_back(v);
+  }
+  double expected = 0.0;
+  const int start = std::max(0, n - 10);
+  for (int i = start; i < n; ++i) expected += all[static_cast<size_t>(i)];
+  expected /= std::max(1, n - start);
+
+  double got = 0.0;
+  for (double v : rb.values()) got += v;
+  got /= static_cast<double>(rb.size() ? rb.size() : 1);
+  EXPECT_NEAR(got, expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RingWindowAverage,
+                         ::testing::Values(1, 5, 10, 11, 25, 100));
+
+}  // namespace
+}  // namespace whisk::util

@@ -1,0 +1,146 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace whisk::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanSimple) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanSingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 42.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev with n-1 denominator.
+  EXPECT_NEAR(stddev(xs), 2.138089935299395, 1e-12);
+}
+
+TEST(Stats, StddevNeedsTwoSamples) {
+  const std::vector<double> xs = {3.0};
+  EXPECT_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, PercentileEmptyIsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Stats, PercentileSingle) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileMatchesNumpyConvention) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  // numpy.percentile(..., 50) == 2.5 with linear interpolation.
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 3.25);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+}
+
+TEST(Stats, PercentileSortedAgreesWithUnsorted) {
+  std::vector<double> xs = {4.0, 2.0, 8.0, 6.0};
+  const double q = percentile(xs, 37.0);
+  std::vector<double> sorted = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 37.0), q);
+}
+
+TEST(Stats, SummarizeOrdersQuantiles) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StreamingStats, MatchesBatchMoments) {
+  const std::vector<double> xs = {1.5, -2.0, 7.25, 0.0, 3.5, 3.5};
+  StreamingStats acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.25);
+}
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleSampleVarianceZero) {
+  StreamingStats acc;
+  acc.add(3.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+}
+
+// Property sweep: percentile is monotone in q for arbitrary samples.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInRank) {
+  // Deterministic pseudo-random sample derived from the parameter.
+  std::vector<double> xs;
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u + 1u;
+  for (int i = 0; i < 50; ++i) {
+    state = state * 1664525u + 1013904223u;
+    xs.push_back(static_cast<double>(state % 10000) / 100.0);
+  }
+  double prev = percentile(xs, 0.0);
+  for (double q = 5.0; q <= 100.0; q += 5.0) {
+    const double cur = percentile(xs, q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, PercentileMonotone,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace whisk::util

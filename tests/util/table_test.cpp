@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace whisk::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRule) {
+  Table t({"a", "bb"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"col"});
+  t.add_row({"wide-value"});
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  // Every line must have the same length (fixed layout).
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  bool first = true;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (first) {
+      expected = len;
+      first = false;
+    } else {
+      EXPECT_EQ(len, expected);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, FmtRange) {
+  EXPECT_EQ(fmt_range(0.59, 0.66), "0.59-0.66");
+  EXPECT_EQ(fmt_range(1.0, 2.0, 1), "1.0-2.0");
+}
+
+}  // namespace
+}  // namespace whisk::util

@@ -1,0 +1,160 @@
+#include "workload/function.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace whisk::workload {
+namespace {
+
+TEST(Catalog, SebsHasElevenFunctions) {
+  const auto cat = sebs_catalog();
+  EXPECT_EQ(cat.size(), 11u);
+}
+
+TEST(Catalog, IdsAreSequential) {
+  const auto cat = sebs_catalog();
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(cat.spec(static_cast<FunctionId>(i)).id,
+              static_cast<FunctionId>(i));
+  }
+}
+
+TEST(Catalog, FindByName) {
+  const auto cat = sebs_catalog();
+  const auto dna = cat.find("dna-visualisation");
+  ASSERT_TRUE(dna.has_value());
+  EXPECT_EQ(cat.spec(*dna).median_ms, 8552.0);
+  EXPECT_FALSE(cat.find("no-such-function").has_value());
+}
+
+TEST(Catalog, MeanReferenceMedianMatchesPaper) {
+  // The paper: "The average response time for the function selected
+  // uniformly from Table I is ~1.042 s".
+  const auto cat = sebs_catalog();
+  EXPECT_NEAR(cat.mean_reference_median_s(), 1.042, 0.001);
+}
+
+TEST(Catalog, WarmMedianStripsOverhead) {
+  const auto cat = sebs_catalog();
+  const auto& compression = cat.spec(*cat.find("compression"));
+  EXPECT_NEAR(compression.warm_median_ms(), 807.0 - 10.0, 1e-9);
+}
+
+TEST(Catalog, WarmMedianHasFloorForShortFunctions) {
+  const auto cat = sebs_catalog();
+  const auto& bfs = cat.spec(*cat.find("graph-bfs"));
+  // 12 ms client-side minus 10 ms overhead would be 2 ms; the floor keeps
+  // it at a sane positive value.
+  EXPECT_GT(bfs.warm_median_ms(), 0.0);
+  EXPECT_LT(bfs.warm_median_ms(), 5.0);
+}
+
+TEST(Catalog, ReferenceMedianIsClientSideSeconds) {
+  const auto cat = sebs_catalog();
+  const auto sleep = *cat.find("sleep");
+  EXPECT_DOUBLE_EQ(cat.reference_median(sleep), 1.022);
+}
+
+TEST(Catalog, CpuFractionsSplitComputeAndIo) {
+  // Paper: "Roughly half of these functions are computationally-intensive".
+  const auto cat = sebs_catalog();
+  int compute = 0;
+  for (const auto& s : cat.specs()) {
+    if (s.cpu_fraction >= 0.5) ++compute;
+  }
+  EXPECT_GE(compute, 5);
+  EXPECT_LE(compute, 9);
+}
+
+TEST(Catalog, SleepIsPureWait) {
+  const auto cat = sebs_catalog();
+  EXPECT_LT(cat.spec(*cat.find("sleep")).cpu_fraction, 0.1);
+}
+
+TEST(Sampling, ServiceIsDeterministicPerSeed) {
+  const auto cat = sebs_catalog();
+  sim::Rng a(5), b(5);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(cat.sample_service(static_cast<FunctionId>(i), a),
+              cat.sample_service(static_cast<FunctionId>(i), b));
+  }
+}
+
+TEST(Sampling, ServiceStaysInEnvelope) {
+  const auto cat = sebs_catalog();
+  sim::Rng rng(6);
+  for (const auto& spec : cat.specs()) {
+    const double median_s = spec.warm_median_ms() / 1000.0;
+    for (int k = 0; k < 2000; ++k) {
+      const double s = cat.sample_service(spec.id, rng);
+      ASSERT_GE(s, 0.25 * median_s) << spec.name;
+      ASSERT_LE(s, 8.0 * median_s) << spec.name;
+    }
+  }
+}
+
+TEST(Sampling, MedianTracksTableOne) {
+  const auto cat = sebs_catalog();
+  sim::Rng rng(7);
+  for (const auto& spec : cat.specs()) {
+    std::vector<double> xs;
+    for (int k = 0; k < 20001; ++k) {
+      xs.push_back(cat.sample_service(spec.id, rng));
+    }
+    std::sort(xs.begin(), xs.end());
+    const double median = xs[xs.size() / 2];
+    EXPECT_NEAR(median, spec.warm_median_ms() / 1000.0,
+                0.05 * spec.warm_median_ms() / 1000.0)
+        << spec.name;
+  }
+}
+
+TEST(Sampling, LongerFunctionsSampleLonger) {
+  const auto cat = sebs_catalog();
+  sim::Rng rng(8);
+  const auto dna = *cat.find("dna-visualisation");
+  const auto bfs = *cat.find("graph-bfs");
+  double dna_sum = 0.0, bfs_sum = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    dna_sum += cat.sample_service(dna, rng);
+    bfs_sum += cat.sample_service(bfs, rng);
+  }
+  EXPECT_GT(dna_sum, 100.0 * bfs_sum);
+}
+
+TEST(CatalogDeath, RejectsBadPercentiles) {
+  EXPECT_DEATH(FunctionCatalog({{kInvalidFunction, "bad", 100.0, 50.0, 200.0,
+                                 1.0, 160.0}}),
+               "percentiles");
+}
+
+TEST(CatalogDeath, RejectsBadCpuFraction) {
+  EXPECT_DEATH(FunctionCatalog({{kInvalidFunction, "bad", 10.0, 20.0, 30.0,
+                                 1.5, 160.0}}),
+               "cpu_fraction");
+}
+
+TEST(CatalogDeath, RejectsOutOfRangeId) {
+  const auto cat = sebs_catalog();
+  EXPECT_DEATH((void)cat.spec(99), "out of range");
+}
+
+// Parameterized sanity over all functions: sigma fit is positive and
+// bounded, mu matches the warm median.
+class PerFunction : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerFunction, LognormalFitIsSane) {
+  const auto cat = sebs_catalog();
+  const auto& spec = cat.spec(GetParam());
+  EXPECT_GT(spec.lognormal_sigma(), 0.0);
+  EXPECT_LE(spec.lognormal_sigma(), 0.8);
+  EXPECT_NEAR(std::exp(spec.lognormal_mu()) * 1000.0, spec.warm_median_ms(),
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSebs, PerFunction, ::testing::Range(0, 11));
+
+}  // namespace
+}  // namespace whisk::workload

@@ -1,0 +1,36 @@
+
+#include <cstdio>
+#include "experiments/runner.h"
+#include "util/stats.h"
+using namespace whisk;
+int main() {
+  const auto cat = workload::sebs_catalog();
+  // Table I: idle per-function benchmark
+  for (const auto& spec : cat.specs()) {
+    auto rs = experiments::run_idle_function_benchmark(cat, spec.id, 50, 7);
+    auto s = util::summarize(rs);
+    std::printf("%-18s p5=%7.1f p50=%7.1f p95=%7.1f (paper p50=%7.1f)\n",
+                spec.name.c_str(), util::percentile(rs, 5) * 1000, s.p50 * 1000,
+                s.p95 * 1000, spec.median_ms);
+  }
+  // Fig 6: 18-core VMs, 2376 requests, 1-4 nodes, baseline vs FC
+  for (int nodes = 4; nodes >= 1; --nodes) {
+    for (int b = 0; b < 2; ++b) {
+      experiments::ExperimentConfig cfg;
+      cfg.cores = 18;
+      cfg.num_nodes = nodes;
+      cfg.scenario = experiments::ScenarioKind::kFixedTotal;
+      cfg.fixed_total_requests = 2376;
+      if (b == 0) cfg.scheduler.approach = cluster::Approach::kBaseline;
+      else { cfg.scheduler.approach = cluster::Approach::kOurs;
+             cfg.scheduler.policy = core::PolicyKind::kFc; }
+      auto runs = experiments::run_repetitions(cfg, cat, 2);
+      auto rs = experiments::pooled_responses(runs);
+      auto s = util::summarize(rs);
+      std::printf("nodes=%d %-8s avg=%8.1f p75=%8.1f p95=%8.1f p99=%8.1f\n",
+                  nodes, b == 0 ? "baseline" : "FC", s.mean, s.p75, s.p95,
+                  s.p99);
+    }
+  }
+  return 0;
+}

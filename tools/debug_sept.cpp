@@ -1,0 +1,38 @@
+// Scratch diagnostic: where do short calls wait under SEPT?
+#include <cstdio>
+
+#include "experiments/runner.h"
+#include "util/stats.h"
+
+using namespace whisk;
+
+int main() {
+  const auto cat = workload::sebs_catalog();
+  experiments::ExperimentConfig cfg;
+  cfg.cores = 10;
+  cfg.intensity = 30;
+  cfg.scheduler.approach = cluster::Approach::kBaseline;
+  const auto run = experiments::run_experiment(cfg, cat);
+
+  // Per-function: avg queue wait (received->exec_start), avg exec, avg
+  // response.
+  for (const auto& spec : cat.specs()) {
+    double wait = 0, exec = 0, resp = 0, post = 0;
+    int n = 0;
+    for (const auto& r : run.records) {
+      if (r.function != spec.id) continue;
+      wait += r.exec_start - r.received;
+      exec += r.exec_end - r.exec_start;
+      post += r.completion - r.exec_end;
+      resp += r.response();
+      ++n;
+    }
+    if (n == 0) continue;
+    std::printf("%-18s n=%3d wait=%8.2f exec=%6.2f post=%6.2f resp=%8.2f\n",
+                spec.name.c_str(), n, wait / n, exec / n, post / n, resp / n);
+  }
+  std::printf("cold=%zu prewarm=%zu warm=%zu evict=%zu\n",
+              run.stats.cold_starts, run.stats.prewarm_starts,
+              run.stats.warm_starts, run.stats.evictions);
+  return 0;
+}
