@@ -17,7 +17,7 @@ namespace {
 
 struct Variant {
   std::string label;
-  experiments::ExperimentConfig cfg;
+  experiments::ExperimentSpec cfg;
 };
 
 void run_panel(const workload::FunctionCatalog& cat, const char* title,
@@ -34,12 +34,9 @@ void run_panel(const workload::FunctionCatalog& cat, const char* title,
   std::printf("%s\n", table.to_string().c_str());
 }
 
-experiments::ExperimentConfig base_cfg(core::PolicyKind policy) {
-  experiments::ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = 60;
-  cfg.scheduler = {cluster::Approach::kOurs, policy};
-  return cfg;
+experiments::ExperimentSpec base_cfg(std::string_view policy) {
+  return experiments::ExperimentSpec().cores(10).intensity(60).scheduler(
+      experiments::SchedulerSpec{"ours", std::string(policy)});
 }
 
 }  // namespace
@@ -53,8 +50,8 @@ int main() {
   {
     std::vector<Variant> vs;
     for (std::size_t w : {1, 3, 10, 50}) {
-      auto cfg = base_cfg(core::PolicyKind::kSept);
-      cfg.history_window = w;
+      auto cfg = base_cfg("sept");
+      cfg.with_override("history_window", static_cast<double>(w));
       vs.push_back({"SEPT, window " + std::to_string(w), cfg});
     }
     run_panel(cat, "history window length (runtime estimate E(p))", vs,
@@ -63,8 +60,8 @@ int main() {
   {
     std::vector<Variant> vs;
     for (double t : {10.0, 60.0, 300.0}) {
-      auto cfg = base_cfg(core::PolicyKind::kFc);
-      cfg.fc_window_s = t;
+      auto cfg = base_cfg("fc");
+      cfg.with_override("fc_window", t);
       vs.push_back({"FC, T = " + util::fmt(t, 0) + " s", cfg});
     }
     run_panel(cat, "FC sliding window T", vs, reps);
@@ -72,8 +69,8 @@ int main() {
   {
     std::vector<Variant> vs;
     for (int g : {1, 3, 8, 32}) {
-      auto cfg = base_cfg(core::PolicyKind::kSept);
-      cfg.dispatch_daemon_gate = g;
+      auto cfg = base_cfg("sept");
+      cfg.with_override("dispatch_daemon_gate", static_cast<double>(g));
       vs.push_back({"SEPT, gate " + std::to_string(g), cfg});
     }
     run_panel(cat,
@@ -84,9 +81,9 @@ int main() {
   {
     std::vector<Variant> vs;
     for (double strain : {0.0, 0.005, 0.01}) {
-      auto cfg = base_cfg(core::PolicyKind::kFifo);
-      cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
-      cfg.strain_per_container = strain;
+      auto cfg = base_cfg("fifo");
+      cfg.scheduler("baseline/fifo");
+      cfg.with_override("strain_per_container", strain);
       vs.push_back({"baseline, strain " + util::fmt(strain, 3), cfg});
     }
     run_panel(cat, "baseline dockerd strain per live container", vs, reps);
@@ -94,9 +91,9 @@ int main() {
   {
     std::vector<Variant> vs;
     for (double beta : {0.0, 0.3, 1.0}) {
-      auto cfg = base_cfg(core::PolicyKind::kFifo);
-      cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
-      cfg.context_switch_beta = beta;
+      auto cfg = base_cfg("fifo");
+      cfg.scheduler("baseline/fifo");
+      cfg.with_override("context_switch_beta", beta);
       vs.push_back({"baseline, beta " + util::fmt(beta, 1), cfg});
     }
     run_panel(cat, "baseline context-switch penalty (what pinning avoids)",

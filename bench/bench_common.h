@@ -42,11 +42,11 @@ struct SchedulerSweep {
 
 // Run all six paper schedulers for one (cores, intensity) configuration.
 inline std::vector<SchedulerSweep> sweep_schedulers(
-    const workload::FunctionCatalog& cat, experiments::ExperimentConfig cfg,
+    const workload::FunctionCatalog& cat, experiments::ExperimentSpec cfg,
     int reps) {
   std::vector<SchedulerSweep> out;
   for (const auto& sched : experiments::paper_schedulers()) {
-    cfg.scheduler = sched;
+    cfg.scheduler(sched);
     SchedulerSweep sweep;
     sweep.label = sched.label();
     sweep.runs = experiments::run_repetitions(cfg, cat, reps);

@@ -32,16 +32,12 @@ void run_panel(const workload::FunctionCatalog& cat, bool baseline,
   for (double mem : memories_mib) {
     std::vector<std::string> row = {util::fmt(mem, 0)};
     for (int v : intensities) {
-      experiments::ExperimentConfig cfg;
-      cfg.cores = 10;
-      cfg.intensity = v;
-      cfg.memory_mb = mem;
-      if (baseline) {
-        cfg.scheduler.approach = cluster::Approach::kBaseline;
-      } else {
-        cfg.scheduler.approach = cluster::Approach::kOurs;
-        cfg.scheduler.policy = core::PolicyKind::kFifo;
-      }
+      const auto cfg = experiments::ExperimentSpec()
+                           .cores(10)
+                           .intensity(v)
+                           .memory_mb(mem)
+                           .scheduler(baseline ? "baseline/fifo"
+                                               : "ours/fifo");
       const auto runs = experiments::run_repetitions(cfg, cat, reps);
       double cold = 0.0;
       for (const auto& r : runs) {

@@ -30,9 +30,8 @@ int main(int argc, char** argv) {
 
   for (int cores : core_counts) {
     for (int v : intensities) {
-      experiments::ExperimentConfig cfg;
-      cfg.cores = cores;
-      cfg.intensity = v;
+      const auto cfg =
+          experiments::ExperimentSpec().cores(cores).intensity(v);
       const auto sweeps = bench::sweep_schedulers(cat, cfg, reps);
 
       std::printf("-- %d CPU cores, intensity %d --\n", cores, v);

@@ -43,12 +43,11 @@ int main() {
   util::Table table({"scheduler", "all: avg S", "all: p50 S", "dna: avg S",
                      "dna: p50 S", "bfs: avg S", "bfs: p50 S"});
   for (const auto& sched : experiments::paper_schedulers()) {
-    experiments::ExperimentConfig cfg;
-    cfg.cores = 10;
-    cfg.intensity = 90;
-    cfg.scenario = experiments::ScenarioKind::kFairness;
-    cfg.fairness_rare_calls = 10;
-    cfg.scheduler = sched;
+    const auto cfg = experiments::ExperimentSpec()
+                         .cores(10)
+                         .intensity(90)
+                         .fairness("dna-visualisation", 10)
+                         .scheduler(sched);
     const auto runs = experiments::run_repetitions(cfg, cat, reps);
     const auto all = util::summarize(experiments::pooled_stretches(runs));
     const auto dna_s = pooled_stretch_of(runs, cat, dna);

@@ -21,17 +21,14 @@ void run_series(const workload::FunctionCatalog& cat, int cpus_per_node,
                      "max c(i)"});
   for (int nodes = 4; nodes >= 1; --nodes) {
     for (const char* label : {"baseline", "FC"}) {
-      experiments::ExperimentConfig cfg;
-      cfg.cores = cpus_per_node;
-      cfg.num_nodes = nodes;
-      cfg.scenario = experiments::ScenarioKind::kFixedTotal;
-      cfg.fixed_total_requests = total_requests;
-      if (std::string_view(label) == "baseline") {
-        cfg.scheduler = {cluster::Approach::kBaseline,
-                         core::PolicyKind::kFifo};
-      } else {
-        cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kFc};
-      }
+      const auto cfg =
+          experiments::ExperimentSpec()
+              .cores(cpus_per_node)
+              .nodes(nodes)
+              .fixed_total(total_requests)
+              .scheduler(std::string_view(label) == "baseline"
+                             ? "baseline/fifo"
+                             : "ours/fc");
       const auto runs = experiments::run_repetitions(cfg, cat, reps);
       const auto sum =
           util::summarize(experiments::pooled_responses(runs));

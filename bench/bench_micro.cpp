@@ -37,9 +37,17 @@ void BM_RngLognormal(benchmark::State& state) {
 }
 BENCHMARK(BM_RngLognormal);
 
+const std::vector<std::string>& micro_policy_names() {
+  static const std::vector<std::string> kNames = {"fifo", "sept", "fc",
+                                                  "sjf-aging"};
+  return kNames;
+}
+
 void BM_PolicyPriority(benchmark::State& state) {
-  const auto kind = static_cast<core::PolicyKind>(state.range(0));
-  auto policy = core::make_policy(kind);
+  const auto& name = micro_policy_names().at(
+      static_cast<std::size_t>(state.range(0)));
+  state.SetLabel(name);
+  auto policy = core::make_policy(name);
   core::RuntimeHistory history(10);
   for (int f = 0; f < 11; ++f) {
     for (int k = 0; k < 10; ++k) {
@@ -56,10 +64,7 @@ void BM_PolicyPriority(benchmark::State& state) {
     benchmark::DoNotOptimize(policy->priority(ctx));
   }
 }
-BENCHMARK(BM_PolicyPriority)
-    ->Arg(static_cast<int>(core::PolicyKind::kFifo))
-    ->Arg(static_cast<int>(core::PolicyKind::kSept))
-    ->Arg(static_cast<int>(core::PolicyKind::kFc));
+BENCHMARK(BM_PolicyPriority)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_PendingQueue(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -96,12 +101,10 @@ BENCHMARK(BM_PoolAcquireRelease);
 
 void BM_EndToEndExperiment(benchmark::State& state) {
   const auto cat = workload::sebs_catalog();
-  experiments::ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = 30;
-  cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kSept};
+  auto cfg = experiments::ExperimentSpec().cores(10).intensity(30).scheduler(
+      "ours/sept");
   for (auto _ : state) {
-    cfg.seed = static_cast<std::uint64_t>(state.iterations());
+    cfg.seed(static_cast<std::uint64_t>(state.iterations()));
     auto result = experiments::run_experiment(cfg, cat);
     benchmark::DoNotOptimize(result.responses.size());
   }

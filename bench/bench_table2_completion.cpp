@@ -31,13 +31,11 @@ int main() {
   for (int cores : core_counts) {
     std::vector<std::string> row = {std::to_string(cores)};
     for (int v : intensities) {
-      experiments::ExperimentConfig cfg;
-      cfg.cores = cores;
-      cfg.intensity = v;
+      auto cfg = experiments::ExperimentSpec().cores(cores).intensity(v);
 
-      cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kFifo};
+      cfg.scheduler("ours/fifo");
       const auto fifo = experiments::run_repetitions(cfg, cat, reps);
-      cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
+      cfg.scheduler("baseline/fifo");
       const auto base = experiments::run_repetitions(cfg, cat, reps);
 
       double lo = 1e30;

@@ -22,16 +22,13 @@ int main(int argc, char** argv) {
   const int intensity = argc > 2 ? std::atoi(argv[2]) : 60;
 
   const auto catalog = workload::sebs_catalog();
-  experiments::ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = intensity;
-  cfg.seed = 3;
-  if (policy == "baseline") {
-    cfg.scheduler = {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
-  } else {
-    cfg.scheduler = {cluster::Approach::kOurs,
-                     core::policy_from_string(policy)};
-  }
+  const auto cfg =
+      experiments::ExperimentSpec()
+          .cores(10)
+          .intensity(intensity)
+          .seed(3)
+          .scheduler(policy == "baseline" ? "baseline/fifo"
+                                          : "ours/" + policy);
 
   const auto run = experiments::run_experiment(cfg, catalog);
   std::printf("policy=%s, 10 cores, intensity %d: %zu calls, %zu cold "

@@ -17,17 +17,14 @@ int main() {
 
   // One worker with 10 cores for action containers, hit by a 60-second
   // burst at intensity 40 (1.1 * 10 * 40 = 440 requests).
-  experiments::ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = 40;
-  cfg.seed = 1;
+  auto cfg = experiments::ExperimentSpec().cores(10).intensity(40).seed(1);
 
   std::printf("One 10-core node, 440 requests in a 60 s burst:\n\n");
   std::printf("%-10s %10s %10s %10s %12s %6s\n", "scheduler", "avg R [s]",
               "p50 R [s]", "p95 R [s]", "avg stretch", "cold");
 
   for (const auto& sched : experiments::paper_schedulers()) {
-    cfg.scheduler = sched;
+    cfg.scheduler(sched);
     const auto run = experiments::run_experiment(cfg, catalog);
     const auto r = util::summarize(run.responses);
     const auto s = util::summarize(run.stretches);

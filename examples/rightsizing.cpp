@@ -28,17 +28,11 @@ int main(int argc, char** argv) {
 
   for (int nodes = 5; nodes >= 1; --nodes) {
     for (const bool baseline : {true, false}) {
-      experiments::ExperimentConfig cfg;
-      cfg.cores = cpus;
-      cfg.num_nodes = nodes;
-      cfg.scenario = experiments::ScenarioKind::kFixedTotal;
-      cfg.fixed_total_requests = total;
-      cfg.scheduler =
-          baseline
-              ? experiments::Scheduler{cluster::Approach::kBaseline,
-                                       core::PolicyKind::kFifo}
-              : experiments::Scheduler{cluster::Approach::kOurs,
-                                       core::PolicyKind::kFc};
+      const auto cfg = experiments::ExperimentSpec()
+                           .cores(cpus)
+                           .nodes(nodes)
+                           .fixed_total(total)
+                           .scheduler(baseline ? "baseline/fifo" : "ours/fc");
       const auto runs = experiments::run_repetitions(cfg, catalog, 3);
       const auto sum =
           util::summarize(experiments::pooled_responses(runs));

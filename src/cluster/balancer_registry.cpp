@@ -1,0 +1,20 @@
+#include "cluster/balancer_registry.h"
+
+namespace whisk::cluster {
+
+BalancerRegistry& BalancerRegistry::instance() {
+  static BalancerRegistry* registry = [] {
+    auto* r = new BalancerRegistry();
+    detail::register_builtin_balancers(*r);
+    register_extra_balancers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<LoadBalancer> make_balancer(std::string_view name,
+                                            BalancerParams params) {
+  return BalancerRegistry::instance().create(name, params);
+}
+
+}  // namespace whisk::cluster

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cluster/load_balancer.h"
+#include "util/registry.h"
+
+namespace whisk::cluster {
+
+// The open set of controller-side load balancers, keyed by canonical
+// lowercase name. Built-ins are registered on first use; new balancers can
+// be added at runtime:
+//
+//   BalancerRegistry::instance().register_factory(
+//       "my-balancer", [](const BalancerParams&) {
+//         return std::make_unique<MyBalancer>();
+//       });
+//
+// Unknown names abort with a message listing every registered name.
+class BalancerRegistry final
+    : public util::FactoryRegistry<LoadBalancer, const BalancerParams&> {
+ public:
+  static BalancerRegistry& instance();
+
+  using FactoryRegistry::create;
+  [[nodiscard]] std::unique_ptr<LoadBalancer> create(
+      std::string_view name) const {
+    return create(name, BalancerParams{});
+  }
+
+ private:
+  BalancerRegistry() : FactoryRegistry("balancer") {}
+};
+
+namespace detail {
+// Defined in load_balancer.cpp: round-robin, home-invoker, least-loaded.
+void register_builtin_balancers(BalancerRegistry& registry);
+}  // namespace detail
+
+// Defined in extra_balancers.cpp: weighted-least-loaded, join-idle-queue.
+void register_extra_balancers(BalancerRegistry& registry);
+
+}  // namespace whisk::cluster

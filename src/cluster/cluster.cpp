@@ -1,7 +1,6 @@
 #include "cluster/cluster.h"
 
-#include "node/baseline_invoker.h"
-#include "node/our_invoker.h"
+#include "node/invoker_registry.h"
 #include "util/check.h"
 
 namespace whisk::cluster {
@@ -12,22 +11,21 @@ Cluster::Cluster(sim::Engine& engine,
     : engine_(&engine),
       catalog_(&catalog),
       params_(params),
-      balancer_(make_balancer(params.balancer)),
       collector_(catalog) {
   WHISK_CHECK(params_.num_nodes > 0, "cluster needs at least one node");
   sim::Rng root(seed);
+  // The balancer gets its own tagged stream so randomized balancers vary
+  // across repetition seeds; the built-in deterministic ones ignore it.
+  balancer_ = make_balancer(
+      params_.balancer,
+      BalancerParams{root.fork(sim::hash_tag("balancer")).next_u64()});
   auto delivery = [this](const metrics::CallRecord& rec) { deliver(rec); };
   for (int i = 0; i < params_.num_nodes; ++i) {
     sim::Rng node_rng = root.fork(sim::hash_tag("node") + i);
-    std::unique_ptr<node::Invoker> inv;
-    if (params_.approach == Approach::kBaseline) {
-      inv = std::make_unique<node::BaselineInvoker>(
-          engine, catalog, params_.node, node_rng, delivery);
-    } else {
-      inv = std::make_unique<node::OurInvoker>(engine, catalog, params_.node,
-                                               node_rng, delivery,
-                                               params_.policy);
-    }
+    auto inv = node::InvokerRegistry::instance().create(
+        params_.invoker,
+        node::InvokerArgs{engine, catalog, params_.node, node_rng, delivery,
+                          params_.policy});
     inv->set_node_index(i);
     invokers_.push_back(std::move(inv));
     invoker_ptrs_.push_back(invokers_.back().get());

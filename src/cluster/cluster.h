@@ -1,10 +1,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/load_balancer.h"
-#include "core/policy.h"
 #include "metrics/collector.h"
 #include "node/invoker.h"
 #include "node/params.h"
@@ -15,20 +15,20 @@
 
 namespace whisk::cluster {
 
-// Which node-level resource manager runs on the workers.
-enum class Approach {
-  kBaseline,  // stock OpenWhisk invoker
-  kOurs,      // the paper's CPU-based invoker with a scheduling policy
-};
-
 struct ClusterParams {
-  Approach approach = Approach::kOurs;
-  core::PolicyKind policy = core::PolicyKind::kFifo;  // used when kOurs
+  // Which node-level resource manager runs on the workers: any name
+  // registered with node::InvokerRegistry ("baseline", "ours", ...).
+  std::string invoker = "ours";
+  // Scheduling policy for policy-driven invokers: any name registered with
+  // core::PolicyRegistry ("fifo", "sept", ..., "sjf-aging").
+  std::string policy = "fifo";
+  // Controller-side spreading: any name registered with
+  // cluster::BalancerRegistry ("round-robin", "home-invoker",
+  // "least-loaded", "weighted-least-loaded", "join-idle-queue", ...).
+  std::string balancer = "round-robin";
 
   int num_nodes = 1;
   node::NodeParams node;  // identical workers, as in the paper
-
-  BalancerKind balancer = BalancerKind::kRoundRobin;
 
   // Request-path latencies (the ~10 ms client-observable overhead of
   // Table I splits across these plus the node-side idle op costs).

@@ -1,0 +1,92 @@
+// The two balancers added through the open registry rather than the
+// original closed enum — the extension recipe for new balancers: subclass
+// LoadBalancer in a .cpp, expose one registration function, call it from
+// the registry bootstrap (or at runtime).
+#include <limits>
+
+#include "cluster/balancer_registry.h"
+#include "util/check.h"
+
+namespace whisk::cluster {
+namespace {
+
+// Capacity-aware least-loaded: picks the invoker with the smallest
+// (queued + executing) / cores ratio, so a half-busy 16-core box beats an
+// equally-backlogged 2-core one. Ties break towards the lower index, like
+// the unweighted variant.
+class WeightedLeastLoadedBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const workload::CallRequest& call,
+                   const std::vector<node::Invoker*>& invokers) override {
+    (void)call;
+    WHISK_CHECK(!invokers.empty(), "no invokers");
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < invokers.size(); ++i) {
+      const auto load = static_cast<double>(invokers[i]->queue_length() +
+                                            invokers[i]->executing());
+      const int cores = invokers[i]->params().cores;
+      WHISK_CHECK(cores > 0, "invoker with no cores");
+      const double score = load / static_cast<double>(cores);
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+  std::string_view name() const override { return "weighted-least-loaded"; }
+};
+
+// Join-Idle-Queue (Lu et al.): route to an invoker with no queued or
+// executing work if one exists, scanning from a rotating cursor so
+// consecutive idle picks spread over the fleet. When nobody is idle, fall
+// back to least-loaded (the classic JIQ falls back to random; the
+// deterministic fallback keeps seeded runs reproducible).
+class JoinIdleQueueBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const workload::CallRequest& call,
+                   const std::vector<node::Invoker*>& invokers) override {
+    (void)call;
+    WHISK_CHECK(!invokers.empty(), "no invokers");
+    const std::size_t n = invokers.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (cursor_ + k) % n;
+      if (invokers[idx]->queue_length() + invokers[idx]->executing() == 0) {
+        cursor_ = idx + 1;
+        return idx;
+      }
+    }
+    std::size_t best = 0;
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t load =
+          invokers[i]->queue_length() + invokers[i]->executing();
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    return best;
+  }
+  std::string_view name() const override { return "join-idle-queue"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+void register_extra_balancers(BalancerRegistry& registry) {
+  registry.register_factory("weighted-least-loaded",
+                            [](const BalancerParams&) {
+                              return std::make_unique<
+                                  WeightedLeastLoadedBalancer>();
+                            });
+  registry.register_factory("join-idle-queue", [](const BalancerParams&) {
+    return std::make_unique<JoinIdleQueueBalancer>();
+  });
+  registry.register_alias("jiq", "join-idle-queue");
+}
+
+}  // namespace whisk::cluster

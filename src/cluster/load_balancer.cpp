@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "cluster/balancer_registry.h"
 #include "util/check.h"
 
 namespace whisk::cluster {
@@ -15,7 +16,7 @@ class RoundRobinBalancer final : public LoadBalancer {
     WHISK_CHECK(!invokers.empty(), "no invokers");
     return next_++ % invokers.size();
   }
-  BalancerKind kind() const override { return BalancerKind::kRoundRobin; }
+  std::string_view name() const override { return "round-robin"; }
 
  private:
   std::size_t next_ = 0;
@@ -50,7 +51,7 @@ class HomeInvokerBalancer final : public LoadBalancer {
     }
     return best;
   }
-  BalancerKind kind() const override { return BalancerKind::kHomeInvoker; }
+  std::string_view name() const override { return "home-invoker"; }
 };
 
 class LeastLoadedBalancer final : public LoadBalancer {
@@ -71,34 +72,24 @@ class LeastLoadedBalancer final : public LoadBalancer {
     }
     return best;
   }
-  BalancerKind kind() const override { return BalancerKind::kLeastLoaded; }
+  std::string_view name() const override { return "least-loaded"; }
 };
 
 }  // namespace
 
-std::string_view to_string(BalancerKind kind) {
-  switch (kind) {
-    case BalancerKind::kRoundRobin:
-      return "round-robin";
-    case BalancerKind::kHomeInvoker:
-      return "home-invoker";
-    case BalancerKind::kLeastLoaded:
-      return "least-loaded";
-  }
-  return "?";
+namespace detail {
+
+void register_builtin_balancers(BalancerRegistry& registry) {
+  registry.register_factory("round-robin", [](const BalancerParams&) {
+    return std::make_unique<RoundRobinBalancer>();
+  });
+  registry.register_factory("home-invoker", [](const BalancerParams&) {
+    return std::make_unique<HomeInvokerBalancer>();
+  });
+  registry.register_factory("least-loaded", [](const BalancerParams&) {
+    return std::make_unique<LeastLoadedBalancer>();
+  });
 }
 
-std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind) {
-  switch (kind) {
-    case BalancerKind::kRoundRobin:
-      return std::make_unique<RoundRobinBalancer>();
-    case BalancerKind::kHomeInvoker:
-      return std::make_unique<HomeInvokerBalancer>();
-    case BalancerKind::kLeastLoaded:
-      return std::make_unique<LeastLoadedBalancer>();
-  }
-  WHISK_CHECK(false, "unhandled balancer kind");
-  return nullptr;
-}
-
+}  // namespace detail
 }  // namespace whisk::cluster

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -9,19 +10,22 @@
 
 namespace whisk::cluster {
 
-// How the controller spreads invocations over invokers (paper Sec. III /
-// VIII). The paper's multi-node experiments use the stock behaviour, which
-// spreads each function's calls across invokers starting from a
-// function-specific home invoker; we also provide plain round-robin and
-// least-loaded for the ablation benches.
-enum class BalancerKind {
-  kRoundRobin,   // calls rotate over invokers regardless of function
-  kHomeInvoker,  // hash(function) picks a home; overflow probes onward
-  kLeastLoaded,  // fewest queued + executing calls at decision time
+// Knobs a balancer may consume at construction time. Kept small on
+// purpose: balancers that need more state should read it from the invokers
+// they are handed at pick() time.
+struct BalancerParams {
+  std::uint64_t seed = 0;  // randomized balancers fork their stream here
 };
 
-[[nodiscard]] std::string_view to_string(BalancerKind kind);
-
+// How the controller spreads invocations over invokers (paper Sec. III /
+// VIII). Balancers are constructed by canonical string name through
+// cluster::BalancerRegistry (see balancer_registry.h). Built-ins:
+//   round-robin            calls rotate over invokers regardless of function
+//   home-invoker           hash(function) picks a home; overflow probes on
+//   least-loaded           fewest queued + executing calls at decision time
+//   weighted-least-loaded  least (queued + executing) / cores — capacity
+//                          aware, for heterogeneous fleets
+//   join-idle-queue        an idle invoker if any exists, else least-loaded
 class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;
@@ -31,9 +35,13 @@ class LoadBalancer {
       const workload::CallRequest& call,
       const std::vector<node::Invoker*>& invokers) = 0;
 
-  [[nodiscard]] virtual BalancerKind kind() const = 0;
+  // Canonical registry name ("round-robin", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
-[[nodiscard]] std::unique_ptr<LoadBalancer> make_balancer(BalancerKind kind);
+// Construct a balancer by registered name; aborts on an unknown name with
+// a message that echoes the input and lists every registered balancer.
+[[nodiscard]] std::unique_ptr<LoadBalancer> make_balancer(
+    std::string_view name, BalancerParams params = {});
 
 }  // namespace whisk::cluster

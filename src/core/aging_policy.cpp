@@ -1,0 +1,37 @@
+#include "core/aging_policy.h"
+
+#include <memory>
+
+namespace whisk::core {
+namespace {
+
+class SjfAgingPolicy final : public Policy {
+ public:
+  explicit SjfAgingPolicy(double aging_weight)
+      : aging_weight_(aging_weight) {}
+
+  double priority(const PolicyContext& ctx) const override {
+    return ctx.history->expected_runtime(ctx.function) +
+           aging_weight_ * ctx.received;
+  }
+  std::string_view name() const override { return "sjf-aging"; }
+  // Any positive weight bounds how far a call can be overtaken: a call
+  // received at r' outranks every call received after
+  // r' + E(p)/w, so it cannot wait forever.
+  bool starvation_free() const override { return aging_weight_ > 0.0; }
+
+  [[nodiscard]] double aging_weight() const { return aging_weight_; }
+
+ private:
+  double aging_weight_;
+};
+
+}  // namespace
+
+void register_sjf_aging_policy(PolicyRegistry& registry) {
+  registry.register_factory("sjf-aging", [](const PolicyParams& params) {
+    return std::make_unique<SjfAgingPolicy>(params.sjf_aging_weight);
+  });
+}
+
+}  // namespace whisk::core

@@ -1,0 +1,23 @@
+#pragma once
+
+// SJF-with-aging ("sjf-aging"): the first policy added through the open
+// registry rather than the paper's closed enum. Serves as the template for
+// new policies — subclass core::Policy in a .cpp, expose one registration
+// function, and call it from the registry bootstrap (or at runtime).
+//
+//   priority = E(p(i)) + w * r'(i)
+//
+// With w = 0 this is exactly SEPT (shortest expected processing time,
+// starvation possible); with w = 1 it is exactly EECT. Small positive w
+// keeps SEPT's short-call favoritism while aging waiting calls: a long call
+// received at r' can only be overtaken by calls whose expected runtime
+// undercuts it by more than w * (their lateness), so every call eventually
+// reaches the head of the queue.
+
+#include "core/policy_registry.h"
+
+namespace whisk::core {
+
+void register_sjf_aging_policy(PolicyRegistry& registry);
+
+}  // namespace whisk::core

@@ -1,9 +1,11 @@
 #include "core/policy.h"
 
-#include <algorithm>
-#include <cctype>
+#include <array>
+#include <utility>
 
+#include "core/policy_registry.h"
 #include "util/check.h"
+#include "util/registry.h"
 
 namespace whisk::core {
 namespace {
@@ -13,7 +15,7 @@ class FifoPolicy final : public Policy {
   double priority(const PolicyContext& ctx) const override {
     return ctx.received;
   }
-  PolicyKind kind() const override { return PolicyKind::kFifo; }
+  std::string_view name() const override { return "fifo"; }
   bool starvation_free() const override { return true; }
 };
 
@@ -22,7 +24,7 @@ class SeptPolicy final : public Policy {
   double priority(const PolicyContext& ctx) const override {
     return ctx.history->expected_runtime(ctx.function);
   }
-  PolicyKind kind() const override { return PolicyKind::kSept; }
+  std::string_view name() const override { return "sept"; }
   bool starvation_free() const override { return false; }
 };
 
@@ -31,7 +33,7 @@ class EectPolicy final : public Policy {
   double priority(const PolicyContext& ctx) const override {
     return ctx.received + ctx.history->expected_runtime(ctx.function);
   }
-  PolicyKind kind() const override { return PolicyKind::kEect; }
+  std::string_view name() const override { return "eect"; }
   bool starvation_free() const override { return true; }
 };
 
@@ -41,7 +43,7 @@ class RectPolicy final : public Policy {
     return ctx.history->previous_arrival(ctx.function) +
            ctx.history->expected_runtime(ctx.function);
   }
-  PolicyKind kind() const override { return PolicyKind::kRect; }
+  std::string_view name() const override { return "rect"; }
   bool starvation_free() const override { return true; }
 };
 
@@ -54,41 +56,95 @@ class FcPolicy final : public Policy {
     return static_cast<double>(count) *
            ctx.history->expected_runtime(ctx.function);
   }
-  PolicyKind kind() const override { return PolicyKind::kFc; }
+  std::string_view name() const override { return "fc"; }
   bool starvation_free() const override { return false; }
 
  private:
   sim::SimTime window_;
 };
 
+// The deprecated enum maps to names via this table; construction always
+// goes through the registry.
+struct KindName {
+  PolicyKind kind;
+  std::string_view name;   // canonical registry name
+  std::string_view label;  // figure label
+};
+
+constexpr std::array<KindName, 5> kKindNames = {{
+    {PolicyKind::kFifo, "fifo", "FIFO"},
+    {PolicyKind::kSept, "sept", "SEPT"},
+    {PolicyKind::kEect, "eect", "EECT"},
+    {PolicyKind::kRect, "rect", "RECT"},
+    {PolicyKind::kFc, "fc", "FC"},
+}};
+
 }  // namespace
 
+namespace detail {
+
+void register_builtin_policies(PolicyRegistry& registry) {
+  registry.register_factory("fifo", [](const PolicyParams&) {
+    return std::make_unique<FifoPolicy>();
+  });
+  registry.register_factory("sept", [](const PolicyParams&) {
+    return std::make_unique<SeptPolicy>();
+  });
+  registry.register_factory("eect", [](const PolicyParams&) {
+    return std::make_unique<EectPolicy>();
+  });
+  registry.register_factory("rect", [](const PolicyParams&) {
+    return std::make_unique<RectPolicy>();
+  });
+  registry.register_factory("fc", [](const PolicyParams& params) {
+    return std::make_unique<FcPolicy>(params.fc_window);
+  });
+  registry.register_alias("fair-choice", "fc");
+}
+
+}  // namespace detail
+
+std::string policy_label(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
 std::string_view to_string(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kFifo:
-      return "FIFO";
-    case PolicyKind::kSept:
-      return "SEPT";
-    case PolicyKind::kEect:
-      return "EECT";
-    case PolicyKind::kRect:
-      return "RECT";
-    case PolicyKind::kFc:
-      return "FC";
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.label;
+  }
+  return "?";
+}
+
+std::string_view registry_name(PolicyKind kind) {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
   }
   return "?";
 }
 
 PolicyKind policy_from_string(std::string_view name) {
-  std::string lower(name);
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (lower == "fifo") return PolicyKind::kFifo;
-  if (lower == "sept") return PolicyKind::kSept;
-  if (lower == "eect") return PolicyKind::kEect;
-  if (lower == "rect") return PolicyKind::kRect;
-  if (lower == "fc" || lower == "fair-choice") return PolicyKind::kFc;
-  WHISK_CHECK(false, "unknown policy name");
+  const std::string lower = util::ascii_lower(name);
+  for (const auto& entry : kKindNames) {
+    if (lower == entry.name) return entry.kind;
+  }
+  if (lower == "fair-choice") return PolicyKind::kFc;
+  // Don't list the full registry here: this shim can only name the paper's
+  // five policies, and offering e.g. "sjf-aging" as valid input would be a
+  // lie. Registry-only policies need make_policy(name)/PolicyRegistry.
+  std::string known;
+  for (const auto& entry : kKindNames) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  WHISK_CHECK(false, ("unknown policy \"" + std::string(name) +
+                      "\"; the PolicyKind shim only knows the paper set: " +
+                      known + " (alias fair-choice); other registered " +
+                      "policies are reachable via make_policy(name)")
+                         .c_str());
   return PolicyKind::kFifo;
 }
 
@@ -99,21 +155,13 @@ const std::vector<PolicyKind>& all_policies() {
   return kAll;
 }
 
+std::unique_ptr<Policy> make_policy(std::string_view name,
+                                    PolicyParams params) {
+  return PolicyRegistry::instance().create(name, params);
+}
+
 std::unique_ptr<Policy> make_policy(PolicyKind kind, PolicyParams params) {
-  switch (kind) {
-    case PolicyKind::kFifo:
-      return std::make_unique<FifoPolicy>();
-    case PolicyKind::kSept:
-      return std::make_unique<SeptPolicy>();
-    case PolicyKind::kEect:
-      return std::make_unique<EectPolicy>();
-    case PolicyKind::kRect:
-      return std::make_unique<RectPolicy>();
-    case PolicyKind::kFc:
-      return std::make_unique<FcPolicy>(params.fc_window);
-  }
-  WHISK_CHECK(false, "unhandled policy kind");
-  return nullptr;
+  return make_policy(registry_name(kind), params);
 }
 
 }  // namespace whisk::core

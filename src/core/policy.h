@@ -11,28 +11,6 @@
 
 namespace whisk::core {
 
-// The node-level scheduling policies of the paper (Sec. IV). A policy maps
-// an incoming call to a static numeric priority; the invoker serves pending
-// calls in ascending priority order (ties broken by arrival). Priorities
-// are computed once, when the call is received, and never change — exactly
-// the paper's simplification.
-enum class PolicyKind {
-  kFifo,  // priority = r'(i), the receive time
-  kSept,  // priority = E(p(i))
-  kEect,  // priority = r'(i) + E(p(i))
-  kRect,  // priority = r-bar(i) + E(p(i))
-  kFc,    // priority = #(f(i), -T) * E(p(i))
-};
-
-[[nodiscard]] std::string_view to_string(PolicyKind kind);
-
-// Parse "fifo"/"sept"/"eect"/"rect"/"fc" (case-insensitive). Aborts on an
-// unknown name.
-[[nodiscard]] PolicyKind policy_from_string(std::string_view name);
-
-// All policies, in the order the paper's figures list them.
-[[nodiscard]] const std::vector<PolicyKind>& all_policies();
-
 // Everything a policy may consult when prioritizing a call.
 struct PolicyContext {
   sim::SimTime received = 0.0;  // r'(i): when the invoker pulled the call
@@ -40,6 +18,19 @@ struct PolicyContext {
   const RuntimeHistory* history = nullptr;
 };
 
+// A node-level scheduling policy (paper Sec. IV). A policy maps an incoming
+// call to a static numeric priority; the invoker serves pending calls in
+// ascending priority order (ties broken by arrival). Priorities are
+// computed once, when the call is received, and never change — exactly the
+// paper's simplification.
+//
+// Policies are constructed by canonical string name through
+// core::PolicyRegistry (see policy_registry.h). The paper's five policies:
+//   fifo  priority = r'(i), the receive time
+//   sept  priority = E(p(i))
+//   eect  priority = r'(i) + E(p(i))
+//   rect  priority = r-bar(i) + E(p(i))
+//   fc    priority = #(f(i), -T) * E(p(i))
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -47,8 +38,8 @@ class Policy {
   // Lower priority value = served earlier.
   [[nodiscard]] virtual double priority(const PolicyContext& ctx) const = 0;
 
-  [[nodiscard]] virtual PolicyKind kind() const = 0;
-  [[nodiscard]] std::string_view name() const { return to_string(kind()); }
+  // Canonical registry name ("fifo", "sept", ..., "sjf-aging").
+  [[nodiscard]] virtual std::string_view name() const = 0;
 
   // EECT and RECT are starvation-free (paper Sec. IV); FIFO trivially so.
   [[nodiscard]] virtual bool starvation_free() const = 0;
@@ -58,8 +49,47 @@ struct PolicyParams {
   // FC's sliding window T ("for T being a long time interval, e.g. 60
   // seconds").
   sim::SimTime fc_window = 60.0;
+  // sjf-aging: weight of the receive time relative to E(p(i)). 0 degrades
+  // to SEPT (starvation possible); 1 is exactly EECT; small positive values
+  // favor short calls while still guaranteeing every call eventually runs.
+  double sjf_aging_weight = 0.1;
 };
 
+// Uppercased figure label for a canonical policy name ("fifo" -> "FIFO").
+[[nodiscard]] std::string policy_label(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Deprecated closed-enum shim. Kept only because the paper-pinned tests and
+// figure tables reference the original five policies by enum; new code must
+// use string names and core::PolicyRegistry. The shim is a pure name table:
+// no construction dispatch happens on the enum.
+// ---------------------------------------------------------------------------
+enum class PolicyKind {
+  kFifo,
+  kSept,
+  kEect,
+  kRect,
+  kFc,
+};
+
+// Figure label ("FIFO", "SEPT", ...).
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+
+// Canonical registry name ("fifo", "sept", ...).
+[[nodiscard]] std::string_view registry_name(PolicyKind kind);
+
+// Parse "fifo"/"sept"/"eect"/"rect"/"fc" (case-insensitive; "fair-choice"
+// is accepted for fc). Aborts on an unknown name with a message that echoes
+// the input and lists every registered policy.
+[[nodiscard]] PolicyKind policy_from_string(std::string_view name);
+
+// The paper's five policies, in the order its figures list them.
+[[nodiscard]] const std::vector<PolicyKind>& all_policies();
+
+// Construct a policy. The string overload is the real API (any registered
+// name); the PolicyKind overload is the deprecated paper-set shim.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(std::string_view name,
+                                                  PolicyParams params = {});
 [[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind,
                                                   PolicyParams params = {});
 

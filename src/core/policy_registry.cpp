@@ -1,0 +1,15 @@
+#include "core/policy_registry.h"
+
+namespace whisk::core {
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry();
+    detail::register_builtin_policies(*r);
+    register_sjf_aging_policy(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace whisk::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/policy.h"
+#include "util/registry.h"
+
+namespace whisk::core {
+
+// The open set of node-level scheduling policies, keyed by canonical
+// lowercase name. The paper's five policies plus sjf-aging are registered
+// on first use; anything else can be added at runtime:
+//
+//   PolicyRegistry::instance().register_factory(
+//       "my-policy", [](const PolicyParams&) {
+//         return std::make_unique<MyPolicy>();
+//       });
+//   auto p = PolicyRegistry::instance().create("my-policy");
+//
+// Unknown names abort with a message listing every registered name.
+class PolicyRegistry final
+    : public util::FactoryRegistry<Policy, const PolicyParams&> {
+ public:
+  static PolicyRegistry& instance();
+
+  // Convenience: create with default params.
+  using FactoryRegistry::create;
+  [[nodiscard]] std::unique_ptr<Policy> create(std::string_view name) const {
+    return create(name, PolicyParams{});
+  }
+
+ private:
+  PolicyRegistry() : FactoryRegistry("policy") {}
+};
+
+namespace detail {
+// Defined in policy.cpp: registers fifo/sept/eect/rect/fc (+ alias
+// fair-choice -> fc) in the paper's figure order.
+void register_builtin_policies(PolicyRegistry& registry);
+}  // namespace detail
+
+// Defined in aging_policy.cpp: registers "sjf-aging".
+void register_sjf_aging_policy(PolicyRegistry& registry);
+
+}  // namespace whisk::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "experiments/scheduler_spec.h"
+#include "node/params.h"
+
+namespace whisk::experiments {
+
+// The kind of measured burst to generate.
+enum class ScenarioKind {
+  kUniform,     // 1.1 * cores * intensity requests, equal per function
+  kFixedTotal,  // explicit request count (multi-node experiments)
+  kFairness,    // Sec. VII-D: few calls of a rare long function
+};
+
+// A declarative description of one experiment: the scheduler (as registry
+// names), the deployment size, the workload, and a *named* map of ablation
+// overrides (replacing the old flat struct of sentinel -1.0 fields).
+// Chainable builder setters share their getter's name:
+//
+//   auto spec = ExperimentSpec()
+//                   .scheduler("ours/sept")
+//                   .cores(10)
+//                   .intensity(60)
+//                   .with_override("history_window", 5);
+//   run_experiment(spec, catalog);
+//
+// Unknown override names abort immediately, listing the valid keys.
+class ExperimentSpec {
+ public:
+  ExperimentSpec() = default;
+
+  // --- scheduler -----------------------------------------------------------
+  ExperimentSpec& scheduler(SchedulerSpec spec);
+  ExperimentSpec& scheduler(std::string_view text);  // SchedulerSpec::parse
+  [[nodiscard]] const SchedulerSpec& scheduler() const { return scheduler_; }
+
+  // --- deployment ----------------------------------------------------------
+  ExperimentSpec& cores(int value);
+  [[nodiscard]] int cores() const { return cores_; }
+  ExperimentSpec& nodes(int value);
+  [[nodiscard]] int nodes() const { return nodes_; }
+  ExperimentSpec& memory_mb(double value);
+  [[nodiscard]] double memory_mb() const { return memory_mb_; }
+
+  // --- workload ------------------------------------------------------------
+  ExperimentSpec& intensity(int value);  // ignored for kFixedTotal
+  [[nodiscard]] int intensity() const { return intensity_; }
+  ExperimentSpec& scenario(ScenarioKind value);
+  [[nodiscard]] ScenarioKind scenario() const { return scenario_; }
+  ExperimentSpec& fixed_total(std::size_t requests);  // implies kFixedTotal
+  [[nodiscard]] std::size_t fixed_total() const { return fixed_total_; }
+  ExperimentSpec& fairness(std::string rare_function, std::size_t rare_calls);
+  [[nodiscard]] const std::string& fairness_rare_function() const {
+    return fairness_rare_function_;
+  }
+  [[nodiscard]] std::size_t fairness_rare_calls() const {
+    return fairness_rare_calls_;
+  }
+
+  // --- repetition ----------------------------------------------------------
+  ExperimentSpec& seed(std::uint64_t value);
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // --- ablation overrides ----------------------------------------------------
+  // Named NodeParams knobs; see override_names() for the valid keys.
+  // Integer-valued knobs (history_window, dispatch_daemon_gate) take the
+  // value rounded towards zero.
+  ExperimentSpec& with_override(std::string_view name, double value);
+  [[nodiscard]] const std::map<std::string, double>& overrides() const {
+    return overrides_;
+  }
+  [[nodiscard]] static const std::vector<std::string>& override_names();
+
+  // NodeParams for this spec: cores/memory plus every override applied.
+  [[nodiscard]] node::NodeParams node_params() const;
+
+ private:
+  SchedulerSpec scheduler_;
+  int cores_ = 10;  // per node, for action containers
+  int nodes_ = 1;
+  double memory_mb_ = 32.0 * 1024.0;
+  int intensity_ = 30;
+  ScenarioKind scenario_ = ScenarioKind::kUniform;
+  std::size_t fixed_total_ = 0;
+  std::string fairness_rare_function_ = "dna-visualisation";
+  std::size_t fairness_rare_calls_ = 10;
+  std::uint64_t seed_ = 0;  // repetition index; drives scenario + node noise
+  std::map<std::string, double> overrides_;
+};
+
+}  // namespace whisk::experiments

@@ -6,65 +6,27 @@
 #include "util/check.h"
 
 namespace whisk::experiments {
-
-std::string Scheduler::label() const {
-  if (approach == cluster::Approach::kBaseline) return "baseline";
-  return std::string(core::to_string(policy));
-}
-
-const std::vector<Scheduler>& paper_schedulers() {
-  static const std::vector<Scheduler> kAll = {
-      {cluster::Approach::kBaseline, core::PolicyKind::kFifo},
-      {cluster::Approach::kOurs, core::PolicyKind::kFifo},
-      {cluster::Approach::kOurs, core::PolicyKind::kSept},
-      {cluster::Approach::kOurs, core::PolicyKind::kEect},
-      {cluster::Approach::kOurs, core::PolicyKind::kRect},
-      {cluster::Approach::kOurs, core::PolicyKind::kFc},
-  };
-  return kAll;
-}
-
-node::NodeParams make_node_params(const ExperimentConfig& cfg) {
-  node::NodeParams p;
-  p.cores = cfg.cores;
-  p.memory_limit_mb = cfg.memory_mb;
-  if (cfg.our_post_factor_loaded >= 0.0) {
-    p.our_post_factor_loaded = cfg.our_post_factor_loaded;
-  }
-  if (cfg.strain_per_container >= 0.0) {
-    p.strain_per_container = cfg.strain_per_container;
-  }
-  if (cfg.context_switch_beta >= 0.0) {
-    p.context_switch_beta = cfg.context_switch_beta;
-  }
-  if (cfg.history_window > 0) p.history_window = cfg.history_window;
-  if (cfg.fc_window_s > 0.0) p.policy.fc_window = cfg.fc_window_s;
-  if (cfg.dispatch_daemon_gate > 0) {
-    p.dispatch_daemon_gate = cfg.dispatch_daemon_gate;
-  }
-  return p;
-}
-
 namespace {
 
-workload::Scenario make_scenario(const ExperimentConfig& cfg,
+workload::Scenario make_scenario(const ExperimentSpec& spec,
                                  const workload::FunctionCatalog& cat,
                                  sim::Rng& rng) {
   workload::ScenarioGenerator gen(cat);
-  switch (cfg.scenario) {
+  switch (spec.scenario()) {
     case ScenarioKind::kUniform:
       // Intensity is defined against the per-node core count; a multi-node
       // run spreads 1.1 * (num_nodes * cores) * intensity requests.
-      return gen.uniform_burst(cfg.cores * cfg.num_nodes, cfg.intensity, rng);
+      return gen.uniform_burst(spec.cores() * spec.nodes(), spec.intensity(),
+                               rng);
     case ScenarioKind::kFixedTotal:
-      WHISK_CHECK(cfg.fixed_total_requests > 0,
-                  "kFixedTotal needs fixed_total_requests");
-      return gen.fixed_total_burst(cfg.fixed_total_requests, rng);
+      WHISK_CHECK(spec.fixed_total() > 0,
+                  "kFixedTotal needs fixed_total(requests)");
+      return gen.fixed_total_burst(spec.fixed_total(), rng);
     case ScenarioKind::kFairness: {
-      auto fn = cat.find(cfg.fairness_rare_function);
+      auto fn = cat.find(spec.fairness_rare_function());
       WHISK_CHECK(fn.has_value(), "unknown fairness rare function");
-      return gen.fairness_burst(cfg.cores * cfg.num_nodes, cfg.intensity, *fn,
-                                cfg.fairness_rare_calls, rng);
+      return gen.fairness_burst(spec.cores() * spec.nodes(), spec.intensity(),
+                                *fn, spec.fairness_rare_calls(), rng);
     }
   }
   WHISK_CHECK(false, "unhandled scenario kind");
@@ -73,25 +35,27 @@ workload::Scenario make_scenario(const ExperimentConfig& cfg,
 
 }  // namespace
 
-RunResult run_experiment(const ExperimentConfig& cfg,
+RunResult run_experiment(const ExperimentSpec& spec,
                          const workload::FunctionCatalog& cat) {
   sim::Engine engine;
 
+  const SchedulerSpec sched = spec.scheduler().normalized();
   cluster::ClusterParams cp;
-  cp.approach = cfg.scheduler.approach;
-  cp.policy = cfg.scheduler.policy;
-  cp.num_nodes = cfg.num_nodes;
-  cp.node = make_node_params(cfg);
-  cp.balancer = cfg.balancer;
+  cp.invoker = sched.invoker;
+  cp.policy = sched.policy;
+  cp.balancer = sched.balancer;
+  cp.num_nodes = spec.nodes();
+  cp.node = spec.node_params();
 
   // Scenario and cluster noise derive from independent streams of the same
   // seed, so two schedulers at the same seed see the identical call
   // sequence (the paper compares schedulers on the same 5 sequences).
-  sim::Rng scenario_rng = sim::Rng(cfg.seed).fork(sim::hash_tag("scenario"));
-  const workload::Scenario scenario = make_scenario(cfg, cat, scenario_rng);
+  sim::Rng scenario_rng =
+      sim::Rng(spec.seed()).fork(sim::hash_tag("scenario"));
+  const workload::Scenario scenario = make_scenario(spec, cat, scenario_rng);
 
   cluster::Cluster cluster(engine, cat, cp,
-                           sim::Rng(cfg.seed)
+                           sim::Rng(spec.seed())
                                .fork(sim::hash_tag("cluster"))
                                .next_u64());
   cluster.warmup();
@@ -111,14 +75,14 @@ RunResult run_experiment(const ExperimentConfig& cfg,
   return out;
 }
 
-std::vector<RunResult> run_repetitions(ExperimentConfig cfg,
+std::vector<RunResult> run_repetitions(ExperimentSpec spec,
                                        const workload::FunctionCatalog& cat,
                                        int reps) {
   std::vector<RunResult> out;
   out.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    cfg.seed = static_cast<std::uint64_t>(r);
-    out.push_back(run_experiment(cfg, cat));
+    spec.seed(static_cast<std::uint64_t>(r));
+    out.push_back(run_experiment(spec, cat));
   }
   return out;
 }
@@ -144,8 +108,8 @@ std::vector<double> run_idle_function_benchmark(
     std::uint64_t seed, int cores) {
   sim::Engine engine;
   cluster::ClusterParams cp;
-  cp.approach = cluster::Approach::kOurs;
-  cp.policy = core::PolicyKind::kFifo;
+  cp.invoker = "ours";
+  cp.policy = "fifo";
   cp.num_nodes = 1;
   cp.node.cores = cores;
 

@@ -1,10 +1,10 @@
 #pragma once
 
-#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
-#include "core/policy.h"
+#include "experiments/experiment_spec.h"
+#include "experiments/scheduler_spec.h"
 #include "metrics/record.h"
 #include "node/invoker.h"
 #include "util/stats.h"
@@ -12,49 +12,6 @@
 #include "workload/scenario.h"
 
 namespace whisk::experiments {
-
-// One of the six schedulers the paper compares: the OpenWhisk baseline or
-// our approach with one of the five policies.
-struct Scheduler {
-  cluster::Approach approach = cluster::Approach::kOurs;
-  core::PolicyKind policy = core::PolicyKind::kFifo;
-
-  [[nodiscard]] std::string label() const;
-};
-
-// baseline, FIFO, SEPT, EECT, RECT, FC — the order of the paper's figures.
-[[nodiscard]] const std::vector<Scheduler>& paper_schedulers();
-
-// The kind of measured burst to generate.
-enum class ScenarioKind {
-  kUniform,     // 1.1 * cores * intensity requests, equal per function
-  kFixedTotal,  // explicit request count (multi-node experiments)
-  kFairness,    // Sec. VII-D: few calls of a rare long function
-};
-
-struct ExperimentConfig {
-  Scheduler scheduler;
-  int cores = 10;          // per node, for action containers
-  int intensity = 30;      // ignored for kFixedTotal
-  int num_nodes = 1;
-  double memory_mb = 32.0 * 1024.0;
-  std::uint64_t seed = 0;  // repetition index; drives scenario + node noise
-
-  ScenarioKind scenario = ScenarioKind::kUniform;
-  std::size_t fixed_total_requests = 0;  // for kFixedTotal
-  std::string fairness_rare_function = "dna-visualisation";
-  std::size_t fairness_rare_calls = 10;  // for kFairness
-
-  // Override knobs for ablations; negative/zero = keep the NodeParams
-  // default.
-  double our_post_factor_loaded = -1.0;
-  double strain_per_container = -1.0;
-  double context_switch_beta = -1.0;
-  std::size_t history_window = 0;
-  double fc_window_s = -1.0;
-  int dispatch_daemon_gate = 0;
-  cluster::BalancerKind balancer = cluster::BalancerKind::kRoundRobin;
-};
 
 // Everything the paper reports about one run.
 struct RunResult {
@@ -65,17 +22,13 @@ struct RunResult {
   node::InvokerStats stats;
 };
 
-// Build NodeParams for a config (applies overrides).
-[[nodiscard]] node::NodeParams make_node_params(const ExperimentConfig& cfg);
-
 // Run one seeded experiment end to end (warm-up, 60 s burst, drain).
-[[nodiscard]] RunResult run_experiment(const ExperimentConfig& cfg,
+[[nodiscard]] RunResult run_experiment(const ExperimentSpec& spec,
                                        const workload::FunctionCatalog& cat);
 
 // Run `reps` seeds (the paper uses 5) and return the per-seed results.
 [[nodiscard]] std::vector<RunResult> run_repetitions(
-    ExperimentConfig cfg, const workload::FunctionCatalog& cat,
-    int reps = 5);
+    ExperimentSpec spec, const workload::FunctionCatalog& cat, int reps = 5);
 
 // Pool the responses / stretches of several repetitions, as the paper's
 // box plots do.

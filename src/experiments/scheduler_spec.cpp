@@ -1,0 +1,65 @@
+#include "experiments/scheduler_spec.h"
+
+#include "cluster/balancer_registry.h"
+#include "core/policy_registry.h"
+#include "node/invoker_registry.h"
+#include "util/check.h"
+
+namespace whisk::experiments {
+
+SchedulerSpec SchedulerSpec::parse(std::string_view text) {
+  WHISK_CHECK(!text.empty(),
+              "empty scheduler spec; expected \"invoker[/policy[/balancer]]\" "
+              "like \"ours/sept/round-robin\"");
+  SchedulerSpec spec;
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t slash = text.find('/', begin);
+    const std::size_t end = slash == std::string_view::npos ? text.size()
+                                                            : slash;
+    parts.emplace_back(text.substr(begin, end - begin));
+    if (slash == std::string_view::npos) break;
+    begin = slash + 1;
+  }
+  WHISK_CHECK(parts.size() <= 3,
+              ("scheduler spec \"" + std::string(text) +
+               "\" has more than three components; expected "
+               "\"invoker[/policy[/balancer]]\"")
+                  .c_str());
+  if (!parts.empty()) spec.invoker = parts[0];
+  if (parts.size() > 1) spec.policy = parts[1];
+  if (parts.size() > 2) spec.balancer = parts[2];
+  return spec.normalized();
+}
+
+std::string SchedulerSpec::to_string() const {
+  return invoker + "/" + policy + "/" + balancer;
+}
+
+std::string SchedulerSpec::label() const {
+  if (invoker == "baseline") return "baseline";
+  return core::policy_label(policy);
+}
+
+SchedulerSpec SchedulerSpec::normalized() const {
+  SchedulerSpec out;
+  out.invoker = node::InvokerRegistry::instance().resolve(invoker);
+  out.policy = core::PolicyRegistry::instance().resolve(policy);
+  out.balancer = cluster::BalancerRegistry::instance().resolve(balancer);
+  return out;
+}
+
+const std::vector<SchedulerSpec>& paper_schedulers() {
+  static const std::vector<SchedulerSpec> kAll = {
+      {"baseline", "fifo", "round-robin"},
+      {"ours", "fifo", "round-robin"},
+      {"ours", "sept", "round-robin"},
+      {"ours", "eect", "round-robin"},
+      {"ours", "rect", "round-robin"},
+      {"ours", "fc", "round-robin"},
+  };
+  return kAll;
+}
+
+}  // namespace whisk::experiments

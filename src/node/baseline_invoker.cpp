@@ -108,13 +108,13 @@ void BaselineInvoker::process_queue() {
 
 void BaselineInvoker::dispatch(metrics::CallRecord rec,
                                container::ContainerId cid,
-                               metrics::StartKind kind) {
-  rec.start_kind = kind;
+                               metrics::StartKind start) {
+  rec.start_kind = start;
   const double act = activity();
   double op = 0.0;
   sim::SimTime init_delay = 0.0;
 
-  switch (kind) {
+  switch (start) {
     case metrics::StartKind::kWarm:
       ++stats_.warm_starts;
       op = ramped_op(params_.base_dispatch_idle_s,

@@ -62,7 +62,7 @@ class BaselineInvoker final : public Invoker {
 
   void process_queue();
   void dispatch(metrics::CallRecord rec, container::ContainerId cid,
-                metrics::StartKind kind);
+                metrics::StartKind start);
   void begin_exec(ActiveCall active);
   void on_exec_complete(os::CpuSystem::TaskId task);
   void finish_call(ActiveCall active);

@@ -1,0 +1,36 @@
+#include "node/invoker_registry.h"
+
+#include <memory>
+
+#include "node/baseline_invoker.h"
+#include "node/our_invoker.h"
+
+namespace whisk::node {
+namespace {
+
+void register_builtin_invokers(InvokerRegistry& registry) {
+  registry.register_factory("baseline", [](const InvokerArgs& args) {
+    return std::make_unique<BaselineInvoker>(args.engine, args.catalog,
+                                             args.params, args.rng,
+                                             args.delivery);
+  });
+  registry.register_factory("ours", [](const InvokerArgs& args) {
+    return std::make_unique<OurInvoker>(args.engine, args.catalog,
+                                        args.params, args.rng, args.delivery,
+                                        args.policy);
+  });
+  registry.register_alias("our", "ours");
+}
+
+}  // namespace
+
+InvokerRegistry& InvokerRegistry::instance() {
+  static InvokerRegistry* registry = [] {
+    auto* r = new InvokerRegistry();
+    register_builtin_invokers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace whisk::node

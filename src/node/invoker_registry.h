@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "node/invoker.h"
+#include "util/registry.h"
+#include "workload/function.h"
+
+namespace whisk::node {
+
+// Everything an invoker factory gets to work with. Built by the cluster
+// layer once per node; references outlive the factory call.
+struct InvokerArgs {
+  sim::Engine& engine;
+  const workload::FunctionCatalog& catalog;
+  NodeParams params;
+  sim::Rng rng;
+  Invoker::DeliveryFn delivery;
+  // Scheduling policy name for policy-driven invokers (the baseline
+  // ignores it).
+  std::string policy = "fifo";
+};
+
+// The open set of node-level resource managers, keyed by canonical
+// lowercase name. Built-ins ("baseline", "ours" with alias "our") are
+// registered on first use; new invoker variants can be added at runtime:
+//
+//   InvokerRegistry::instance().register_factory(
+//       "my-invoker", [](const InvokerArgs& args) {
+//         return std::make_unique<MyInvoker>(args.engine, ...);
+//       });
+//
+// Unknown names abort with a message listing every registered name.
+class InvokerRegistry final
+    : public util::FactoryRegistry<Invoker, const InvokerArgs&> {
+ public:
+  static InvokerRegistry& instance();
+
+ private:
+  InvokerRegistry() : FactoryRegistry("invoker") {}
+};
+
+}  // namespace whisk::node

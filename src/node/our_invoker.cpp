@@ -10,7 +10,7 @@ namespace whisk::node {
 OurInvoker::OurInvoker(sim::Engine& engine,
                        const workload::FunctionCatalog& catalog,
                        NodeParams params, sim::Rng rng, DeliveryFn delivery,
-                       core::PolicyKind policy)
+                       std::string_view policy)
     : Invoker(engine, catalog, params, rng, std::move(delivery)),
       policy_(core::make_policy(policy, params.policy)),
       history_(params.history_window),

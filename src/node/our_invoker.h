@@ -28,9 +28,11 @@ namespace whisk::node {
 // never gets evicted and the node performs zero cold starts (Sec. VI).
 class OurInvoker final : public Invoker {
  public:
+  // `policy` is any name registered with core::PolicyRegistry ("fifo",
+  // "sept", "eect", "rect", "fc", "sjf-aging", ...).
   OurInvoker(sim::Engine& engine, const workload::FunctionCatalog& catalog,
              NodeParams params, sim::Rng rng, DeliveryFn delivery,
-             core::PolicyKind policy);
+             std::string_view policy);
 
   void warmup() override;
   void submit(const workload::CallRequest& call) override;
@@ -43,7 +45,9 @@ class OurInvoker final : public Invoker {
   }
   [[nodiscard]] std::string_view approach() const override { return "our"; }
 
-  [[nodiscard]] core::PolicyKind policy() const { return policy_->kind(); }
+  [[nodiscard]] std::string_view policy_name() const {
+    return policy_->name();
+  }
 
   // Introspection for tests and telemetry.
   [[nodiscard]] const container::ContainerPool& pool() const { return pool_; }

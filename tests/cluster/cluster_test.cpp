@@ -76,7 +76,7 @@ TEST_F(ClusterTest, MultiNodeSpreadsCalls) {
   ClusterParams params;
   params.num_nodes = 4;
   params.node.cores = 5;
-  params.balancer = BalancerKind::kRoundRobin;
+  params.balancer = "round-robin";
   Cluster cluster(engine, catalog_, params, 2);
   cluster.warmup();
   sim::Rng rng(2);
@@ -112,7 +112,7 @@ TEST_F(ClusterTest, RoundRobinBalancesEvenly) {
 TEST_F(ClusterTest, BaselineApproachUsesBaselineInvoker) {
   sim::Engine engine;
   ClusterParams params;
-  params.approach = Approach::kBaseline;
+  params.invoker = "baseline";
   Cluster cluster(engine, catalog_, params, 1);
   EXPECT_EQ(cluster.invoker(0).approach(), "baseline");
 }
@@ -120,8 +120,8 @@ TEST_F(ClusterTest, BaselineApproachUsesBaselineInvoker) {
 TEST_F(ClusterTest, OurApproachUsesOurInvoker) {
   sim::Engine engine;
   ClusterParams params;
-  params.approach = Approach::kOurs;
-  params.policy = core::PolicyKind::kSept;
+  params.invoker = "ours";
+  params.policy = "sept";
   Cluster cluster(engine, catalog_, params, 1);
   EXPECT_EQ(cluster.invoker(0).approach(), "our");
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "cluster/balancer_registry.h"
 #include "node/our_invoker.h"
 #include "sim/engine.h"
 
@@ -14,14 +17,18 @@ class BalancerTest : public ::testing::Test {
  protected:
   BalancerTest() : catalog_(workload::sebs_catalog()) {
     for (int i = 0; i < 4; ++i) {
-      node::NodeParams p;
-      p.cores = 2;
-      invokers_.push_back(std::make_unique<node::OurInvoker>(
-          engine_, catalog_, p, sim::Rng(i),
-          [](const metrics::CallRecord&) {}, core::PolicyKind::kFifo));
-      invokers_.back()->warmup();
-      ptrs_.push_back(invokers_.back().get());
+      add_invoker(/*cores=*/2);
     }
+  }
+
+  void add_invoker(int cores) {
+    node::NodeParams p;
+    p.cores = cores;
+    invokers_.push_back(std::make_unique<node::OurInvoker>(
+        engine_, catalog_, p, sim::Rng(invokers_.size()),
+        [](const metrics::CallRecord&) {}, "fifo"));
+    invokers_.back()->warmup();
+    ptrs_.push_back(invokers_.back().get());
   }
 
   void load_node(std::size_t idx, int calls) {
@@ -42,7 +49,7 @@ class BalancerTest : public ::testing::Test {
 };
 
 TEST_F(BalancerTest, RoundRobinCycles) {
-  auto b = make_balancer(BalancerKind::kRoundRobin);
+  auto b = make_balancer("round-robin");
   EXPECT_EQ(b->pick(call(), ptrs_), 0u);
   EXPECT_EQ(b->pick(call(), ptrs_), 1u);
   EXPECT_EQ(b->pick(call(), ptrs_), 2u);
@@ -51,13 +58,13 @@ TEST_F(BalancerTest, RoundRobinCycles) {
 }
 
 TEST_F(BalancerTest, RoundRobinIgnoresFunction) {
-  auto b = make_balancer(BalancerKind::kRoundRobin);
+  auto b = make_balancer("round-robin");
   EXPECT_EQ(b->pick(call(3), ptrs_), 0u);
   EXPECT_EQ(b->pick(call(3), ptrs_), 1u);
 }
 
 TEST_F(BalancerTest, HomeInvokerIsFunctionSticky) {
-  auto b = make_balancer(BalancerKind::kHomeInvoker);
+  auto b = make_balancer("home-invoker");
   const auto first = b->pick(call(5), ptrs_);
   const auto second = b->pick(call(5), ptrs_);
   EXPECT_EQ(first, second) << "same function lands on its home while idle";
@@ -65,7 +72,7 @@ TEST_F(BalancerTest, HomeInvokerIsFunctionSticky) {
 }
 
 TEST_F(BalancerTest, HomeInvokerOverflowsWhenHomeBusy) {
-  auto b = make_balancer(BalancerKind::kHomeInvoker);
+  auto b = make_balancer("home-invoker");
   const std::size_t home = 1u;  // function 5 % 4 == 1
   load_node(home, 10);          // well beyond 2 * cores
   const auto got = b->pick(call(5), ptrs_);
@@ -73,7 +80,7 @@ TEST_F(BalancerTest, HomeInvokerOverflowsWhenHomeBusy) {
 }
 
 TEST_F(BalancerTest, LeastLoadedPicksEmptiestNode) {
-  auto b = make_balancer(BalancerKind::kLeastLoaded);
+  auto b = make_balancer("least-loaded");
   load_node(0, 3);
   load_node(1, 1);
   load_node(2, 5);
@@ -82,27 +89,100 @@ TEST_F(BalancerTest, LeastLoadedPicksEmptiestNode) {
 }
 
 TEST_F(BalancerTest, LeastLoadedBreaksTiesByIndex) {
-  auto b = make_balancer(BalancerKind::kLeastLoaded);
+  auto b = make_balancer("least-loaded");
   EXPECT_EQ(b->pick(call(), ptrs_), 0u);
 }
 
-TEST_F(BalancerTest, AllBalancersReturnValidIndices) {
-  for (const auto kind :
-       {BalancerKind::kRoundRobin, BalancerKind::kHomeInvoker,
-        BalancerKind::kLeastLoaded}) {
-    auto b = make_balancer(kind);
+TEST_F(BalancerTest, WeightedLeastLoadedNormalizesByCores) {
+  // A 16-core node with 4 in-flight calls (score 0.25) must beat the
+  // 2-core nodes carrying 1-2 calls each (scores 0.5-1.0), even though its
+  // raw backlog is the largest.
+  add_invoker(/*cores=*/16);  // index 4
+  load_node(0, 1);
+  load_node(1, 2);
+  load_node(2, 1);
+  load_node(3, 2);
+  load_node(4, 4);
+  auto b = make_balancer("weighted-least-loaded");
+  EXPECT_EQ(b->pick(call(), ptrs_), 4u);
+}
+
+TEST_F(BalancerTest, WeightedLeastLoadedMatchesUnweightedOnUniformFleet) {
+  auto b = make_balancer("weighted-least-loaded");
+  load_node(0, 3);
+  load_node(1, 1);
+  load_node(2, 5);
+  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+}
+
+TEST_F(BalancerTest, JoinIdleQueuePrefersIdleInvokers) {
+  auto b = make_balancer("join-idle-queue");
+  load_node(0, 2);
+  load_node(1, 1);
+  load_node(3, 4);
+  // Node 2 is the only idle one.
+  EXPECT_EQ(b->pick(call(), ptrs_), 2u);
+}
+
+TEST_F(BalancerTest, JoinIdleQueueRotatesOverIdleInvokers) {
+  auto b = make_balancer("join-idle-queue");
+  load_node(0, 2);
+  // Nodes 1, 2, 3 idle: consecutive picks spread instead of hammering the
+  // first idle node.
+  EXPECT_EQ(b->pick(call(), ptrs_), 1u);
+  EXPECT_EQ(b->pick(call(), ptrs_), 2u);
+  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+}
+
+TEST_F(BalancerTest, JoinIdleQueueFallsBackToLeastLoaded) {
+  auto b = make_balancer("join-idle-queue");
+  load_node(0, 3);
+  load_node(1, 1);
+  load_node(2, 5);
+  load_node(3, 2);
+  EXPECT_EQ(b->pick(call(), ptrs_), 1u);
+}
+
+TEST_F(BalancerTest, AllRegisteredBalancersReturnValidIndices) {
+  for (const auto& name : BalancerRegistry::instance().names()) {
+    auto b = make_balancer(name);
     for (int i = 0; i < 32; ++i) {
       const auto idx =
           b->pick(call(static_cast<workload::FunctionId>(i % 11)), ptrs_);
-      ASSERT_LT(idx, ptrs_.size()) << to_string(kind);
+      ASSERT_LT(idx, ptrs_.size()) << name;
     }
   }
 }
 
-TEST(BalancerNames, ToString) {
-  EXPECT_EQ(to_string(BalancerKind::kRoundRobin), "round-robin");
-  EXPECT_EQ(to_string(BalancerKind::kHomeInvoker), "home-invoker");
-  EXPECT_EQ(to_string(BalancerKind::kLeastLoaded), "least-loaded");
+TEST(BalancerNames, EveryRegisteredNameConstructsAndEchoesItsName) {
+  for (const auto& name : BalancerRegistry::instance().names()) {
+    auto b = make_balancer(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(b->name(), name);
+  }
+}
+
+TEST(BalancerNames, PaperAndNewBalancersAreRegistered) {
+  const auto names = BalancerRegistry::instance().names();
+  auto has = [&](std::string_view n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("round-robin"));
+  EXPECT_TRUE(has("home-invoker"));
+  EXPECT_TRUE(has("least-loaded"));
+  EXPECT_TRUE(has("weighted-least-loaded"));
+  EXPECT_TRUE(has("join-idle-queue"));
+}
+
+TEST(BalancerNames, LookupIsCaseInsensitiveAndAliased) {
+  EXPECT_EQ(make_balancer("Round-Robin")->name(), "round-robin");
+  EXPECT_EQ(make_balancer("JIQ")->name(), "join-idle-queue");
+}
+
+TEST(BalancerNamesDeath, UnknownNameEchoesInputAndListsNames) {
+  EXPECT_DEATH((void)make_balancer("best-effort"),
+               "unknown balancer \"best-effort\".*round-robin.*"
+               "weighted-least-loaded.*join-idle-queue");
 }
 
 }  // namespace

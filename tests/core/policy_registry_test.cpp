@@ -1,0 +1,150 @@
+#include "core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/history.h"
+
+namespace whisk::core {
+namespace {
+
+PolicyContext ctx(const RuntimeHistory& history, sim::SimTime received,
+                  workload::FunctionId fn) {
+  return PolicyContext{received, fn, &history};
+}
+
+TEST(PolicyRegistryApi, EveryRegisteredNameConstructsAndEchoesItsName) {
+  for (const auto& name : PolicyRegistry::instance().names()) {
+    auto p = PolicyRegistry::instance().create(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(PolicyRegistryApi, PaperPoliciesComeFirstInFigureOrder) {
+  const auto names = PolicyRegistry::instance().names();
+  ASSERT_GE(names.size(), 6u);
+  EXPECT_EQ(names[0], "fifo");
+  EXPECT_EQ(names[1], "sept");
+  EXPECT_EQ(names[2], "eect");
+  EXPECT_EQ(names[3], "rect");
+  EXPECT_EQ(names[4], "fc");
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "sjf-aging") !=
+              names.end());
+}
+
+TEST(PolicyRegistryApi, LookupIsCaseInsensitive) {
+  EXPECT_EQ(PolicyRegistry::instance().create("FIFO")->name(), "fifo");
+  EXPECT_EQ(PolicyRegistry::instance().create("Sjf-Aging")->name(),
+            "sjf-aging");
+}
+
+TEST(PolicyRegistryApi, AliasesResolveToCanonicalNames) {
+  EXPECT_TRUE(PolicyRegistry::instance().contains("fair-choice"));
+  EXPECT_EQ(PolicyRegistry::instance().resolve("fair-choice"), "fc");
+  EXPECT_EQ(PolicyRegistry::instance().create("fair-choice")->name(), "fc");
+  // Aliases never show up as canonical names.
+  const auto names = PolicyRegistry::instance().names();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "fair-choice") ==
+              names.end());
+}
+
+TEST(PolicyRegistryApi, RuntimeRegistrationIsImmediatelyUsable) {
+  class ConstantPolicy final : public Policy {
+   public:
+    double priority(const PolicyContext&) const override { return 42.0; }
+    std::string_view name() const override { return "constant-42"; }
+    bool starvation_free() const override { return false; }
+  };
+  PolicyRegistry::instance().register_factory(
+      "constant-42",
+      [](const PolicyParams&) { return std::make_unique<ConstantPolicy>(); });
+  auto p = PolicyRegistry::instance().create("constant-42");
+  RuntimeHistory history(10);
+  EXPECT_DOUBLE_EQ(p->priority(ctx(history, 1.0, 0)), 42.0);
+}
+
+TEST(PolicyRegistryApiDeath, UnknownNameEchoesInputAndListsNames) {
+  EXPECT_DEATH((void)PolicyRegistry::instance().create("lifo"),
+               "unknown policy \"lifo\".*fifo.*sept.*eect.*rect.*fc.*"
+               "sjf-aging");
+}
+
+TEST(PolicyRegistryApiDeath, DuplicateRegistrationIsRejected) {
+  EXPECT_DEATH(PolicyRegistry::instance().register_factory(
+                   "fifo",
+                   [](const PolicyParams&) -> std::unique_ptr<Policy> {
+                     return nullptr;
+                   }),
+               "policy \"fifo\" is already registered");
+}
+
+TEST(PolicyRegistryApiDeath, DuplicateRegistrationIsCaseInsensitive) {
+  EXPECT_DEATH(PolicyRegistry::instance().register_factory(
+                   "FIFO",
+                   [](const PolicyParams&) -> std::unique_ptr<Policy> {
+                     return nullptr;
+                   }),
+               "policy \"fifo\" is already registered");
+}
+
+// --- sjf-aging behavior ----------------------------------------------------
+
+TEST(SjfAgingPolicy, ReducesToSeptAtWeightZero) {
+  RuntimeHistory history(10);
+  history.record_runtime(1, 2.0, 0.0);
+  PolicyParams params;
+  params.sjf_aging_weight = 0.0;
+  auto aging = PolicyRegistry::instance().create("sjf-aging", params);
+  auto sept = PolicyRegistry::instance().create("sept");
+  EXPECT_DOUBLE_EQ(aging->priority(ctx(history, 100.0, 1)),
+                   sept->priority(ctx(history, 100.0, 1)));
+  EXPECT_FALSE(aging->starvation_free()) << "weight 0 is SEPT: can starve";
+}
+
+TEST(SjfAgingPolicy, MatchesEectAtWeightOne) {
+  RuntimeHistory history(10);
+  history.record_runtime(1, 2.0, 0.0);
+  PolicyParams params;
+  params.sjf_aging_weight = 1.0;
+  auto aging = PolicyRegistry::instance().create("sjf-aging", params);
+  auto eect = PolicyRegistry::instance().create("eect");
+  EXPECT_DOUBLE_EQ(aging->priority(ctx(history, 5.0, 1)),
+                   eect->priority(ctx(history, 5.0, 1)));
+}
+
+TEST(SjfAgingPolicy, AgingPreventsStarvation) {
+  // A long call (E = 8.5 s) waits while short calls (E = 0.012 s) keep
+  // arriving. Under SEPT every later short call outranks it forever; under
+  // sjf-aging a short call received after E_long / w loses to the old long
+  // call, so the long call's wait is bounded.
+  RuntimeHistory history(10);
+  history.record_runtime(1, 8.5, 0.0);    // dna-visualisation-like
+  history.record_runtime(2, 0.012, 0.0);  // graph-bfs-like
+
+  auto sept = PolicyRegistry::instance().create("sept");
+  PolicyParams params;
+  params.sjf_aging_weight = 0.1;
+  auto aging = PolicyRegistry::instance().create("sjf-aging", params);
+  EXPECT_TRUE(aging->starvation_free());
+
+  const double long_at_zero_sept = sept->priority(ctx(history, 0.0, 1));
+  const double long_at_zero_aging = aging->priority(ctx(history, 0.0, 1));
+
+  // Far beyond the aging horizon E_long / w = 85 s: SEPT still serves the
+  // brand-new short call first; sjf-aging serves the long call.
+  const double much_later = 200.0;
+  EXPECT_LT(sept->priority(ctx(history, much_later, 2)), long_at_zero_sept)
+      << "SEPT starves the long call indefinitely";
+  EXPECT_GT(aging->priority(ctx(history, much_later, 2)),
+            long_at_zero_aging)
+      << "sjf-aging ages the long call past fresh short arrivals";
+
+  // Within the horizon the short call still wins — it keeps SEPT's
+  // short-first behavior where that is safe.
+  EXPECT_LT(aging->priority(ctx(history, 10.0, 2)), long_at_zero_aging);
+}
+
+}  // namespace
+}  // namespace whisk::core

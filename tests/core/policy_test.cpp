@@ -138,7 +138,7 @@ TEST(PolicyRegistry, AllFivePoliciesExist) {
   for (const auto kind : all_policies()) {
     auto p = make_policy(kind);
     ASSERT_NE(p, nullptr);
-    EXPECT_EQ(p->kind(), kind);
+    EXPECT_EQ(p->name(), registry_name(kind));
   }
 }
 

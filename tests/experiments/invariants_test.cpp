@@ -4,6 +4,8 @@
 // same service-time marginals).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
 #include <tuple>
 
 #include "experiments/runner.h"
@@ -11,13 +13,6 @@
 
 namespace whisk::experiments {
 namespace {
-
-struct Case {
-  Scheduler scheduler;
-  int cores;
-  int intensity;
-  std::uint64_t seed;
-};
 
 class EndToEndInvariants
     : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {
@@ -28,11 +23,11 @@ class EndToEndInvariants
 TEST_P(EndToEndInvariants, HoldForEveryScheduler) {
   const auto [cores, intensity, seed] = GetParam();
   for (const auto& sched : paper_schedulers()) {
-    ExperimentConfig cfg;
-    cfg.cores = cores;
-    cfg.intensity = intensity;
-    cfg.seed = seed;
-    cfg.scheduler = sched;
+    const auto cfg = ExperimentSpec()
+                         .cores(cores)
+                         .intensity(intensity)
+                         .seed(seed)
+                         .scheduler(sched);
     const auto run = run_experiment(cfg, cat_);
 
     const std::size_t expected =
@@ -88,14 +83,11 @@ TEST(CrossScheduler, TotalServiceTimeIsScheduleIndependent) {
   // execution order, the per-function service *distributions* must agree
   // across schedulers (no policy can change what the workload demands).
   const auto cat = workload::sebs_catalog();
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
-  cfg.seed = 0;
+  auto cfg = ExperimentSpec().cores(5).intensity(30).seed(0);
 
   std::vector<double> totals;
   for (const auto& sched : paper_schedulers()) {
-    cfg.scheduler = sched;
+    cfg.scheduler(sched);
     const auto run = run_experiment(cfg, cat);
     double total = 0.0;
     for (const auto& rec : run.records) total += rec.service;
@@ -113,12 +105,10 @@ TEST(CrossScheduler, StarvationFreePoliciesBoundTheTail) {
   // may exceed the drain horizon by orders of magnitude, and the last
   // *started* call must start before the overall max completion.
   const auto cat = workload::sebs_catalog();
-  for (const auto policy :
-       {core::PolicyKind::kEect, core::PolicyKind::kRect}) {
-    ExperimentConfig cfg;
-    cfg.cores = 10;
-    cfg.intensity = 60;
-    cfg.scheduler = {cluster::Approach::kOurs, policy};
+  for (const std::string_view policy : {"eect", "rect", "sjf-aging"}) {
+    const auto cfg =
+        ExperimentSpec().cores(10).intensity(60).scheduler(
+            SchedulerSpec{"ours", std::string(policy)});
     const auto run = run_experiment(cfg, cat);
     for (const auto& rec : run.records) {
       ASSERT_LE(rec.response(), run.max_completion);
@@ -129,10 +119,8 @@ TEST(CrossScheduler, StarvationFreePoliciesBoundTheTail) {
 TEST(CrossScheduler, SeptMayStarveLongCallsUntilDrainEnd) {
   // SEPT's known trade-off: the very last completions are the long calls.
   const auto cat = workload::sebs_catalog();
-  ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = 60;
-  cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kSept};
+  const auto cfg =
+      ExperimentSpec().cores(10).intensity(60).scheduler("ours/sept");
   const auto run = run_experiment(cfg, cat);
   const auto dna = *cat.find("dna-visualisation");
   // The call that completes last is a dna-visualisation call.
@@ -147,11 +135,8 @@ TEST(CrossScheduler, SeptMayStarveLongCallsUntilDrainEnd) {
 TEST(Determinism, WholeGridIsSeedDeterministic) {
   const auto cat = workload::sebs_catalog();
   for (const auto& sched : paper_schedulers()) {
-    ExperimentConfig cfg;
-    cfg.cores = 5;
-    cfg.intensity = 30;
-    cfg.seed = 11;
-    cfg.scheduler = sched;
+    const auto cfg =
+        ExperimentSpec().cores(5).intensity(30).seed(11).scheduler(sched);
     const auto a = run_experiment(cfg, cat);
     const auto b = run_experiment(cfg, cat);
     ASSERT_EQ(a.max_completion, b.max_completion) << sched.label();

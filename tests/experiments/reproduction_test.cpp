@@ -7,6 +7,9 @@
 // binaries run the full 5-seed versions.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 #include "experiments/paper_data.h"
 #include "experiments/runner.h"
 #include "util/stats.h"
@@ -18,21 +21,18 @@ class Reproduction : public ::testing::Test {
  protected:
   static constexpr int kReps = 2;
 
-  util::Summary responses(int cores, int intensity, const Scheduler& sched) {
-    ExperimentConfig cfg;
-    cfg.cores = cores;
-    cfg.intensity = intensity;
-    cfg.scheduler = sched;
+  util::Summary responses(int cores, int intensity,
+                          const SchedulerSpec& sched) {
+    const auto cfg =
+        ExperimentSpec().cores(cores).intensity(intensity).scheduler(sched);
     const auto runs = run_repetitions(cfg, cat_, kReps);
     return util::summarize(pooled_responses(runs));
   }
 
-  static Scheduler ours(core::PolicyKind policy) {
-    return {cluster::Approach::kOurs, policy};
+  static SchedulerSpec ours(std::string_view policy) {
+    return SchedulerSpec{"ours", std::string(policy)};
   }
-  static Scheduler baseline() {
-    return {cluster::Approach::kBaseline, core::PolicyKind::kFifo};
-  }
+  static SchedulerSpec baseline() { return SchedulerSpec{"baseline"}; }
 
   workload::FunctionCatalog cat_ = workload::sebs_catalog();
 };
@@ -49,11 +49,11 @@ TEST_F(Reproduction, Table1_IdleMediansTrackPaper) {
 
 TEST_F(Reproduction, Fig2a_BaselineColdStartsScaleWithIntensityNotMemory) {
   auto colds = [&](int intensity, double memory_mb) {
-    ExperimentConfig cfg;
-    cfg.cores = 10;
-    cfg.intensity = intensity;
-    cfg.memory_mb = memory_mb;
-    cfg.scheduler = baseline();
+    const auto cfg = ExperimentSpec()
+                         .cores(10)
+                         .intensity(intensity)
+                         .memory_mb(memory_mb)
+                         .scheduler(baseline());
     const auto run = run_experiment(cfg, cat_);
     return run.stats.cold_starts;
   };
@@ -73,11 +73,11 @@ TEST_F(Reproduction, Fig2a_BaselineColdStartsScaleWithIntensityNotMemory) {
 
 TEST_F(Reproduction, Fig2b_OurColdStartsVanishWithMemory) {
   auto colds = [&](double memory_mb) {
-    ExperimentConfig cfg;
-    cfg.cores = 10;
-    cfg.intensity = 120;
-    cfg.memory_mb = memory_mb;
-    cfg.scheduler = ours(core::PolicyKind::kFifo);
+    const auto cfg = ExperimentSpec()
+                         .cores(10)
+                         .intensity(120)
+                         .memory_mb(memory_mb)
+                         .scheduler(ours("fifo"));
     const auto run = run_experiment(cfg, cat_);
     return run.stats.cold_starts;
   };
@@ -93,12 +93,10 @@ TEST_F(Reproduction, Fig2b_OurColdStartsVanishWithMemory) {
 
 TEST_F(Reproduction, Table2_CompletionRatioCrossesOneWithCores) {
   auto ratio = [&](int cores, int intensity) {
-    ExperimentConfig cfg;
-    cfg.cores = cores;
-    cfg.intensity = intensity;
-    cfg.scheduler = ours(core::PolicyKind::kFifo);
+    auto cfg = ExperimentSpec().cores(cores).intensity(intensity);
+    cfg.scheduler(ours("fifo"));
     const auto fifo = run_repetitions(cfg, cat_, kReps);
-    cfg.scheduler = baseline();
+    cfg.scheduler(baseline());
     const auto base = run_repetitions(cfg, cat_, kReps);
     double sum = 0.0;
     for (std::size_t i = 0; i < fifo.size(); ++i) {
@@ -117,9 +115,9 @@ TEST_F(Reproduction, Fig3_SeptAndFcBeatFifoSeveralFold) {
   // Paper Sec. VII-A: average relative response-time improvement of SEPT
   // over FIFO is 3.59 and of FC is 4.10. Require at least 2x at the
   // intermediate configuration.
-  const auto fifo = responses(10, 60, ours(core::PolicyKind::kFifo));
-  const auto sept = responses(10, 60, ours(core::PolicyKind::kSept));
-  const auto fc = responses(10, 60, ours(core::PolicyKind::kFc));
+  const auto fifo = responses(10, 60, ours("fifo"));
+  const auto sept = responses(10, 60, ours("sept"));
+  const auto fc = responses(10, 60, ours("fc"));
   EXPECT_GT(fifo.mean / sept.mean, 2.0);
   EXPECT_GT(fifo.mean / fc.mean, 2.0);
   // Medians collapse even harder (paper: 95.9x at intensity 60).
@@ -127,10 +125,10 @@ TEST_F(Reproduction, Fig3_SeptAndFcBeatFifoSeveralFold) {
 }
 
 TEST_F(Reproduction, Fig3_EectAndRectSitBetweenFifoAndSept) {
-  const auto fifo = responses(10, 60, ours(core::PolicyKind::kFifo));
-  const auto eect = responses(10, 60, ours(core::PolicyKind::kEect));
-  const auto rect = responses(10, 60, ours(core::PolicyKind::kRect));
-  const auto sept = responses(10, 60, ours(core::PolicyKind::kSept));
+  const auto fifo = responses(10, 60, ours("fifo"));
+  const auto eect = responses(10, 60, ours("eect"));
+  const auto rect = responses(10, 60, ours("rect"));
+  const auto sept = responses(10, 60, ours("sept"));
   EXPECT_LT(eect.mean, fifo.mean);
   EXPECT_LT(rect.mean, fifo.mean);
   EXPECT_GT(eect.mean, sept.mean);
@@ -141,11 +139,11 @@ TEST_F(Reproduction, Fig3_BaselineBeatsOurFifoAtLowScaleOnly) {
   // The paper's improvement factor at 10 cores/intensity 30 is 0.41 (the
   // baseline is better); at 20 cores the baseline loses (factor 1.79-1.98).
   const auto base_low = responses(10, 30, baseline());
-  const auto fifo_low = responses(10, 30, ours(core::PolicyKind::kFifo));
+  const auto fifo_low = responses(10, 30, ours("fifo"));
   EXPECT_LT(base_low.mean, fifo_low.mean);
 
   const auto base_high = responses(20, 40, baseline());
-  const auto fifo_high = responses(20, 40, ours(core::PolicyKind::kFifo));
+  const auto fifo_high = responses(20, 40, ours("fifo"));
   EXPECT_GT(base_high.mean / fifo_high.mean, 1.2);
 }
 
@@ -153,9 +151,9 @@ TEST_F(Reproduction, Fig3_FifoImprovementGrowsWithIntensity) {
   // Paper Sec. VII-B: with 20 CPUs the baseline-to-FIFO ratio stays ~1.8-2
   // across intensities; the absolute gap widens.
   const auto base40 = responses(20, 40, baseline());
-  const auto fifo40 = responses(20, 40, ours(core::PolicyKind::kFifo));
+  const auto fifo40 = responses(20, 40, ours("fifo"));
   const auto base120 = responses(20, 120, baseline());
-  const auto fifo120 = responses(20, 120, ours(core::PolicyKind::kFifo));
+  const auto fifo120 = responses(20, 120, ours("fifo"));
   EXPECT_GT(base40.mean, fifo40.mean);
   EXPECT_GT(base120.mean, fifo120.mean);
   EXPECT_GT(base120.mean - fifo120.mean, base40.mean - fifo40.mean);
@@ -164,13 +162,11 @@ TEST_F(Reproduction, Fig3_FifoImprovementGrowsWithIntensity) {
 TEST_F(Reproduction, Fig4_StretchImprovementIsLargerThanResponse) {
   // Paper: stretch improvements (14.9x SEPT, 18x FC vs FIFO) exceed the
   // response improvements because short calls dominate the stretch.
-  ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = 60;
-  cfg.scheduler = ours(core::PolicyKind::kFifo);
+  auto cfg = ExperimentSpec().cores(10).intensity(60);
+  cfg.scheduler(ours("fifo"));
   const auto fifo = util::summarize(
       pooled_stretches(run_repetitions(cfg, cat_, kReps)));
-  cfg.scheduler = ours(core::PolicyKind::kSept);
+  cfg.scheduler(ours("sept"));
   const auto sept = util::summarize(
       pooled_stretches(run_repetitions(cfg, cat_, kReps)));
   EXPECT_GT(fifo.mean / sept.mean, 5.0);
@@ -179,18 +175,19 @@ TEST_F(Reproduction, Fig4_StretchImprovementIsLargerThanResponse) {
 TEST_F(Reproduction, Fig4_SeptKeepsShortCallsNearIdleLatency) {
   // Under SEPT the median response stays near ~1-3 s even under heavy
   // overload (paper: 1.07 s at 10 cores / intensity 60).
-  const auto sept = responses(10, 60, ours(core::PolicyKind::kSept));
+  const auto sept = responses(10, 60, ours("sept"));
   EXPECT_LT(sept.p50, 6.0);
 }
 
 TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
   const auto dna = *cat_.find("dna-visualisation");
-  auto dna_stretch = [&](core::PolicyKind policy) {
-    ExperimentConfig cfg;
-    cfg.cores = 10;
-    cfg.intensity = 90;
-    cfg.scenario = ScenarioKind::kFairness;
-    cfg.scheduler = ours(policy);
+  auto dna_stretch = [&](std::string_view policy) {
+    const auto cfg = ExperimentSpec()
+                         .cores(10)
+                         .intensity(90)
+                         .fairness("dna-visualisation", 10)
+                         .scheduler(SchedulerSpec{"ours",
+                                                  std::string(policy)});
     const auto runs = run_repetitions(cfg, cat_, kReps);
     std::vector<double> pool;
     for (const auto& run : runs) {
@@ -202,8 +199,8 @@ TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
     }
     return util::summarize(pool);
   };
-  const auto sept = dna_stretch(core::PolicyKind::kSept);
-  const auto fc = dna_stretch(core::PolicyKind::kFc);
+  const auto sept = dna_stretch("sept");
+  const auto fc = dna_stretch("fc");
   // FC treats the rare long function much better than SEPT (paper: avg
   // stretch 5.3 -> 2.1, median 5.2 -> 1.6). Our reproduction preserves the
   // direction and a several-fold margin; the absolute median lands higher
@@ -215,12 +212,11 @@ TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
 
 TEST_F(Reproduction, Fig6_FcOnThreeNodesBeatsBaselineOnFour) {
   auto multi = [&](int nodes, bool use_baseline) {
-    ExperimentConfig cfg;
-    cfg.cores = 18;
-    cfg.num_nodes = nodes;
-    cfg.scenario = ScenarioKind::kFixedTotal;
-    cfg.fixed_total_requests = 2376;
-    cfg.scheduler = use_baseline ? baseline() : ours(core::PolicyKind::kFc);
+    const auto cfg = ExperimentSpec()
+                         .cores(18)
+                         .nodes(nodes)
+                         .fixed_total(2376)
+                         .scheduler(use_baseline ? baseline() : ours("fc"));
     const auto runs = run_repetitions(cfg, cat_, kReps);
     return util::summarize(pooled_responses(runs));
   };
@@ -241,12 +237,11 @@ TEST_F(Reproduction, Fig6_FcOnThreeNodesBeatsBaselineOnFour) {
 
 TEST_F(Reproduction, MultiNode_BaselineScalesWithNodes) {
   auto avg = [&](int nodes) {
-    ExperimentConfig cfg;
-    cfg.cores = 10;
-    cfg.num_nodes = nodes;
-    cfg.scenario = ScenarioKind::kFixedTotal;
-    cfg.fixed_total_requests = 1320;
-    cfg.scheduler = baseline();
+    const auto cfg = ExperimentSpec()
+                         .cores(10)
+                         .nodes(nodes)
+                         .fixed_total(1320)
+                         .scheduler(baseline());
     const auto runs = run_repetitions(cfg, cat_, kReps);
     return util::summarize(pooled_responses(runs)).mean;
   };

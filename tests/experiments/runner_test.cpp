@@ -13,13 +13,9 @@ class RunnerTest : public ::testing::Test {
 };
 
 TEST_F(RunnerTest, SchedulerLabels) {
-  EXPECT_EQ(
-      (Scheduler{cluster::Approach::kBaseline, core::PolicyKind::kFifo})
-          .label(),
-      "baseline");
-  EXPECT_EQ(
-      (Scheduler{cluster::Approach::kOurs, core::PolicyKind::kSept}).label(),
-      "SEPT");
+  EXPECT_EQ((SchedulerSpec{"baseline", "fifo"}).label(), "baseline");
+  EXPECT_EQ((SchedulerSpec{"ours", "sept"}).label(), "SEPT");
+  EXPECT_EQ(SchedulerSpec::parse("ours/sjf-aging").label(), "SJF-AGING");
 }
 
 TEST_F(RunnerTest, PaperSchedulersInFigureOrder) {
@@ -34,9 +30,7 @@ TEST_F(RunnerTest, PaperSchedulersInFigureOrder) {
 }
 
 TEST_F(RunnerTest, RunProducesOneRecordPerRequest) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
+  const auto cfg = ExperimentSpec().cores(5).intensity(30);
   const auto run = run_experiment(cfg, cat_);
   EXPECT_EQ(run.records.size(), 165u);
   EXPECT_EQ(run.responses.size(), 165u);
@@ -45,10 +39,7 @@ TEST_F(RunnerTest, RunProducesOneRecordPerRequest) {
 }
 
 TEST_F(RunnerTest, SameSeedIsReproducible) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
-  cfg.seed = 3;
+  const auto cfg = ExperimentSpec().cores(5).intensity(30).seed(3);
   const auto a = run_experiment(cfg, cat_);
   const auto b = run_experiment(cfg, cat_);
   ASSERT_EQ(a.responses.size(), b.responses.size());
@@ -58,13 +49,10 @@ TEST_F(RunnerTest, SameSeedIsReproducible) {
 }
 
 TEST_F(RunnerTest, SchedulersShareTheCallSequencePerSeed) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
-  cfg.seed = 2;
-  cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kFifo};
+  auto cfg = ExperimentSpec().cores(5).intensity(30).seed(2);
+  cfg.scheduler("ours/fifo");
   const auto fifo = run_experiment(cfg, cat_);
-  cfg.scheduler = {cluster::Approach::kOurs, core::PolicyKind::kSept};
+  cfg.scheduler("ours/sept");
   const auto sept = run_experiment(cfg, cat_);
   // Identical releases and functions per call id (the paper compares
   // schedulers on the same 5 sequences).
@@ -86,9 +74,7 @@ TEST_F(RunnerTest, SchedulersShareTheCallSequencePerSeed) {
 }
 
 TEST_F(RunnerTest, RepetitionsUseDistinctSeeds) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
+  const auto cfg = ExperimentSpec().cores(5).intensity(30);
   const auto reps = run_repetitions(cfg, cat_, 3);
   ASSERT_EQ(reps.size(), 3u);
   EXPECT_NE(reps[0].responses, reps[1].responses);
@@ -96,25 +82,24 @@ TEST_F(RunnerTest, RepetitionsUseDistinctSeeds) {
 }
 
 TEST_F(RunnerTest, PooledVectorsConcatenate) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
+  const auto cfg = ExperimentSpec().cores(5).intensity(30);
   const auto reps = run_repetitions(cfg, cat_, 2);
   EXPECT_EQ(pooled_responses(reps).size(), 330u);
   EXPECT_EQ(pooled_stretches(reps).size(), 330u);
 }
 
 TEST_F(RunnerTest, NodeParamOverridesApply) {
-  ExperimentConfig cfg;
-  cfg.cores = 7;
-  cfg.memory_mb = 1234.0;
-  cfg.history_window = 5;
-  cfg.fc_window_s = 30.0;
-  cfg.context_switch_beta = 0.7;
-  cfg.strain_per_container = 0.02;
-  cfg.dispatch_daemon_gate = 9;
-  cfg.our_post_factor_loaded = 0.1;
-  const auto p = make_node_params(cfg);
+  const auto cfg = ExperimentSpec()
+                       .cores(7)
+                       .memory_mb(1234.0)
+                       .with_override("history_window", 5)
+                       .with_override("fc_window", 30.0)
+                       .with_override("context_switch_beta", 0.7)
+                       .with_override("strain_per_container", 0.02)
+                       .with_override("dispatch_daemon_gate", 9)
+                       .with_override("our_post_factor_loaded", 0.1)
+                       .with_override("sjf_aging_weight", 0.5);
+  const auto p = cfg.node_params();
   EXPECT_EQ(p.cores, 7);
   EXPECT_DOUBLE_EQ(p.memory_limit_mb, 1234.0);
   EXPECT_EQ(p.history_window, 5u);
@@ -123,11 +108,11 @@ TEST_F(RunnerTest, NodeParamOverridesApply) {
   EXPECT_DOUBLE_EQ(p.strain_per_container, 0.02);
   EXPECT_EQ(p.dispatch_daemon_gate, 9);
   EXPECT_DOUBLE_EQ(p.our_post_factor_loaded, 0.1);
+  EXPECT_DOUBLE_EQ(p.policy.sjf_aging_weight, 0.5);
 }
 
 TEST_F(RunnerTest, DefaultsPreservedWithoutOverrides) {
-  ExperimentConfig cfg;
-  const auto p = make_node_params(cfg);
+  const auto p = ExperimentSpec().node_params();
   const node::NodeParams ref;
   EXPECT_EQ(p.history_window, ref.history_window);
   EXPECT_DOUBLE_EQ(p.policy.fc_window, ref.policy.fc_window);
@@ -135,12 +120,47 @@ TEST_F(RunnerTest, DefaultsPreservedWithoutOverrides) {
   EXPECT_EQ(p.dispatch_daemon_gate, ref.dispatch_daemon_gate);
 }
 
+TEST_F(RunnerTest, OverridesAreCaseInsensitiveAndEnumerable) {
+  const auto cfg = ExperimentSpec().with_override("History_Window", 4);
+  EXPECT_EQ(cfg.overrides().count("history_window"), 1u);
+  EXPECT_EQ(cfg.node_params().history_window, 4u);
+  EXPECT_FALSE(ExperimentSpec::override_names().empty());
+}
+
+TEST_F(RunnerTest, OutOfRangeOverridesAreRejected) {
+  // The old sentinel API treated negatives as "keep default"; the named map
+  // refuses them outright instead of casting them into garbage.
+  EXPECT_DEATH((void)ExperimentSpec().with_override("history_window", -1.0),
+               "out of range.*whole number >= 1");
+  EXPECT_DEATH((void)ExperimentSpec().with_override("history_window", 2.5),
+               "out of range");
+  EXPECT_DEATH((void)ExperimentSpec().with_override("fc_window", 0.0),
+               "out of range.*value > 0");
+  EXPECT_DEATH(
+      (void)ExperimentSpec().with_override("strain_per_container", -0.1),
+      "out of range.*value >= 0");
+  // Boundary values the old guards allowed stay allowed.
+  EXPECT_DOUBLE_EQ(ExperimentSpec()
+                       .with_override("fc_window", 0.5)
+                       .node_params()
+                       .policy.fc_window,
+                   0.5);
+  EXPECT_DOUBLE_EQ(ExperimentSpec()
+                       .with_override("context_switch_beta", 0.0)
+                       .node_params()
+                       .context_switch_beta,
+                   0.0);
+}
+
+TEST_F(RunnerTest, UnknownOverrideDiesListingValidNames) {
+  EXPECT_DEATH((void)ExperimentSpec().with_override("warp_factor", 9.0),
+               "unknown experiment override \\\"warp_factor\\\".*"
+               "history_window");
+}
+
 TEST_F(RunnerTest, FairnessScenarioHasRareFunction) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.intensity = 30;
-  cfg.scenario = ScenarioKind::kFairness;
-  cfg.fairness_rare_calls = 4;
+  const auto cfg = ExperimentSpec().cores(5).intensity(30).fairness(
+      "dna-visualisation", 4);
   const auto run = run_experiment(cfg, cat_);
   const auto dna = *cat_.find("dna-visualisation");
   int rare = 0;
@@ -151,11 +171,7 @@ TEST_F(RunnerTest, FairnessScenarioHasRareFunction) {
 }
 
 TEST_F(RunnerTest, MultiNodeFixedTotal) {
-  ExperimentConfig cfg;
-  cfg.cores = 5;
-  cfg.num_nodes = 2;
-  cfg.scenario = ScenarioKind::kFixedTotal;
-  cfg.fixed_total_requests = 110;
+  const auto cfg = ExperimentSpec().cores(5).nodes(2).fixed_total(110);
   const auto run = run_experiment(cfg, cat_);
   EXPECT_EQ(run.records.size(), 110u);
 }

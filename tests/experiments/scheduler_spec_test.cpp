@@ -1,0 +1,88 @@
+#include "experiments/scheduler_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/balancer_registry.h"
+#include "core/policy_registry.h"
+#include "node/invoker_registry.h"
+
+namespace whisk::experiments {
+namespace {
+
+TEST(SchedulerSpec_, DefaultsToOursFifoRoundRobin) {
+  const SchedulerSpec spec;
+  EXPECT_EQ(spec.invoker, "ours");
+  EXPECT_EQ(spec.policy, "fifo");
+  EXPECT_EQ(spec.balancer, "round-robin");
+}
+
+TEST(SchedulerSpec_, ParsesFullTriple) {
+  const auto spec = SchedulerSpec::parse("ours/sept/round-robin");
+  EXPECT_EQ(spec, (SchedulerSpec{"ours", "sept", "round-robin"}));
+}
+
+TEST(SchedulerSpec_, ShorterFormsKeepDefaults) {
+  EXPECT_EQ(SchedulerSpec::parse("baseline"),
+            (SchedulerSpec{"baseline", "fifo", "round-robin"}));
+  EXPECT_EQ(SchedulerSpec::parse("ours/fc"),
+            (SchedulerSpec{"ours", "fc", "round-robin"}));
+}
+
+TEST(SchedulerSpec_, ParseNormalizesCaseAndAliases) {
+  EXPECT_EQ(SchedulerSpec::parse("OURS/Fair-Choice/JIQ"),
+            (SchedulerSpec{"ours", "fc", "join-idle-queue"}));
+  EXPECT_EQ(SchedulerSpec::parse("our/sept"),
+            (SchedulerSpec{"ours", "sept", "round-robin"}));
+}
+
+TEST(SchedulerSpec_, ToStringRoundTripsForAllRegisteredCombinations) {
+  for (const auto& invoker : node::InvokerRegistry::instance().names()) {
+    for (const auto& policy : core::PolicyRegistry::instance().names()) {
+      for (const auto& balancer :
+           cluster::BalancerRegistry::instance().names()) {
+        const SchedulerSpec spec{invoker, policy, balancer};
+        const auto text = spec.to_string();
+        EXPECT_EQ(text, invoker + "/" + policy + "/" + balancer);
+        EXPECT_EQ(SchedulerSpec::parse(text), spec) << text;
+      }
+    }
+  }
+}
+
+TEST(SchedulerSpec_, PaperSchedulersKeepTheFigureOrderAndLabels) {
+  const auto& all = paper_schedulers();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].label(), "baseline");
+  EXPECT_EQ(all[1].label(), "FIFO");
+  EXPECT_EQ(all[2].label(), "SEPT");
+  EXPECT_EQ(all[3].label(), "EECT");
+  EXPECT_EQ(all[4].label(), "RECT");
+  EXPECT_EQ(all[5].label(), "FC");
+  for (const auto& spec : all) {
+    EXPECT_EQ(spec, spec.normalized()) << spec.to_string();
+    EXPECT_EQ(spec.balancer, "round-robin");
+  }
+}
+
+TEST(SchedulerSpec_, LabelUppercasesThePolicyForOurInvokers) {
+  EXPECT_EQ((SchedulerSpec{"ours", "sjf-aging"}).label(), "SJF-AGING");
+  EXPECT_EQ((SchedulerSpec{"baseline", "sept"}).label(), "baseline");
+}
+
+TEST(SchedulerSpecDeath, UnknownComponentsEchoInputAndListNames) {
+  EXPECT_DEATH((void)SchedulerSpec::parse("warp-drive"),
+               "unknown invoker \"warp-drive\".*baseline.*ours");
+  EXPECT_DEATH((void)SchedulerSpec::parse("ours/lifo"),
+               "unknown policy \"lifo\".*fifo.*sept.*eect.*rect.*fc");
+  EXPECT_DEATH((void)SchedulerSpec::parse("ours/fifo/best-effort"),
+               "unknown balancer \"best-effort\".*round-robin");
+}
+
+TEST(SchedulerSpecDeath, MalformedSpecsAreRejected) {
+  EXPECT_DEATH((void)SchedulerSpec::parse(""), "empty scheduler spec");
+  EXPECT_DEATH((void)SchedulerSpec::parse("a/b/c/d"),
+               "more than three components");
+}
+
+}  // namespace
+}  // namespace whisk::experiments

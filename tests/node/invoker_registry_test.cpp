@@ -1,0 +1,95 @@
+#include "node/invoker_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "node/our_invoker.h"
+#include "sim/engine.h"
+
+namespace whisk::node {
+namespace {
+
+class InvokerRegistryTest : public ::testing::Test {
+ protected:
+  InvokerRegistryTest() : catalog_(workload::sebs_catalog()) {}
+
+  InvokerArgs args(std::string policy = "fifo") {
+    NodeParams p;
+    p.cores = 2;
+    return InvokerArgs{engine_, catalog_, p, sim::Rng(1),
+                       [](const metrics::CallRecord&) {}, std::move(policy)};
+  }
+
+  sim::Engine engine_;
+  workload::FunctionCatalog catalog_;
+};
+
+TEST_F(InvokerRegistryTest, EveryRegisteredNameConstructs) {
+  for (const auto& name : InvokerRegistry::instance().names()) {
+    auto inv = InvokerRegistry::instance().create(name, args());
+    ASSERT_NE(inv, nullptr) << name;
+    EXPECT_FALSE(inv->approach().empty()) << name;
+  }
+}
+
+TEST_F(InvokerRegistryTest, BaselineAndOursAreRegistered) {
+  EXPECT_TRUE(InvokerRegistry::instance().contains("baseline"));
+  EXPECT_TRUE(InvokerRegistry::instance().contains("ours"));
+}
+
+TEST_F(InvokerRegistryTest, NamesMapToTheExpectedImplementations) {
+  EXPECT_EQ(InvokerRegistry::instance().create("baseline", args())->approach(),
+            "baseline");
+  EXPECT_EQ(InvokerRegistry::instance().create("ours", args())->approach(),
+            "our");
+}
+
+TEST_F(InvokerRegistryTest, OurAliasAndCaseResolve) {
+  EXPECT_EQ(InvokerRegistry::instance().resolve("our"), "ours");
+  EXPECT_EQ(InvokerRegistry::instance().resolve("OURS"), "ours");
+  EXPECT_EQ(InvokerRegistry::instance().create("Our", args())->approach(),
+            "our");
+}
+
+TEST_F(InvokerRegistryTest, PolicyNameReachesTheInvoker) {
+  auto inv = InvokerRegistry::instance().create("ours", args("sjf-aging"));
+  auto* ours = dynamic_cast<OurInvoker*>(inv.get());
+  ASSERT_NE(ours, nullptr);
+  EXPECT_EQ(ours->policy_name(), "sjf-aging");
+}
+
+TEST_F(InvokerRegistryTest, CreatedInvokerProcessesCalls) {
+  auto inv = InvokerRegistry::instance().create("ours", args());
+  inv->warmup();
+  const auto bfs = *catalog_.find("graph-bfs");
+  std::size_t before = inv->stats().calls_completed;
+  engine_.schedule_at(0.0, [&] {
+    inv->submit(workload::CallRequest{0, bfs, 0.0});
+  });
+  engine_.run();
+  EXPECT_EQ(inv->stats().calls_completed, before + 1);
+}
+
+TEST(InvokerRegistryDeath, UnknownNameEchoesInputAndListsNames) {
+  sim::Engine engine;
+  const auto catalog = workload::sebs_catalog();
+  EXPECT_DEATH(
+      (void)InvokerRegistry::instance().create(
+          "warp-drive",
+          InvokerArgs{engine, catalog, NodeParams{}, sim::Rng(1),
+                      [](const metrics::CallRecord&) {}, "fifo"}),
+      "unknown invoker \"warp-drive\".*baseline.*ours");
+}
+
+TEST(InvokerRegistryDeath, DuplicateRegistrationIsRejected) {
+  EXPECT_DEATH(InvokerRegistry::instance().register_factory(
+                   "baseline",
+                   [](const InvokerArgs&) -> std::unique_ptr<Invoker> {
+                     return nullptr;
+                   }),
+               "invoker \"baseline\" is already registered");
+}
+
+}  // namespace
+}  // namespace whisk::node

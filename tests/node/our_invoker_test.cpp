@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
+
+#include "core/policy_registry.h"
 
 namespace whisk::node {
 namespace {
@@ -13,7 +16,7 @@ class OurInvokerTest : public ::testing::Test {
  protected:
   OurInvokerTest() : catalog_(workload::sebs_catalog()) {}
 
-  std::unique_ptr<OurInvoker> make(core::PolicyKind policy,
+  std::unique_ptr<OurInvoker> make(std::string_view policy,
                                    NodeParams params = {}) {
     auto inv = std::make_unique<OurInvoker>(
         engine_, catalog_, params, sim::Rng(42),
@@ -37,7 +40,7 @@ class OurInvokerTest : public ::testing::Test {
 TEST_F(OurInvokerTest, WarmupFillsCoresContainersPerFunction) {
   NodeParams p;
   p.cores = 10;
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   EXPECT_EQ(inv->pool().total_containers(), 110u)
       << "11 functions x 10 cores fit into 32 GiB";
@@ -50,7 +53,7 @@ TEST_F(OurInvokerTest, WarmupRespectsMemoryLimit) {
   NodeParams p;
   p.cores = 10;
   p.memory_limit_mb = 8.0 * 160.0;  // room for only 8 containers
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   EXPECT_EQ(inv->pool().total_containers(), 8u);
 }
@@ -58,7 +61,7 @@ TEST_F(OurInvokerTest, WarmupRespectsMemoryLimit) {
 TEST_F(OurInvokerTest, WarmupSeedsHistory) {
   NodeParams p;
   p.cores = 10;
-  auto inv = make(core::PolicyKind::kSept, p);
+  auto inv = make("sept", p);
   inv->warmup();
   for (const auto& spec : catalog_.specs()) {
     EXPECT_EQ(inv->history().samples(spec.id), 10u) << spec.name;
@@ -67,7 +70,7 @@ TEST_F(OurInvokerTest, WarmupSeedsHistory) {
 }
 
 TEST_F(OurInvokerTest, SingleWarmCallCompletes) {
-  auto inv = make(core::PolicyKind::kFifo);
+  auto inv = make("fifo");
   inv->warmup();
   const auto bfs = *catalog_.find("graph-bfs");
   submit_at(*inv, 1.0, bfs, 0);
@@ -83,7 +86,7 @@ TEST_F(OurInvokerTest, SingleWarmCallCompletes) {
 }
 
 TEST_F(OurInvokerTest, IdleCallIsFast) {
-  auto inv = make(core::PolicyKind::kFifo);
+  auto inv = make("fifo");
   inv->warmup();
   const auto bfs = *catalog_.find("graph-bfs");
   submit_at(*inv, 1.0, bfs, 0);
@@ -95,7 +98,7 @@ TEST_F(OurInvokerTest, IdleCallIsFast) {
 TEST_F(OurInvokerTest, BusyContainersNeverExceedCores) {
   NodeParams p;
   p.cores = 4;
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   const auto sleep = *catalog_.find("sleep");
   for (int i = 0; i < 20; ++i) {
@@ -115,7 +118,7 @@ TEST_F(OurInvokerTest, ColdStartWhenFunctionHasNoContainer) {
   NodeParams p;
   p.cores = 2;
   p.memory_limit_mb = 2.0 * 160.0;  // only 2 containers fit
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();  // fills 2 containers (functions 0 and 1, round-robin)
   const auto bfs = *catalog_.find("graph-bfs");
   submit_at(*inv, 1.0, bfs, 0);
@@ -130,7 +133,7 @@ TEST_F(OurInvokerTest, ColdStartIncludesInitDelay) {
   NodeParams p;
   p.cores = 2;
   p.memory_limit_mb = 2.0 * 160.0;
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   const auto bfs = *catalog_.find("graph-bfs");
   submit_at(*inv, 1.0, bfs, 0);
@@ -143,7 +146,7 @@ TEST_F(OurInvokerTest, ColdStartIncludesInitDelay) {
 TEST_F(OurInvokerTest, SeptServesShortBeforeLongUnderBacklog) {
   NodeParams p;
   p.cores = 1;
-  auto inv = make(core::PolicyKind::kSept, p);
+  auto inv = make("sept", p);
   inv->warmup();
   const auto dna = *catalog_.find("dna-visualisation");
   const auto bfs = *catalog_.find("graph-bfs");
@@ -161,7 +164,7 @@ TEST_F(OurInvokerTest, SeptServesShortBeforeLongUnderBacklog) {
 TEST_F(OurInvokerTest, FifoServesInArrivalOrder) {
   NodeParams p;
   p.cores = 1;
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   submit_at(*inv, 0.0, *catalog_.find("sleep"), 0);
   submit_at(*inv, 0.1, *catalog_.find("dna-visualisation"), 1);
@@ -174,7 +177,7 @@ TEST_F(OurInvokerTest, FifoServesInArrivalOrder) {
 }
 
 TEST_F(OurInvokerTest, HistoryLearnsFromExecutions) {
-  auto inv = make(core::PolicyKind::kSept);
+  auto inv = make("sept");
   inv->warmup();
   const auto bfs = *catalog_.find("graph-bfs");
   const double before = inv->history().expected_runtime(bfs);
@@ -191,7 +194,7 @@ TEST_F(OurInvokerTest, ZeroColdStartsWithAmpleMemoryUnderBurst) {
   // measured burst performs no cold starts.
   NodeParams p;
   p.cores = 4;
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   int id = 0;
   for (const auto& spec : catalog_.specs()) {
@@ -206,7 +209,7 @@ TEST_F(OurInvokerTest, ZeroColdStartsWithAmpleMemoryUnderBurst) {
 }
 
 TEST_F(OurInvokerTest, StatsCountsAreConsistent) {
-  auto inv = make(core::PolicyKind::kFc);
+  auto inv = make("fc");
   inv->warmup();
   for (int i = 0; i < 15; ++i) {
     submit_at(*inv, 0.1 * i, static_cast<workload::FunctionId>(i % 11), i);
@@ -219,7 +222,7 @@ TEST_F(OurInvokerTest, StatsCountsAreConsistent) {
 }
 
 TEST_F(OurInvokerTest, RecordsCarryNodeIndex) {
-  auto inv = make(core::PolicyKind::kFifo);
+  auto inv = make("fifo");
   inv->set_node_index(3);
   inv->warmup();
   submit_at(*inv, 0.0, 0, 0);
@@ -233,7 +236,7 @@ TEST_F(OurInvokerTest, ExtremeMemoryPressureStillCompletes) {
   NodeParams p;
   p.cores = 4;
   p.memory_limit_mb = 160.0;
-  auto inv = make(core::PolicyKind::kFifo, p);
+  auto inv = make("fifo", p);
   inv->warmup();
   for (int i = 0; i < 8; ++i) {
     submit_at(*inv, 0.1 * i, static_cast<workload::FunctionId>(i % 11), i);
@@ -242,9 +245,10 @@ TEST_F(OurInvokerTest, ExtremeMemoryPressureStillCompletes) {
   EXPECT_EQ(delivered_.size(), 8u);
 }
 
-// Parameterized: every policy drains an identical mixed burst completely
-// and keeps the busy-slot cap.
-class EveryPolicy : public ::testing::TestWithParam<core::PolicyKind> {};
+// Parameterized over every *registered* policy name (so new registrations
+// are covered automatically): each drains an identical mixed burst
+// completely and keeps the busy-slot cap.
+class EveryPolicy : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(EveryPolicy, DrainsMixedBurst) {
   sim::Engine engine;
@@ -271,9 +275,14 @@ TEST_P(EveryPolicy, DrainsMixedBurst) {
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, EveryPolicy,
-    ::testing::Values(core::PolicyKind::kFifo, core::PolicyKind::kSept,
-                      core::PolicyKind::kEect, core::PolicyKind::kRect,
-                      core::PolicyKind::kFc));
+    ::testing::ValuesIn(core::PolicyRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace whisk::node

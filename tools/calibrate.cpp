@@ -63,15 +63,13 @@ int main(int argc, char** argv) {
       "cores", "int", "sched", "avgR_sim", "avgR_pap", "p50R_sim",
       "p50R_pap", "maxC_sim", "maxC_pap", "avgS_sim", "avgS_pap", "cold");
   for (const auto& t : kTargets) {
-    experiments::ExperimentConfig cfg;
-    cfg.cores = t.cores;
-    cfg.intensity = t.intensity;
-    if (std::string(t.scheduler) == "baseline") {
-      cfg.scheduler.approach = cluster::Approach::kBaseline;
-    } else {
-      cfg.scheduler.approach = cluster::Approach::kOurs;
-      cfg.scheduler.policy = core::policy_from_string(t.scheduler);
-    }
+    const auto cfg =
+        experiments::ExperimentSpec()
+            .cores(t.cores)
+            .intensity(t.intensity)
+            .scheduler(std::string(t.scheduler) == "baseline"
+                           ? "baseline/fifo"
+                           : "ours/" + std::string(t.scheduler));
     const auto runs = experiments::run_repetitions(cfg, cat, reps);
     const auto rs = experiments::pooled_responses(runs);
     const auto ss = experiments::pooled_stretches(runs);

@@ -16,14 +16,11 @@ int main() {
   // Fig 6: 18-core VMs, 2376 requests, 1-4 nodes, baseline vs FC
   for (int nodes = 4; nodes >= 1; --nodes) {
     for (int b = 0; b < 2; ++b) {
-      experiments::ExperimentConfig cfg;
-      cfg.cores = 18;
-      cfg.num_nodes = nodes;
-      cfg.scenario = experiments::ScenarioKind::kFixedTotal;
-      cfg.fixed_total_requests = 2376;
-      if (b == 0) cfg.scheduler.approach = cluster::Approach::kBaseline;
-      else { cfg.scheduler.approach = cluster::Approach::kOurs;
-             cfg.scheduler.policy = core::PolicyKind::kFc; }
+      const auto cfg = experiments::ExperimentSpec()
+                           .cores(18)
+                           .nodes(nodes)
+                           .fixed_total(2376)
+                           .scheduler(b == 0 ? "baseline/fifo" : "ours/fc");
       auto runs = experiments::run_repetitions(cfg, cat, 2);
       auto rs = experiments::pooled_responses(runs);
       auto s = util::summarize(rs);

@@ -8,10 +8,8 @@ using namespace whisk;
 
 int main() {
   const auto cat = workload::sebs_catalog();
-  experiments::ExperimentConfig cfg;
-  cfg.cores = 10;
-  cfg.intensity = 30;
-  cfg.scheduler.approach = cluster::Approach::kBaseline;
+  const auto cfg = experiments::ExperimentSpec().cores(10).intensity(
+      30).scheduler("baseline");
   const auto run = experiments::run_experiment(cfg, cat);
 
   // Per-function: avg queue wait (received->exec_start), avg exec, avg
