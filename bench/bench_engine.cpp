@@ -1,0 +1,90 @@
+// Engine/history hot-path micro-benchmarks (google-benchmark), always
+// pairing the production implementation with the retained seed baseline so
+// the speedup stays a measured number. For the machine-readable variant
+// (BENCH_engine.json) see tools/bench_report.
+#include <benchmark/benchmark.h>
+
+#include "core/history.h"
+#include "engine_churn.h"
+#include "reference_engine.h"
+#include "sim/engine.h"
+
+namespace {
+
+using whisk::bench::run_engine_churn;
+using whisk::bench::run_engine_schedule_drain;
+using whisk::bench::run_history_mix;
+
+// --- schedule/cancel/run churn ----------------------------------------------
+
+void BM_EngineChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t executed = 0;
+  for (auto _ : state) {
+    executed = run_engine_churn<whisk::sim::Engine>(n, 42);
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_EngineChurn)->Arg(10000)->Arg(100000);
+
+void BM_SeedEngineChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t executed = 0;
+  for (auto _ : state) {
+    executed = run_engine_churn<whisk::bench::ref::SeedEngine>(n, 42);
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_SeedEngineChurn)->Arg(10000)->Arg(100000);
+
+// --- pure schedule + drain ---------------------------------------------------
+
+void BM_EngineScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_engine_schedule_drain<whisk::sim::Engine>(n, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleDrain)->Arg(10000)->Arg(100000);
+
+void BM_SeedEngineScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_engine_schedule_drain<whisk::bench::ref::SeedEngine>(n, 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeedEngineScheduleDrain)->Arg(10000)->Arg(100000);
+
+// --- history record/query mix ------------------------------------------------
+
+void BM_HistoryMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_history_mix<whisk::core::RuntimeHistory>(n, 99));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistoryMix)->Arg(100000);
+
+void BM_SeedHistoryMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_history_mix<whisk::bench::ref::SeedHistory>(n, 99));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeedHistoryMix)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+#pragma once
+
+// The churn workloads behind bench_engine and tools/bench_report. Templated
+// over the engine/history type so the production implementations
+// (sim::Engine, core::RuntimeHistory) and the retained seed baselines
+// (bench::ref::SeedEngine, bench::ref::SeedHistory) run byte-for-byte the
+// same logic.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace whisk::bench {
+
+// Deterministic LCG so every engine sees the identical event schedule.
+class ChurnRng {
+ public:
+  explicit ChurnRng(std::uint32_t seed) : state_(seed * 747796405u + 1u) {}
+
+  std::uint32_t next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+
+  // Uniform double in [0, scale).
+  double jitter(double scale) {
+    return static_cast<double>(next() % 4096u) / 4096.0 * scale;
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+// Defeats dead-code elimination of workload side effects without the
+// google-benchmark dependency (tools/bench_report includes this header).
+inline volatile double g_churn_sink = 0.0;
+
+// Re-arm a pending event to a new delay, in each engine's own idiom: an
+// engine with true rescheduling moves the event in place; one without (the
+// seed) cancels and schedules a replacement — its only spelling of the
+// CpuSystem / deadline-guard pattern, which leaves a lazy-deletion ghost
+// in its heap every time.
+template <typename EngineT, typename Id, typename Fn>
+void rearm(EngineT& eng, Id& id, double delay, Fn&& fn) {
+  if constexpr (requires { eng.reschedule_in(id, delay); }) {
+    if (id == Id{} || !eng.reschedule_in(id, delay)) {
+      id = eng.schedule_in(delay, std::forward<Fn>(fn));
+    }
+  } else {
+    if (id != Id{}) eng.cancel(id);
+    id = eng.schedule_in(delay, std::forward<Fn>(fn));
+  }
+}
+
+// Schedule/cancel/run churn mirroring the simulator's hot mix:
+//   * a self-sustaining population of "work" events with 40-byte captures —
+//     the size class of the invoker/cluster lambdas, past std::function's
+//     16-byte inline buffer but inside EventFn's 48;
+//   * a deadline guard armed per work event and cancelled ~128 events
+//     later, long before its 1 s horizon (the invoker-guard pattern);
+//   * a per-node completion event re-armed on every work event to a fresh
+//     sub-second ETA (the CpuSystem pattern, the simulator's most frequent
+//     cancel source).
+//
+// Returns the number of callbacks executed; the workload is identical
+// across engines for the same parameters, so events/sec is directly
+// comparable.
+template <typename EngineT>
+std::size_t run_engine_churn(std::size_t total_work_events,
+                             std::uint32_t seed) {
+  using Id = decltype(std::declval<EngineT&>().schedule_at(0.0, nullptr));
+  constexpr std::size_t kSeedPopulation = 64;
+  constexpr std::size_t kTimeoutRing = 128;
+  constexpr std::size_t kNodes = 8;
+  constexpr double kGuardHorizon = 1.0;
+
+  struct State {
+    EngineT eng;
+    ChurnRng rng;
+    std::size_t scheduled = 0;
+    std::size_t budget;
+    double acc = 0.0;
+    std::vector<Id> timeouts;
+    std::size_t cursor = 0;
+    Id completions[kNodes] = {};
+
+    State(std::size_t total, std::uint32_t s) : rng(s), budget(total) {
+      timeouts.reserve(kTimeoutRing);
+    }
+
+    void arm_work() {
+      ++scheduled;
+      const double a = rng.jitter(1.0);
+      const double b = rng.jitter(1.0);
+      const double c = rng.jitter(1.0);
+      const double d = rng.jitter(1.0);
+      eng.schedule_in(rng.jitter(0.01), [this, a, b, c, d] {
+        acc += a + b + c + d;
+        fire();
+      });
+    }
+
+    void fire() {
+      if (scheduled < budget) arm_work();
+      // Deadline guard: armed now, cancelled kTimeoutRing work events later
+      // (~10 ms of simulated time, far inside its 1 s horizon, so the
+      // cancel almost always hits a live event).
+      const double deadline = eng.now() + kGuardHorizon;
+      const std::size_t req = scheduled;
+      const Id t = eng.schedule_in(kGuardHorizon,
+                                   [this, deadline, req] {
+                                     acc += deadline + static_cast<double>(req);
+                                   });
+      if (timeouts.size() < kTimeoutRing) {
+        timeouts.push_back(t);
+      } else {
+        eng.cancel(timeouts[cursor]);
+        timeouts[cursor] = t;
+        cursor = cursor + 1 == kTimeoutRing ? 0 : cursor + 1;
+      }
+      // CpuSystem-style re-arm: the node's completion ETA moves on every
+      // event that touches the node.
+      const std::size_t node = rng.next() % kNodes;
+      const double eta = 0.02 + rng.jitter(0.1);
+      rearm(eng, completions[node], eta, [this, node, eta] {
+        acc += eta;
+        completions[node] = Id{};
+      });
+    }
+  };
+
+  State st(total_work_events, seed);
+  for (std::size_t i = 0; i < kSeedPopulation && st.scheduled < st.budget;
+       ++i) {
+    st.arm_work();
+  }
+  st.eng.run();
+  g_churn_sink = g_churn_sink + st.acc;
+  return st.eng.executed();
+}
+
+// Pure schedule-then-drain throughput (no cancellation): the engine cost
+// floor under the paper benches' event volume.
+template <typename EngineT>
+std::size_t run_engine_schedule_drain(std::size_t events,
+                                      std::uint32_t seed) {
+  EngineT eng;
+  ChurnRng rng(seed);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < events; ++i) {
+    eng.schedule_at(rng.jitter(100.0), [&fired] { ++fired; });
+  }
+  eng.run();
+  return fired;
+}
+
+// The per-call history traffic of a policy-driven invoker: one priority
+// evaluation (E(p), #(f,-T), r-bar) plus the arrival and completion
+// records, round-robined over the paper's 11 functions.
+template <typename HistoryT>
+double run_history_mix(std::size_t calls, std::uint32_t seed) {
+  constexpr int kFunctions = 11;
+  HistoryT history(10);
+  ChurnRng rng(seed);
+  double now = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < calls; ++i) {
+    const int fn = static_cast<int>(rng.next() % kFunctions);
+    now += 0.001;
+    acc += history.expected_runtime(fn);
+    acc += static_cast<double>(history.completions_within(fn, 60.0, now));
+    acc += history.previous_arrival(fn);
+    history.record_arrival(fn, now);
+    history.record_runtime(fn, 0.05 + rng.jitter(1.0), now);
+  }
+  g_churn_sink = g_churn_sink + acc;
+  return acc;
+}
+
+}  // namespace whisk::bench

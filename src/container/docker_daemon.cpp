@@ -34,13 +34,17 @@ void DockerDaemon::start_next() {
   const sim::SimTime duration = op.base_duration * factor;
   busy_seconds_ += duration;
 
-  engine_->schedule_in(duration, [this, done = std::move(op.done)]() mutable {
-    ++ops_completed_;
-    // Run the completion first so it can enqueue follow-up ops that then
-    // start immediately in submission order.
-    done();
-    start_next();
-  });
+  inflight_ = std::move(op.done);
+  engine_->schedule_in(duration, [this] { finish_inflight(); });
+}
+
+void DockerDaemon::finish_inflight() {
+  ++ops_completed_;
+  Callback done = std::move(inflight_);
+  // Run the completion first so it can enqueue follow-up ops that then
+  // start immediately in submission order.
+  done();
+  start_next();
 }
 
 }  // namespace whisk::container

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "sim/engine.h"
+#include "sim/event_fn.h"
 #include "sim/time.h"
 
 namespace whisk::container {
@@ -25,7 +26,10 @@ namespace whisk::container {
 // models dockerd slowing down as it juggles more live containers.
 class DockerDaemon {
  public:
-  using Callback = std::function<void()>;
+  // Completion callbacks ride the engine's SBO callable so the per-op
+  // dispatch cycle allocates nothing for small captures and accepts
+  // move-only lambdas.
+  using Callback = sim::EventFn;
   using LoadFactorFn = std::function<double()>;
 
   explicit DockerDaemon(sim::Engine& engine);
@@ -62,11 +66,16 @@ class DockerDaemon {
   };
 
   void start_next();
+  void finish_inflight();
 
   sim::Engine* engine_;
   LoadFactorFn load_factor_;
   std::deque<Op> urgent_queue_;
   std::deque<Op> queue_;
+  // Completion of the single op in progress. Held here (not captured in the
+  // engine lambda) so the scheduled callback is just `this` — inline in the
+  // event slot, no allocation per op.
+  Callback inflight_;
   bool busy_ = false;
 
   std::size_t ops_completed_ = 0;

@@ -10,52 +10,89 @@ RuntimeHistory::RuntimeHistory(std::size_t window) : window_(window) {
   WHISK_CHECK(window > 0, "history window must be positive");
 }
 
+void RuntimeHistory::register_fc_window(sim::SimTime window_t) {
+  WHISK_CHECK(window_t >= 0.0, "negative FC window");
+  prune_horizon_ = std::max(prune_horizon_, window_t);
+}
+
+RuntimeHistory::FnRecord& RuntimeHistory::record_for(
+    workload::FunctionId fn) {
+  WHISK_CHECK(fn >= 0, "invalid function id");
+  const auto idx = static_cast<std::size_t>(fn);
+  while (records_.size() <= idx) records_.emplace_back(window_);
+  return records_[idx];
+}
+
+const RuntimeHistory::FnRecord* RuntimeHistory::find(
+    workload::FunctionId fn) const {
+  if (fn < 0 || static_cast<std::size_t>(fn) >= records_.size()) {
+    return nullptr;
+  }
+  return &records_[static_cast<std::size_t>(fn)];
+}
+
 void RuntimeHistory::record_runtime(workload::FunctionId fn,
                                     sim::SimTime runtime,
                                     sim::SimTime completion_time) {
   WHISK_CHECK(runtime >= 0.0, "negative runtime");
-  auto [it, inserted] =
-      runtimes_.try_emplace(fn, util::RingBuffer<double>(window_));
-  it->second.push(runtime);
+  FnRecord& rec = record_for(fn);
+  rec.runtimes.push(runtime);
 
-  auto& completions = completions_[fn];
-  WHISK_CHECK(completions.empty() || completions.back() <= completion_time,
+  WHISK_CHECK(rec.completions.empty() ||
+                  rec.completions.back() <= completion_time,
               "completion times must be recorded in order");
-  completions.push_back(completion_time);
+  rec.completions.push_back(completion_time);
+
+  // Timestamps older than the largest window any FC query can ask for are
+  // unreachable (queries happen at now >= completion_time), so drop them.
+  if (prune_horizon_ != sim::kNever) {
+    const sim::SimTime cutoff = completion_time - prune_horizon_;
+    while (!rec.completions.empty() && rec.completions.front() < cutoff) {
+      rec.completions.pop_front();
+    }
+  }
 }
 
 void RuntimeHistory::record_arrival(workload::FunctionId fn,
                                     sim::SimTime time) {
-  last_arrival_[fn] = time;
+  record_for(fn).last_arrival = time;
 }
 
 double RuntimeHistory::expected_runtime(workload::FunctionId fn) const {
-  auto it = runtimes_.find(fn);
-  if (it == runtimes_.end() || it->second.empty()) return 0.0;
-  double sum = 0.0;
-  for (double r : it->second.values()) sum += r;
-  return sum / static_cast<double>(it->second.size());
+  const FnRecord* rec = find(fn);
+  return rec == nullptr ? 0.0 : rec->runtimes.mean();
 }
 
 sim::SimTime RuntimeHistory::previous_arrival(workload::FunctionId fn) const {
-  auto it = last_arrival_.find(fn);
-  return it == last_arrival_.end() ? 0.0 : it->second;
+  const FnRecord* rec = find(fn);
+  return rec == nullptr ? 0.0 : rec->last_arrival;
 }
 
 std::size_t RuntimeHistory::completions_within(workload::FunctionId fn,
                                                sim::SimTime window_t,
                                                sim::SimTime now) const {
-  auto it = completions_.find(fn);
-  if (it == completions_.end()) return 0;
-  const auto& deque = it->second;
+  // Timestamps beyond the registered horizon have been pruned; answering a
+  // wider query would silently undercount.
+  WHISK_CHECK(prune_horizon_ == sim::kNever || window_t <= prune_horizon_,
+              "completions_within window exceeds the registered FC horizon");
+  const FnRecord* rec = find(fn);
+  if (rec == nullptr) return 0;
+  const auto& completions = rec->completions;
   const auto first =
-      std::lower_bound(deque.begin(), deque.end(), now - window_t);
-  return static_cast<std::size_t>(deque.end() - first);
+      std::lower_bound(completions.begin(), completions.end(),
+                       now - window_t);
+  return static_cast<std::size_t>(completions.end() - first);
 }
 
 std::size_t RuntimeHistory::samples(workload::FunctionId fn) const {
-  auto it = runtimes_.find(fn);
-  return it == runtimes_.end() ? 0 : it->second.size();
+  const FnRecord* rec = find(fn);
+  return rec == nullptr ? 0 : rec->runtimes.size();
+}
+
+std::size_t RuntimeHistory::completions_stored(
+    workload::FunctionId fn) const {
+  const FnRecord* rec = find(fn);
+  return rec == nullptr ? 0 : rec->completions.size();
 }
 
 }  // namespace whisk::core

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/time.h"
-#include "util/ring_buffer.h"
+#include "util/summed_ring_buffer.h"
 #include "workload/function.h"
 
 namespace whisk::core {
@@ -19,9 +19,22 @@ namespace whisk::core {
 //
 // All estimates are node-level: they are fed by the invoker and never see
 // network latency, exactly as in the paper.
+//
+// This sits on the priority hot path (one expected_runtime() per policy
+// evaluation, millions per experiment), so the storage is a single dense
+// per-function record vector indexed by FunctionId — one bounds check
+// instead of three hash lookups — and E(p(i)) is an O(1) running-sum read
+// (util::SummedRingBuffer) instead of a per-call window scan.
 class RuntimeHistory {
  public:
   explicit RuntimeHistory(std::size_t window = 10);
+
+  // Declare that FC-style queries will use sliding windows of at most
+  // `window_t` seconds. Enables pruning: completion timestamps older than
+  // the largest registered window are dropped as new completions arrive, so
+  // memory stays bounded on long runs. Without any registered window every
+  // timestamp is kept (safe for arbitrary queries, unbounded).
+  void register_fc_window(sim::SimTime window_t);
 
   // Record the measured processing time of a finished call of `fn` that
   // completed at `completion_time`.
@@ -36,14 +49,15 @@ class RuntimeHistory {
   // E(p(i)): average processing time over the <= window most recent
   // finished calls of `fn`; 0 if the function has never finished a call
   // ("if a function has never been executed, we set its estimated execution
-  // time to 0", Sec. IV-B).
+  // time to 0", Sec. IV-B). O(1).
   [[nodiscard]] double expected_runtime(workload::FunctionId fn) const;
 
   // r-bar(i): the moment the previous call of `fn` was received; 0 if none.
   [[nodiscard]] sim::SimTime previous_arrival(workload::FunctionId fn) const;
 
   // #(f, -T): number of calls of `fn` concluded during the last `window_t`
-  // seconds before `now`.
+  // seconds before `now`. `window_t` must not exceed the largest registered
+  // FC window once one is registered (older timestamps may be pruned).
   [[nodiscard]] std::size_t completions_within(workload::FunctionId fn,
                                                sim::SimTime window_t,
                                                sim::SimTime now) const;
@@ -51,16 +65,29 @@ class RuntimeHistory {
   [[nodiscard]] std::size_t samples(workload::FunctionId fn) const;
   [[nodiscard]] std::size_t window() const { return window_; }
 
+  // Completion timestamps currently retained for `fn` (telemetry/tests).
+  [[nodiscard]] std::size_t completions_stored(workload::FunctionId fn) const;
+
  private:
+  struct FnRecord {
+    explicit FnRecord(std::size_t window) : runtimes(window) {}
+
+    util::SummedRingBuffer runtimes;
+    sim::SimTime last_arrival = 0.0;
+    // Completion timestamps, oldest first (record_runtime is called in
+    // simulation-time order per function, so each deque stays sorted and
+    // queries can binary-search). Pruned past the registered FC horizon.
+    std::deque<sim::SimTime> completions;
+  };
+
+  // Grow-on-demand dense access for recording.
+  FnRecord& record_for(workload::FunctionId fn);
+  // Read access; nullptr when `fn` has never been recorded.
+  [[nodiscard]] const FnRecord* find(workload::FunctionId fn) const;
+
   std::size_t window_;
-  std::unordered_map<workload::FunctionId, util::RingBuffer<double>>
-      runtimes_;
-  std::unordered_map<workload::FunctionId, sim::SimTime> last_arrival_;
-  // Completion timestamps, oldest first (record_runtime is called in
-  // simulation-time order, so each deque stays sorted and queries can
-  // binary-search). Experiments are minutes long, so no pruning is needed.
-  std::unordered_map<workload::FunctionId, std::deque<sim::SimTime>>
-      completions_;
+  sim::SimTime prune_horizon_ = sim::kNever;  // kNever: keep everything
+  std::vector<FnRecord> records_;
 };
 
 }  // namespace whisk::core

@@ -22,6 +22,11 @@ OurInvoker::OurInvoker(sim::Engine& engine,
            [this](os::CpuSystem::TaskId task) { on_exec_complete(task); }) {
   // Our approach keeps a steady container set and leaves dockerd alone
   // between calls, so no live-container strain applies to its ops.
+
+  // FC queries never reach past the configured sliding window, so let the
+  // history prune completion timestamps beyond it — bounded memory on
+  // arbitrarily long runs.
+  history_.register_fc_window(params.policy.fc_window);
 }
 
 void OurInvoker::warmup() {

@@ -166,19 +166,29 @@ void CpuSystem::recompute() {
 }
 
 void CpuSystem::reschedule() {
-  if (pending_event_ != sim::kInvalidEvent) {
-    engine_->cancel(pending_event_);
-    pending_event_ = sim::kInvalidEvent;
+  if (tasks_.empty()) {
+    if (pending_event_ != sim::kInvalidEvent) {
+      engine_->cancel(pending_event_);
+      pending_event_ = sim::kInvalidEvent;
+    }
+    return;
   }
-  if (tasks_.empty()) return;
   double earliest = -1.0;
   for (const auto& [id, t] : tasks_) {
     WHISK_CHECK(t.speed > 0.0, "task with zero progress speed");
     const double eta = t.remaining / t.speed;
     if (earliest < 0.0 || eta < earliest) earliest = eta;
   }
-  pending_event_ = engine_->schedule_in(std::max(0.0, earliest),
-                                        [this] { on_completion_event(); });
+  const double delay = std::max(0.0, earliest);
+  // Re-arm by moving the pending event instead of cancel + schedule: same
+  // ordering semantics (reschedule re-sequences like a fresh schedule), but
+  // the event slot and callback are reused. Falls back to a fresh schedule
+  // when there is no live pending event.
+  if (pending_event_ == sim::kInvalidEvent ||
+      !engine_->reschedule_in(pending_event_, delay)) {
+    pending_event_ =
+        engine_->schedule_in(delay, [this] { on_completion_event(); });
+  }
 }
 
 void CpuSystem::on_completion_event() {

@@ -1,33 +1,48 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/time.h"
 
 namespace whisk::sim {
 
-// Handle to a scheduled event; allows cancellation. Cancelled events stay in
-// the heap but are skipped when popped (lazy deletion), which keeps
-// cancellation O(1).
+// Handle to a scheduled event; allows cancellation and rescheduling. The id
+// packs {generation:32 | slot:32}: slots are recycled through a free list,
+// and the generation counter makes stale handles safe — cancelling an
+// already-run or already-cancelled id is a no-op even after its slot has
+// been reused by a later event.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEvent = 0;
 
 // A single-threaded discrete-event simulation engine.
 //
-// Events are (time, callback) pairs ordered by time, with insertion order as
-// the tie-breaker so same-timestamp events run deterministically in the order
-// they were scheduled. Every component of the simulator (clients, Kafka,
-// invokers, the Docker daemon, the CPU model) drives itself exclusively
-// through this engine, which makes whole-cluster runs reproducible from a
-// single seed.
+// Events are (time, callback) pairs ordered by time, with schedule order as
+// the tie-breaker so same-timestamp events run deterministically in the
+// order they were scheduled. Every component of the simulator (clients,
+// Kafka, invokers, the Docker daemon, the CPU model) drives itself
+// exclusively through this engine, which makes whole-cluster runs
+// reproducible from a single seed.
+//
+// Storage layout (the simulator's hottest structure):
+//   * callbacks live in a chunked slab with stable addresses, recycled
+//     through a LIFO free list — no per-event hash map, no per-event
+//     allocation, and execution invokes the callback in place (no move
+//     out: the slot cannot be reused until the callback returns);
+//   * an indexed 4-ary min-heap whose entries carry the (time, seq) sort
+//     key inline — sifts touch only the contiguous heap array — with
+//     back-pointers (SlotMeta::heap_pos) giving true O(log n) cancellation
+//     instead of lazy-deletion ghosts that every later pop must skip; pops
+//     use the bottom-up hole-sinking variant, which trades the
+//     hard-to-predict per-level exit branch for a short final sift-up;
+//   * EventFn callbacks with inline storage, so the common lambda captures
+//     (a `this` pointer plus a few words) never touch the allocator.
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -41,44 +56,91 @@ class Engine {
   // Schedule `fn` to run `delay` seconds from now (delay >= 0).
   EventId schedule_in(SimTime delay, Callback fn);
 
-  // Cancel a pending event. Cancelling an already-run or unknown id is a
-  // no-op and returns false.
+  // Cancel a pending event. Cancelling an already-run, already-cancelled or
+  // unknown id is a no-op and returns false.
   bool cancel(EventId id);
 
-  // Run until the event queue drains or `until` is reached (if >= 0).
-  // Returns the number of callbacks executed.
+  // Move a pending event to a new time (>= now), keeping its id and
+  // callback. Equivalent to cancel + schedule — among events at the new
+  // timestamp the moved event runs last, exactly as a fresh schedule would —
+  // but reuses the slot and skips destroying/rebuilding the callback.
+  // Returns false (and does nothing) if the id is stale.
+  bool reschedule_at(EventId id, SimTime at);
+  bool reschedule_in(EventId id, SimTime delay);
+
+  // Run until the event queue drains or the clock reaches `until` (pass
+  // kNever for no horizon). Returns the number of callbacks executed.
   std::size_t run(SimTime until = kNever);
 
   // Execute exactly one pending event, if any. Returns false when drained.
   bool step();
 
-  [[nodiscard]] bool empty() const { return live_events_ == 0; }
-  [[nodiscard]] std::size_t pending() const { return live_events_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::size_t executed() const { return executed_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;
-    // Min-heap on (time, id): earlier time first, FIFO among equal times.
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
-    }
+  static constexpr std::uint32_t kNoHeapPos = 0xffffffffu;
+  // 512 callbacks per slab chunk: chunk arrays never move, so an executing
+  // callback stays put even when the arena grows mid-callback.
+  static constexpr std::size_t kChunkShift = 9;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  // Per-slot bookkeeping, kept flat and tiny (8 bytes) so the heap_pos
+  // writes during sifts land in a dense array instead of alongside the fat
+  // callback storage.
+  struct SlotMeta {
+    std::uint32_t gen = 1;  // bumped on release; id must match to cancel
+    std::uint32_t heap_pos = kNoHeapPos;
   };
 
-  struct Slot {
-    Callback fn;
-    bool cancelled = false;
+  // Heap entries carry the full sort key so sifting never dereferences the
+  // slot records: comparisons stay inside one contiguous array, as
+  // cache-friendly as the seed's (time, id) heap.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;  // schedule order; FIFO tie-break at equal times
+    std::uint32_t slot;
   };
+
+  // Earlier time first; among equal times, earlier schedule first (the
+  // 64-bit seq never wraps, so FIFO order holds at any event volume).
+  // Bitwise combination keeps the result branch-free so the sift loops
+  // compile to conditional moves.
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    const bool lt = a.time < b.time;
+    const bool eq = a.time == b.time;
+    const bool sq = a.seq < b.seq;
+    return lt | (eq & sq);
+  }
+
+  [[nodiscard]] EventFn& fn_at(std::uint32_t idx) {
+    return fn_chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+
+  void place(std::size_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    meta_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void pop_root();
+  void heap_remove(std::size_t pos);
+  void execute_top();
+
+  // Decode an id; returns nullptr when it does not name a live event.
+  [[nodiscard]] SlotMeta* live_slot(EventId id);
 
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::size_t executed_ = 0;
-  std::size_t live_events_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // id -> callback for pending events. Erased on execution/cancellation.
-  std::unordered_map<EventId, Slot> slots_;
+  std::vector<SlotMeta> meta_;       // flat per-slot generation + heap pos
+  std::vector<std::unique_ptr<EventFn[]>> fn_chunks_;  // stable callback slab
+  std::vector<std::uint32_t> free_;  // LIFO free list of slot indices
+  std::vector<HeapEntry> heap_;      // 4-ary min-heap keyed by (time, seq)
 };
 
 }  // namespace whisk::sim

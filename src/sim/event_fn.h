@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace whisk::sim {
+
+// Move-only type-erased `void()` callable with small-buffer optimization.
+//
+// The engine hot path schedules millions of short-lived lambdas whose
+// captures are a handful of pointers and doubles; `std::function` heap
+// allocates for most of them (and refuses move-only captures outright).
+// EventFn stores any nothrow-movable callable of up to kInlineSize bytes
+// inline in the event slot and only falls back to the heap for oversized
+// captures, so the common schedule/execute cycle performs zero allocations.
+class EventFn {
+ public:
+  // Large enough for the simulator's hot lambdas: `this` plus a moved-in
+  // std::function/EventFn payload, or several doubles/pointers.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      storage_.ptr = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  // Invoke once and destroy the callable, leaving *this empty: the
+  // engine's execute path fused into a single indirect call. `*this` must
+  // outlive the invocation (the callable may not re-enter or reassign it).
+  void consume() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(&storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  // Whether a callable of type D would be stored inline (no allocation).
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  union Storage {
+    alignas(kInlineAlign) unsigned char buf[kInlineSize];
+    void* ptr;
+  };
+
+  struct Ops {
+    void (*invoke)(Storage*);
+    // Move-construct into `dst` and destroy the source object.
+    void (*relocate)(Storage* dst, Storage* src) noexcept;
+    void (*destroy)(Storage*) noexcept;
+    void (*invoke_destroy)(Storage*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](Storage* s) { (*std::launder(reinterpret_cast<D*>(s->buf)))(); },
+      [](Storage* dst, Storage* src) noexcept {
+        D* obj = std::launder(reinterpret_cast<D*>(src->buf));
+        ::new (static_cast<void*>(dst->buf)) D(std::move(*obj));
+        obj->~D();
+      },
+      [](Storage* s) noexcept {
+        std::launder(reinterpret_cast<D*>(s->buf))->~D();
+      },
+      [](Storage* s) {
+        D* obj = std::launder(reinterpret_cast<D*>(s->buf));
+        (*obj)();
+        obj->~D();
+      },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](Storage* s) { (*static_cast<D*>(s->ptr))(); },
+      [](Storage* dst, Storage* src) noexcept { dst->ptr = src->ptr; },
+      [](Storage* s) noexcept { delete static_cast<D*>(s->ptr); },
+      [](Storage* s) {
+        D* obj = static_cast<D*>(s->ptr);
+        (*obj)();
+        delete obj;
+      },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void steal(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(&storage_, &other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace whisk::sim

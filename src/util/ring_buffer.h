@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -19,13 +21,19 @@ class RingBuffer {
     data_.reserve(capacity);
   }
 
-  void push(const T& value) {
+  // Push `value`; once the buffer is full, returns the value it evicted so
+  // callers (e.g. SummedRingBuffer) can maintain running aggregates without
+  // re-scanning the window.
+  std::optional<T> push(const T& value) {
     if (data_.size() < capacity_) {
       data_.push_back(value);
-    } else {
-      data_[head_] = value;
-      head_ = (head_ + 1) % capacity_;
+      return std::nullopt;
     }
+    std::optional<T> evicted(std::in_place, std::move(data_[head_]));
+    data_[head_] = value;
+    ++head_;
+    if (head_ == capacity_) head_ = 0;  // wrap branch beats the div in `%`
+    return evicted;
   }
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
@@ -40,7 +48,7 @@ class RingBuffer {
   [[nodiscard]] const T& newest() const {
     WHISK_CHECK(!data_.empty(), "newest() on empty ring buffer");
     if (data_.size() < capacity_) return data_.back();
-    return data_[(head_ + capacity_ - 1) % capacity_];
+    return data_[head_ == 0 ? capacity_ - 1 : head_ - 1];
   }
 
   void clear() {

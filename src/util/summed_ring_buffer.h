@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/ring_buffer.h"
+
+namespace whisk::util {
+
+// RingBuffer<double> that maintains a running sum over the retained window,
+// so mean() is O(1) regardless of capacity instead of a per-call scan.
+//
+// The sum is kept with Neumaier compensation: each push adds the new value
+// and subtracts the evicted one through an error-free transformation, so the
+// running sum stays within an ulp of the exact window sum over arbitrarily
+// long runs — no drift, and no periodic O(window) re-scan needed.
+class SummedRingBuffer {
+ public:
+  explicit SummedRingBuffer(std::size_t capacity) : buf_(capacity) {}
+
+  void push(double value) {
+    if (const auto evicted = buf_.push(value)) add(-*evicted);
+    add(value);
+  }
+
+  // Sum over the retained window.
+  [[nodiscard]] double sum() const { return sum_ + comp_; }
+
+  // Mean over the retained window; 0 when empty.
+  [[nodiscard]] double mean() const {
+    return buf_.empty() ? 0.0 : sum() / static_cast<double>(buf_.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return buf_.capacity(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const {
+    return buf_.values();
+  }
+  [[nodiscard]] double newest() const { return buf_.newest(); }
+
+  void clear() {
+    buf_.clear();
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  void add(double v) {
+    const double t = sum_ + v;
+    if (std::abs(sum_) >= std::abs(v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  RingBuffer<double> buf_;
+  double sum_ = 0.0;
+  double comp_ = 0.0;  // Neumaier compensation term
+};
+
+}  // namespace whisk::util

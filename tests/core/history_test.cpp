@@ -104,6 +104,66 @@ TEST(History, CompletionsCountBeyondRuntimeWindow) {
   EXPECT_EQ(h.samples(1), 2u);
 }
 
+TEST(History, NoPruningWithoutRegisteredWindow) {
+  RuntimeHistory h(10);
+  for (int i = 0; i < 1000; ++i) {
+    h.record_runtime(1, 0.1, static_cast<double>(i));
+  }
+  EXPECT_EQ(h.completions_stored(1), 1000u)
+      << "unregistered histories keep every timestamp (arbitrary queries "
+         "stay exact)";
+}
+
+TEST(History, RegisteredWindowBoundsCompletionMemory) {
+  RuntimeHistory h(10);
+  h.register_fc_window(60.0);
+  for (int i = 0; i < 10000; ++i) {
+    h.record_runtime(1, 0.1, static_cast<double>(i));
+  }
+  // One completion per second: at most ~61 timestamps can be within any
+  // 60-second query window ending at or after the newest completion.
+  EXPECT_LE(h.completions_stored(1), 62u);
+  EXPECT_EQ(h.completions_within(1, 60.0, 10000.0), 60u);
+}
+
+TEST(History, PruningKeepsWindowQueriesExact) {
+  RuntimeHistory h(10);
+  h.register_fc_window(60.0);
+  RuntimeHistory unpruned(10);
+  for (int i = 0; i < 5000; ++i) {
+    const double t = 0.37 * i;
+    h.record_runtime(2, 0.1, t);
+    unpruned.record_runtime(2, 0.1, t);
+    if (i % 100 == 0) {
+      for (double w : {5.0, 30.0, 60.0}) {
+        ASSERT_EQ(h.completions_within(2, w, t),
+                  unpruned.completions_within(2, w, t));
+      }
+    }
+  }
+}
+
+TEST(History, LargestRegisteredWindowWins) {
+  RuntimeHistory h(10);
+  h.register_fc_window(10.0);
+  h.register_fc_window(60.0);
+  h.register_fc_window(30.0);  // smaller than the current max: no effect
+  for (int i = 0; i < 200; ++i) {
+    h.record_runtime(1, 0.1, static_cast<double>(i));
+  }
+  // Timestamps within the 60 s horizon must all survive.
+  EXPECT_EQ(h.completions_within(1, 60.0, 199.0), 61u);
+}
+
+TEST(HistoryDeath, QueryWiderThanRegisteredHorizonAborts) {
+  RuntimeHistory h(10);
+  h.register_fc_window(60.0);
+  h.record_runtime(1, 0.1, 100.0);
+  // Timestamps past the horizon may already be pruned; a wider query must
+  // fail loudly instead of silently undercounting.
+  EXPECT_DEATH(h.completions_within(1, 120.0, 100.0), "horizon");
+}
+
 TEST(HistoryDeath, NegativeRuntimeAborts) {
   RuntimeHistory h(10);
   EXPECT_DEATH(h.record_runtime(1, -1.0, 0.0), "negative");

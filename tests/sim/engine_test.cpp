@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace whisk::sim {
@@ -134,6 +135,136 @@ TEST(Engine, PendingAndExecutedCounts) {
   e.run();
   EXPECT_EQ(e.pending(), 0u);
   EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, MoveOnlyCaptureIsSchedulable) {
+  // std::function rejected move-only captures; EventFn must not.
+  Engine e;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  e.schedule_at(1.0, [&seen, p = std::move(payload)] { seen = *p; });
+  e.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(Engine, StaleCancelAfterSlotReuseIsNoOp) {
+  // Generation counters: an id whose slot has been recycled by a newer
+  // event must not cancel that newer event.
+  Engine e;
+  bool first = false;
+  bool second = false;
+  const EventId a = e.schedule_at(1.0, [&] { first = true; });
+  EXPECT_TRUE(e.cancel(a));
+  // The freed slot is reused (LIFO free list) by the next schedule.
+  const EventId b = e.schedule_at(2.0, [&] { second = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(e.cancel(a)) << "stale id must not hit the reused slot";
+  e.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, StaleCancelAfterExecutionAndReuseIsNoOp) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.run();
+  int fired = 0;
+  e.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_FALSE(e.cancel(a));
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RescheduleMovesEventAndKeepsId) {
+  Engine e;
+  std::vector<int> order;
+  const EventId a = e.schedule_at(5.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(e.reschedule_at(a, 1.0));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, RescheduleBehavesLikeFreshScheduleAmongEqualTimes) {
+  // A rescheduled event must run after events already sitting at the new
+  // timestamp, exactly as cancel + schedule would order it.
+  Engine e;
+  std::vector<int> order;
+  const EventId a = e.schedule_at(0.5, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(e.reschedule_at(a, 2.0));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Engine, RescheduleStaleIdReturnsFalse) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.reschedule_at(a, 2.0));
+  const EventId b = e.schedule_at(2.0, [] {});
+  EXPECT_TRUE(e.cancel(b));
+  EXPECT_FALSE(e.reschedule_in(b, 1.0));
+}
+
+TEST(Engine, RescheduledEventCanStillBeCancelled) {
+  Engine e;
+  bool fired = false;
+  const EventId a = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.reschedule_at(a, 3.0));
+  EXPECT_TRUE(e.cancel(a));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelOwnEventDuringCallbackIsNoOp) {
+  Engine e;
+  EventId self = kInvalidEvent;
+  bool cancel_result = true;
+  self = e.schedule_at(1.0, [&] { cancel_result = e.cancel(self); });
+  e.run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(Engine, CancelRunStress100k) {
+  // 100k interleaved schedule/cancel ops with deterministic pseudo-random
+  // times; every live event must execute exactly once, in nondecreasing
+  // time order, and every cancelled event must not execute.
+  Engine e;
+  unsigned state = 12345u;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state;
+  };
+  std::vector<EventId> pending;
+  std::size_t scheduled = 0;
+  std::size_t cancelled = 0;
+  std::size_t executed = 0;
+  double last_time = -1.0;
+  for (int i = 0; i < 100000; ++i) {
+    const unsigned op = next() % 4;
+    if (op != 0 || pending.empty()) {
+      const double t = static_cast<double>(next() % 100000) / 100.0;
+      pending.push_back(e.schedule_at(t, [&executed, &last_time, &e] {
+        ++executed;
+        EXPECT_GE(e.now(), last_time);
+        last_time = e.now();
+      }));
+      ++scheduled;
+    } else {
+      const std::size_t pick = next() % pending.size();
+      if (e.cancel(pending[pick])) ++cancelled;
+      EXPECT_FALSE(e.cancel(pending[pick])) << "double cancel must fail";
+      pending[pick] = pending.back();
+      pending.pop_back();
+    }
+  }
+  EXPECT_EQ(e.pending(), scheduled - cancelled);
+  e.run();
+  EXPECT_EQ(executed, scheduled - cancelled);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_TRUE(e.empty());
 }
 
 TEST(EngineDeath, SchedulingInThePastAborts) {

@@ -1,0 +1,128 @@
+#include "sim/event_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace whisk::sim {
+namespace {
+
+TEST(EventFn, DefaultConstructedIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EventFn null_fn(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(EventFn, InvokesSmallCallable) {
+  int calls = 0;
+  EventFn fn([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, InlineCapacityIsAtLeast48Bytes) {
+  static_assert(EventFn::kInlineSize >= 48,
+                "engine hot-path lambdas must fit inline");
+  struct FortyEight {
+    void* self;
+    double a, b, c, d, e;
+    void operator()() const {}
+  };
+  static_assert(sizeof(FortyEight) == 48);
+  static_assert(EventFn::fits_inline<FortyEight>,
+                "48-byte callables must not allocate");
+}
+
+TEST(EventFn, LargeCallableStillWorks) {
+  // Callables beyond the inline buffer take the heap path transparently.
+  struct Big {
+    double payload[16];
+    int* out;
+    void operator()() const { *out += static_cast<int>(payload[0]); }
+  };
+  static_assert(!EventFn::fits_inline<Big>);
+  int sum = 0;
+  Big big{};
+  big.payload[0] = 5.0;
+  big.out = &sum;
+  EventFn fn(big);
+  fn();
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(EventFn, MoveTransfersCallable) {
+  int calls = 0;
+  EventFn a([&calls] { ++calls; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  EventFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, AcceptsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(41);
+  int seen = 0;
+  EventFn fn([&seen, p = std::move(p)] { seen = *p + 1; });
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+struct InstanceCounter {
+  static int live;
+  InstanceCounter() { ++live; }
+  InstanceCounter(const InstanceCounter&) { ++live; }
+  InstanceCounter(InstanceCounter&&) noexcept { ++live; }
+  ~InstanceCounter() { --live; }
+  void operator()() const {}
+};
+int InstanceCounter::live = 0;
+
+TEST(EventFn, DestroysCallableExactlyOnce) {
+  InstanceCounter::live = 0;
+  {
+    EventFn fn = InstanceCounter{};
+    EXPECT_EQ(InstanceCounter::live, 1);
+    EventFn other = std::move(fn);
+    EXPECT_EQ(InstanceCounter::live, 1);
+  }
+  EXPECT_EQ(InstanceCounter::live, 0);
+}
+
+TEST(EventFn, AssignmentDestroysPrevious) {
+  InstanceCounter::live = 0;
+  EventFn fn = InstanceCounter{};
+  fn = [] {};
+  EXPECT_EQ(InstanceCounter::live, 0);
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, ConsumeInvokesAndDestroys) {
+  InstanceCounter::live = 0;
+  int calls = 0;
+  struct Counted : InstanceCounter {
+    int* calls;
+    explicit Counted(int* c) : calls(c) {}
+    void operator()() const { ++*calls; }
+  };
+  EventFn fn = Counted(&calls);
+  EXPECT_EQ(InstanceCounter::live, 1);
+  fn.consume();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(InstanceCounter::live, 0);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+}  // namespace
+}  // namespace whisk::sim

@@ -55,6 +55,41 @@ TEST(RingBuffer, CapacityOneKeepsOnlyLast) {
   EXPECT_DOUBLE_EQ(rb.newest(), 2.5);
 }
 
+TEST(RingBuffer, PushReturnsNothingWhileFilling) {
+  RingBuffer<int> rb(3);
+  EXPECT_FALSE(rb.push(1).has_value());
+  EXPECT_FALSE(rb.push(2).has_value());
+  EXPECT_FALSE(rb.push(3).has_value());
+}
+
+TEST(RingBuffer, PushReturnsEvictedOldest) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  // Full: each further push evicts the oldest retained value, in order.
+  auto e4 = rb.push(4);
+  ASSERT_TRUE(e4.has_value());
+  EXPECT_EQ(*e4, 1);
+  auto e5 = rb.push(5);
+  ASSERT_TRUE(e5.has_value());
+  EXPECT_EQ(*e5, 2);
+  auto e6 = rb.push(6);
+  ASSERT_TRUE(e6.has_value());
+  EXPECT_EQ(*e6, 3);
+  auto e7 = rb.push(7);
+  ASSERT_TRUE(e7.has_value());
+  EXPECT_EQ(*e7, 4) << "eviction follows the wrap-around";
+}
+
+TEST(RingBuffer, PushEvictionWithCapacityOne) {
+  RingBuffer<double> rb(1);
+  EXPECT_FALSE(rb.push(1.5).has_value());
+  auto e = rb.push(2.5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(*e, 1.5);
+}
+
 TEST(RingBuffer, ClearResets) {
   RingBuffer<int> rb(2);
   rb.push(1);

@@ -1,0 +1,83 @@
+#include "util/summed_ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace whisk::util {
+namespace {
+
+TEST(SummedRingBuffer, StartsEmpty) {
+  SummedRingBuffer b(4);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.capacity(), 4u);
+  EXPECT_EQ(b.sum(), 0.0);
+  EXPECT_EQ(b.mean(), 0.0);
+}
+
+TEST(SummedRingBuffer, SumAndMeanBeforeEviction) {
+  SummedRingBuffer b(4);
+  b.push(1.0);
+  b.push(2.0);
+  b.push(3.0);
+  EXPECT_DOUBLE_EQ(b.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SummedRingBuffer, EvictionSubtractsOldest) {
+  SummedRingBuffer b(3);
+  for (double v : {10.0, 1.0, 2.0, 3.0}) b.push(v);
+  // Window is {1, 2, 3}: the 10 has been evicted from the sum.
+  EXPECT_DOUBLE_EQ(b.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SummedRingBuffer, ClearResets) {
+  SummedRingBuffer b(3);
+  b.push(5.0);
+  b.push(7.0);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.sum(), 0.0);
+  b.push(4.0);
+  EXPECT_DOUBLE_EQ(b.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(b.newest(), 4.0);
+}
+
+// The acceptance property: the O(1) running mean must match the naive
+// recomputed mean of the trailing window under heavy eviction, across
+// long pseudo-random sequences.
+class SummedMeanMatchesNaive : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummedMeanMatchesNaive, UnderEviction) {
+  const std::size_t capacity = 10;
+  SummedRingBuffer b(capacity);
+  std::vector<double> all;
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u + 1u;
+  for (int i = 0; i < 100000; ++i) {
+    state = state * 1664525u + 1013904223u;
+    // Values spanning several orders of magnitude to stress the running
+    // sum's numerical stability.
+    const double v =
+        (0.001 + static_cast<double>(state % 100000) / 100.0) *
+        ((state >> 16) % 3 == 0 ? 1e-3 : 1.0);
+    b.push(v);
+    all.push_back(v);
+
+    if (i % 997 != 0) continue;  // checking every step is O(n^2)-slow
+    const std::size_t n = std::min(all.size(), capacity);
+    double naive = 0.0;
+    for (std::size_t k = all.size() - n; k < all.size(); ++k) {
+      naive += all[k];
+    }
+    naive /= static_cast<double>(n);
+    ASSERT_NEAR(b.mean(), naive, 1e-12 * std::max(1.0, naive));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummedMeanMatchesNaive,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace whisk::util

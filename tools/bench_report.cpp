@@ -1,0 +1,151 @@
+// Machine-readable perf harness: runs the engine churn and history mix
+// workloads (bench/engine_churn.h) on both the production hot path and the
+// retained seed baseline, and emits BENCH_engine.json so the repo's perf
+// trajectory can be tracked by scripts/CI instead of eyeballs.
+//
+// Usage: bench_report [output.json]     (default: BENCH_engine.json)
+//
+// Needs no google-benchmark: each workload is self-timed over enough
+// repetitions to exceed a minimum wall-clock budget, and the best (lowest
+// ns/event) repetition is reported, the standard way to suppress scheduler
+// noise in throughput measurements.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "../bench/engine_churn.h"
+#include "../bench/reference_engine.h"
+#include "core/history.h"
+#include "sim/engine.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  double events_per_sec = 0.0;
+  double ns_per_event = 0.0;
+  std::size_t events = 0;
+};
+
+// Run `fn` (returning the number of processed items) repeatedly for at
+// least `min_seconds` total and return the fastest repetition.
+template <typename Fn>
+Measurement measure(Fn&& fn, double min_seconds = 0.5) {
+  Measurement best;
+  double elapsed_total = 0.0;
+  do {
+    const auto t0 = Clock::now();
+    const std::size_t events = fn();
+    const auto t1 = Clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    elapsed_total += s;
+    const double eps = static_cast<double>(events) / s;
+    if (eps > best.events_per_sec) {
+      best.events_per_sec = eps;
+      best.ns_per_event = 1e9 * s / static_cast<double>(events);
+      best.events = events;
+    }
+  } while (elapsed_total < min_seconds);
+  return best;
+}
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
+          Measurement seed_churn, Measurement new_drain,
+          Measurement seed_drain, Measurement new_hist,
+          Measurement seed_hist) {
+  auto block = [out](const char* name, const Measurement& m,
+                     const char* trailer) {
+    std::fprintf(out,
+                 "    \"%s\": {\"events_per_sec\": %.0f, \"ns_per_event\": "
+                 "%.2f, \"events\": %zu}%s\n",
+                 name, m.events_per_sec, m.ns_per_event, m.events, trailer);
+  };
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"%s\",\n", churn_label);
+  std::fprintf(out, "  \"engine_churn\": {\n");
+  block("new", new_churn, ",");
+  block("seed", seed_churn, ",");
+  std::fprintf(out, "    \"speedup\": %.2f\n",
+               new_churn.events_per_sec / seed_churn.events_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"engine_schedule_drain\": {\n");
+  block("new", new_drain, ",");
+  block("seed", seed_drain, ",");
+  std::fprintf(out, "    \"speedup\": %.2f\n",
+               new_drain.events_per_sec / seed_drain.events_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"history_mix\": {\n");
+  block("new", new_hist, ",");
+  block("seed", seed_hist, ",");
+  std::fprintf(out, "    \"speedup\": %.2f\n",
+               new_hist.events_per_sec / seed_hist.events_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"peak_rss_kb\": %ld\n", peak_rss_kb());
+  std::fprintf(out, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  constexpr std::size_t kChurnEvents = 100000;
+  constexpr std::size_t kDrainEvents = 100000;
+  constexpr std::size_t kHistoryCalls = 200000;
+
+  std::fprintf(stderr, "measuring engine churn (new)...\n");
+  const auto new_churn = measure([] {
+    return whisk::bench::run_engine_churn<whisk::sim::Engine>(kChurnEvents,
+                                                              42);
+  });
+  std::fprintf(stderr, "measuring engine churn (seed)...\n");
+  const auto seed_churn = measure([] {
+    return whisk::bench::run_engine_churn<whisk::bench::ref::SeedEngine>(
+        kChurnEvents, 42);
+  });
+  std::fprintf(stderr, "measuring schedule/drain (new)...\n");
+  const auto new_drain = measure([] {
+    return whisk::bench::run_engine_schedule_drain<whisk::sim::Engine>(
+        kDrainEvents, 7);
+  });
+  std::fprintf(stderr, "measuring schedule/drain (seed)...\n");
+  const auto seed_drain = measure([] {
+    return whisk::bench::run_engine_schedule_drain<
+        whisk::bench::ref::SeedEngine>(kDrainEvents, 7);
+  });
+  std::fprintf(stderr, "measuring history mix (new)...\n");
+  const auto new_hist = measure([] {
+    whisk::bench::run_history_mix<whisk::core::RuntimeHistory>(kHistoryCalls,
+                                                               99);
+    return kHistoryCalls;
+  });
+  std::fprintf(stderr, "measuring history mix (seed)...\n");
+  const auto seed_hist = measure([] {
+    whisk::bench::run_history_mix<whisk::bench::ref::SeedHistory>(
+        kHistoryCalls, 99);
+    return kHistoryCalls;
+  });
+
+  emit(stdout, "engine_hot_path", new_churn, seed_churn, new_drain,
+       seed_drain, new_hist, seed_hist);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  emit(f, "engine_hot_path", new_churn, seed_churn, new_drain, seed_drain,
+       new_hist, seed_hist);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (churn speedup: %.2fx)\n", path.c_str(),
+               new_churn.events_per_sec / seed_churn.events_per_sec);
+  return 0;
+}
