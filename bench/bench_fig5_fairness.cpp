@@ -46,7 +46,8 @@ int main() {
     const auto cfg = experiments::ExperimentSpec()
                          .cores(10)
                          .intensity(90)
-                         .fairness("dna-visualisation", 10)
+                         .scenario("fairness?rare-function="
+                                   "dna-visualisation&rare-calls=10")
                          .scheduler(sched);
     const auto runs = experiments::run_repetitions(cfg, cat, reps);
     const auto all = util::summarize(experiments::pooled_stretches(runs));

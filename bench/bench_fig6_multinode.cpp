@@ -25,7 +25,7 @@ void run_series(const workload::FunctionCatalog& cat, int cpus_per_node,
           experiments::ExperimentSpec()
               .cores(cpus_per_node)
               .nodes(nodes)
-              .fixed_total(total_requests)
+              .scenario("fixed-total?total=" + std::to_string(total_requests))
               .scheduler(std::string_view(label) == "baseline"
                              ? "baseline/fifo"
                              : "ours/fc");

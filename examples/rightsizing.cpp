@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       const auto cfg = experiments::ExperimentSpec()
                            .cores(cpus)
                            .nodes(nodes)
-                           .fixed_total(total)
+                           .scenario("fixed-total?total=" + std::to_string(total))
                            .scheduler(baseline ? "baseline/fifo" : "ours/fc");
       const auto runs = experiments::run_repetitions(cfg, catalog, 3);
       const auto sum =

@@ -90,27 +90,61 @@ ExperimentSpec& ExperimentSpec::memory_mb(double value) {
 ExperimentSpec& ExperimentSpec::intensity(int value) {
   WHISK_CHECK(value > 0, "intensity must be positive");
   intensity_ = value;
+  intensity_set_ = true;
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::scenario(ScenarioKind value) {
-  scenario_ = value;
+ExperimentSpec& ExperimentSpec::scenario(workload::ScenarioSpec spec) {
+  scenario_ = spec.normalized();
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::fixed_total(std::size_t requests) {
-  WHISK_CHECK(requests > 0, "fixed_total needs at least one request");
-  scenario_ = ScenarioKind::kFixedTotal;
-  fixed_total_ = requests;
+ExperimentSpec& ExperimentSpec::scenario(std::string_view text) {
+  scenario_ = workload::ScenarioSpec::parse(text);
   return *this;
 }
 
-ExperimentSpec& ExperimentSpec::fairness(std::string rare_function,
-                                         std::size_t rare_calls) {
-  scenario_ = ScenarioKind::kFairness;
-  fairness_rare_function_ = std::move(rare_function);
-  fairness_rare_calls_ = rare_calls;
-  return *this;
+workload::ScenarioContext ExperimentSpec::scenario_context(
+    const workload::FunctionCatalog& catalog) const {
+  if (intensity_set_) {
+    // intensity() used to be silently ignored by the fixed-total scenario;
+    // refuse contradictory workload sizing instead.
+    const auto def =
+        workload::ScenarioRegistry::instance().create(scenario_.name);
+    bool takes_intensity = false;
+    for (const auto& param : def->params()) {
+      if (param.name == "intensity") {
+        takes_intensity = true;
+        break;
+      }
+    }
+    if (!takes_intensity) {
+      std::vector<std::string> names;
+      for (const auto& param : def->params()) names.push_back(param.name);
+      WHISK_CHECK(false, ("intensity(" + std::to_string(intensity_) +
+                          ") conflicts with scenario \"" + scenario_.name +
+                          "\", which does not take an intensity — it sizes "
+                          "the burst via: " +
+                          util::join(names) +
+                          ". Drop intensity() or pick an intensity-driven "
+                          "scenario")
+                             .c_str());
+    }
+    if (scenario_.has("intensity")) {
+      WHISK_CHECK(false, ("intensity is set twice: intensity(" +
+                          std::to_string(intensity_) +
+                          ") and scenario parameter intensity=" +
+                          scenario_.text("intensity", "") +
+                          "; set it in one place")
+                             .c_str());
+    }
+  }
+  workload::ScenarioContext ctx;
+  ctx.catalog = &catalog;
+  ctx.cores = cores_;
+  ctx.nodes = nodes_;
+  ctx.intensity = intensity_;
+  return ctx;
 }
 
 ExperimentSpec& ExperimentSpec::seed(std::uint64_t value) {

@@ -8,29 +8,30 @@
 
 #include "experiments/scheduler_spec.h"
 #include "node/params.h"
+#include "workload/scenario_registry.h"
+#include "workload/scenario_spec.h"
 
 namespace whisk::experiments {
 
-// The kind of measured burst to generate.
-enum class ScenarioKind {
-  kUniform,     // 1.1 * cores * intensity requests, equal per function
-  kFixedTotal,  // explicit request count (multi-node experiments)
-  kFairness,    // Sec. VII-D: few calls of a rare long function
-};
-
 // A declarative description of one experiment: the scheduler (as registry
-// names), the deployment size, the workload, and a *named* map of ablation
-// overrides (replacing the old flat struct of sentinel -1.0 fields).
-// Chainable builder setters share their getter's name:
+// names), the deployment size, the workload (as a registry-named
+// ScenarioSpec), and a *named* map of ablation overrides (replacing the old
+// flat struct of sentinel -1.0 fields). Chainable builder setters share
+// their getter's name:
 //
 //   auto spec = ExperimentSpec()
 //                   .scheduler("ours/sept")
 //                   .cores(10)
-//                   .intensity(60)
+//                   .scenario("poisson?rate=40&mix=random")
 //                   .with_override("history_window", 5);
 //   run_experiment(spec, catalog);
 //
-// Unknown override names abort immediately, listing the valid keys.
+// The workload defaults to the paper's uniform burst; .intensity() is its
+// load knob. Unknown scenario names, parameter keys, and override names all
+// abort immediately, listing the valid alternatives. Setting intensity
+// together with a scenario that does not take one (e.g. fixed-total, which
+// sizes the burst via its `total` parameter) is rejected rather than
+// silently ignored.
 class ExperimentSpec {
  public:
   ExperimentSpec() = default;
@@ -49,19 +50,21 @@ class ExperimentSpec {
   [[nodiscard]] double memory_mb() const { return memory_mb_; }
 
   // --- workload ------------------------------------------------------------
-  ExperimentSpec& intensity(int value);  // ignored for kFixedTotal
+  ExperimentSpec& scenario(workload::ScenarioSpec spec);
+  ExperimentSpec& scenario(std::string_view text);  // ScenarioSpec::parse
+  [[nodiscard]] const workload::ScenarioSpec& scenario() const {
+    return scenario_;
+  }
+  // The paper's load knob v (1.1 * cores * v requests). Only valid with
+  // scenarios that declare an `intensity` parameter.
+  ExperimentSpec& intensity(int value);
   [[nodiscard]] int intensity() const { return intensity_; }
-  ExperimentSpec& scenario(ScenarioKind value);
-  [[nodiscard]] ScenarioKind scenario() const { return scenario_; }
-  ExperimentSpec& fixed_total(std::size_t requests);  // implies kFixedTotal
-  [[nodiscard]] std::size_t fixed_total() const { return fixed_total_; }
-  ExperimentSpec& fairness(std::string rare_function, std::size_t rare_calls);
-  [[nodiscard]] const std::string& fairness_rare_function() const {
-    return fairness_rare_function_;
-  }
-  [[nodiscard]] std::size_t fairness_rare_calls() const {
-    return fairness_rare_calls_;
-  }
+
+  // The deployment-side knobs handed to the scenario generator; aborts if
+  // intensity() was set but the chosen scenario does not take one (or sets
+  // its own intensity parameter as well).
+  [[nodiscard]] workload::ScenarioContext scenario_context(
+      const workload::FunctionCatalog& catalog) const;
 
   // --- repetition ----------------------------------------------------------
   ExperimentSpec& seed(std::uint64_t value);
@@ -85,11 +88,9 @@ class ExperimentSpec {
   int cores_ = 10;  // per node, for action containers
   int nodes_ = 1;
   double memory_mb_ = 32.0 * 1024.0;
+  workload::ScenarioSpec scenario_;  // defaults to "uniform"
   int intensity_ = 30;
-  ScenarioKind scenario_ = ScenarioKind::kUniform;
-  std::size_t fixed_total_ = 0;
-  std::string fairness_rare_function_ = "dna-visualisation";
-  std::size_t fairness_rare_calls_ = 10;
+  bool intensity_set_ = false;
   std::uint64_t seed_ = 0;  // repetition index; drives scenario + node noise
   std::map<std::string, double> overrides_;
 };

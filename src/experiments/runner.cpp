@@ -4,36 +4,9 @@
 
 #include "sim/engine.h"
 #include "util/check.h"
+#include "workload/scenario_registry.h"
 
 namespace whisk::experiments {
-namespace {
-
-workload::Scenario make_scenario(const ExperimentSpec& spec,
-                                 const workload::FunctionCatalog& cat,
-                                 sim::Rng& rng) {
-  workload::ScenarioGenerator gen(cat);
-  switch (spec.scenario()) {
-    case ScenarioKind::kUniform:
-      // Intensity is defined against the per-node core count; a multi-node
-      // run spreads 1.1 * (num_nodes * cores) * intensity requests.
-      return gen.uniform_burst(spec.cores() * spec.nodes(), spec.intensity(),
-                               rng);
-    case ScenarioKind::kFixedTotal:
-      WHISK_CHECK(spec.fixed_total() > 0,
-                  "kFixedTotal needs fixed_total(requests)");
-      return gen.fixed_total_burst(spec.fixed_total(), rng);
-    case ScenarioKind::kFairness: {
-      auto fn = cat.find(spec.fairness_rare_function());
-      WHISK_CHECK(fn.has_value(), "unknown fairness rare function");
-      return gen.fairness_burst(spec.cores() * spec.nodes(), spec.intensity(),
-                                *fn, spec.fairness_rare_calls(), rng);
-    }
-  }
-  WHISK_CHECK(false, "unhandled scenario kind");
-  return {};
-}
-
-}  // namespace
 
 RunResult run_experiment(const ExperimentSpec& spec,
                          const workload::FunctionCatalog& cat) {
@@ -52,7 +25,8 @@ RunResult run_experiment(const ExperimentSpec& spec,
   // sequence (the paper compares schedulers on the same 5 sequences).
   sim::Rng scenario_rng =
       sim::Rng(spec.seed()).fork(sim::hash_tag("scenario"));
-  const workload::Scenario scenario = make_scenario(spec, cat, scenario_rng);
+  const workload::Scenario scenario = workload::make_scenario(
+      spec.scenario(), spec.scenario_context(cat), scenario_rng);
 
   cluster::Cluster cluster(engine, cat, cp,
                            sim::Rng(spec.seed())

@@ -183,7 +183,10 @@ void Engine::execute_top() {
   meta_[top.slot].heap_pos = kNoHeapPos;
   ++executed_;
   fn_at(top.slot).consume();
-  free_.push_back(top.slot);
+  // Same generation-wrap retirement as release_slot(): recycling a slot
+  // whose gen wrapped to 0 would let a 4-billion-execution-old stale id
+  // alias a live event.
+  if (meta_[top.slot].gen != 0xffffffffu) free_.push_back(top.slot);
 }
 
 bool Engine::step() {

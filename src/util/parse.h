@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace whisk::util {
+
+// Strict numeric field parsing shared by the spec / trace / weights
+// surfaces. "Strict" means: the whole field must be consumed (no trailing
+// garbage, no embedded whitespace the C parsers would skip) and the value
+// must be finite — "inf" rates would spin arrival generators forever.
+[[nodiscard]] inline bool parse_finite_double(std::string_view field,
+                                              double* out) {
+  if (field.empty() || field.front() == ' ' || field.front() == '\t') {
+    return false;
+  }
+  const std::string s(field);
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+// Digits-only whole number: no sign, no whitespace, no exponent; rejects
+// fields that overflow unsigned long long (strtoull's ERANGE clamp would
+// otherwise turn "9...9" into ULLONG_MAX silently).
+[[nodiscard]] inline bool parse_whole_number(std::string_view field,
+                                             unsigned long long* out) {
+  if (field.empty()) return false;
+  for (const char c : field) {
+    if (c < '0' || c > '9') return false;
+  }
+  const std::string s(field);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace whisk::util

@@ -1,0 +1,160 @@
+#include "workload/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace whisk::workload {
+namespace {
+
+// Rate-driven generation is linear in the expected event (and phase)
+// count; a huge-but-finite rate or a microscopic phase duration would spin
+// the gap loops for eons and overflow the reserve() cast long before
+// allocating. Bursts are thousands of calls; 1e7 is generous headroom.
+constexpr double kMaxExpectedEvents = 1e7;
+
+void check_expected(double expected, const char* what) {
+  WHISK_CHECK(expected <= kMaxExpectedEvents,
+              (std::string(what) +
+               " implies more than 1e7 expected events over the window; "
+               "lower the rate or shrink the window")
+                  .c_str());
+}
+
+}  // namespace
+
+sim::SimTime ArrivalProcess::sample(sim::SimTime /*window*/,
+                                    sim::Rng& /*rng*/) const {
+  WHISK_CHECK(false,
+              "sample() called on a rate-driven arrival process; use "
+              "schedule()");
+  return 0.0;
+}
+
+std::vector<sim::SimTime> ArrivalProcess::schedule(sim::SimTime /*window*/,
+                                                   sim::Rng& /*rng*/) const {
+  WHISK_CHECK(false,
+              "schedule() called on a count-driven arrival process; use "
+              "sample() once per call");
+  return {};
+}
+
+sim::SimTime UniformArrivals::sample(sim::SimTime window,
+                                     sim::Rng& rng) const {
+  return rng.uniform(0.0, window);
+}
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  WHISK_CHECK(rate > 0.0 && std::isfinite(rate),
+              "poisson arrival rate must be positive and finite");
+}
+
+std::vector<sim::SimTime> PoissonArrivals::schedule(sim::SimTime window,
+                                                    sim::Rng& rng) const {
+  check_expected(rate_ * window, "poisson rate * window");
+  std::vector<sim::SimTime> out;
+  out.reserve(static_cast<std::size_t>(rate_ * window) + 16);
+  sim::SimTime t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_);
+    if (t >= window) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+OnOffArrivals::OnOffArrivals(double rate_on, double rate_off,
+                             double mean_on_s, double mean_off_s)
+    : rate_on_(rate_on),
+      rate_off_(rate_off),
+      mean_on_s_(mean_on_s),
+      mean_off_s_(mean_off_s) {
+  WHISK_CHECK(rate_on > 0.0 && std::isfinite(rate_on),
+              "on-off burst rate (rate-on) must be positive and finite");
+  WHISK_CHECK(rate_off >= 0.0 && std::isfinite(rate_off),
+              "on-off base rate (rate-off) must be >= 0 and finite");
+  WHISK_CHECK(mean_on_s > 0.0 && mean_off_s > 0.0 &&
+                  std::isfinite(mean_on_s) && std::isfinite(mean_off_s),
+              "on-off phase durations (mean-on/mean-off) must be positive "
+              "and finite");
+}
+
+std::vector<sim::SimTime> OnOffArrivals::schedule(sim::SimTime window,
+                                                  sim::Rng& rng) const {
+  check_expected(std::max(rate_on_, rate_off_) * window,
+                 "on-off rate * window");
+  check_expected(window / mean_on_s_ + window / mean_off_s_,
+                 "on-off window / phase duration");
+  std::vector<sim::SimTime> out;
+  sim::SimTime phase_start = 0.0;
+  bool on = true;
+  while (phase_start < window) {
+    const double mean = on ? mean_on_s_ : mean_off_s_;
+    const double rate = on ? rate_on_ : rate_off_;
+    const sim::SimTime phase_end =
+        std::min(phase_start + rng.exponential(1.0 / mean), window);
+    if (rate > 0.0) {
+      sim::SimTime t = phase_start;
+      for (;;) {
+        t += rng.exponential(rate);
+        if (t >= phase_end) break;
+        out.push_back(t);
+      }
+    }
+    phase_start = phase_end;
+    on = !on;
+  }
+  return out;
+}
+
+DiurnalArrivals::DiurnalArrivals(double mean_rate, double amplitude,
+                                 double period_s)
+    : mean_rate_(mean_rate), amplitude_(amplitude), period_s_(period_s) {
+  WHISK_CHECK(mean_rate > 0.0 && std::isfinite(mean_rate),
+              "diurnal mean rate must be positive and finite");
+  WHISK_CHECK(amplitude >= 0.0 && amplitude <= 1.0,
+              "diurnal amplitude must be in [0, 1]");
+  WHISK_CHECK(period_s > 0.0 && std::isfinite(period_s),
+              "diurnal period must be positive and finite");
+}
+
+std::vector<sim::SimTime> DiurnalArrivals::schedule(sim::SimTime window,
+                                                    sim::Rng& rng) const {
+  // Thinning (Lewis-Shedler): draw from a homogeneous process at the peak
+  // rate and accept each point with probability lambda(t) / lambda_max.
+  const double lambda_max = mean_rate_ * (1.0 + amplitude_);
+  check_expected(lambda_max * window, "diurnal peak rate * window");
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  std::vector<sim::SimTime> out;
+  out.reserve(static_cast<std::size_t>(mean_rate_ * window) + 16);
+  sim::SimTime t = 0.0;
+  for (;;) {
+    t += rng.exponential(lambda_max);
+    if (t >= window) break;
+    const double lambda_t =
+        mean_rate_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_s_));
+    if (rng.uniform() * lambda_max < lambda_t) out.push_back(t);
+  }
+  return out;
+}
+
+TraceArrivals::TraceArrivals(std::vector<sim::SimTime> times)
+    : times_(std::move(times)) {
+  for (const sim::SimTime t : times_) {
+    WHISK_CHECK(t >= 0.0, "trace release times must be >= 0");
+  }
+}
+
+std::vector<sim::SimTime> TraceArrivals::schedule(sim::SimTime window,
+                                                  sim::Rng& /*rng*/) const {
+  std::vector<sim::SimTime> out;
+  out.reserve(times_.size());
+  for (const sim::SimTime t : times_) {
+    if (t < window) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace whisk::workload

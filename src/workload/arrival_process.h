@@ -1,0 +1,110 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace whisk::workload {
+
+// When requests hit the platform, independent of *which* function each one
+// is (that is the FunctionMix's job). Two flavours:
+//
+//  - count-driven: the scenario fixes the number of calls and the process
+//    answers "when does one call arrive?" (sample()). The composer invokes
+//    it once per call, interleaved after the mix's draw.
+//  - rate-driven: the process itself decides how many arrivals fit in the
+//    window (schedule()): Poisson, bursty on-off, diurnal curves, traces.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  [[nodiscard]] virtual bool rate_driven() const = 0;
+
+  // Count-driven: one release time in [0, window). Aborts on rate-driven
+  // processes.
+  [[nodiscard]] virtual sim::SimTime sample(sim::SimTime window,
+                                            sim::Rng& rng) const;
+
+  // Rate-driven: every release time in [0, window), in generation order
+  // (callers sort). Aborts on count-driven processes.
+  [[nodiscard]] virtual std::vector<sim::SimTime> schedule(
+      sim::SimTime window, sim::Rng& rng) const;
+};
+
+// I.i.d. uniform over the window — the paper's measured burst (Sec. V-B).
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  [[nodiscard]] bool rate_driven() const override { return false; }
+  [[nodiscard]] sim::SimTime sample(sim::SimTime window,
+                                    sim::Rng& rng) const override;
+};
+
+// Homogeneous Poisson process: exponential inter-arrival gaps at `rate`
+// arrivals per second until the window is exhausted.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+
+  [[nodiscard]] bool rate_driven() const override { return true; }
+  [[nodiscard]] std::vector<sim::SimTime> schedule(
+      sim::SimTime window, sim::Rng& rng) const override;
+
+ private:
+  double rate_;
+};
+
+// Two-state Markov-modulated on-off process (MMPP-2): alternating ON/OFF
+// phases with exponential sojourn times; arrivals are Poisson at `rate_on`
+// during ON phases and `rate_off` (may be 0) during OFF phases. The process
+// starts in an ON phase, so short windows still see traffic.
+class OnOffArrivals final : public ArrivalProcess {
+ public:
+  OnOffArrivals(double rate_on, double rate_off, double mean_on_s,
+                double mean_off_s);
+
+  [[nodiscard]] bool rate_driven() const override { return true; }
+  [[nodiscard]] std::vector<sim::SimTime> schedule(
+      sim::SimTime window, sim::Rng& rng) const override;
+
+ private:
+  double rate_on_;
+  double rate_off_;
+  double mean_on_s_;
+  double mean_off_s_;
+};
+
+// Inhomogeneous Poisson process with a sinusoidal rate curve, sampled by
+// thinning:  lambda(t) = mean_rate * (1 + amplitude * sin(2*pi*t/period)).
+// amplitude in [0, 1]; period defaults to one full cycle per window at the
+// scenario layer (Azure-Functions-style diurnal load, compressed into the
+// burst window).
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  DiurnalArrivals(double mean_rate, double amplitude, double period_s);
+
+  [[nodiscard]] bool rate_driven() const override { return true; }
+  [[nodiscard]] std::vector<sim::SimTime> schedule(
+      sim::SimTime window, sim::Rng& rng) const override;
+
+ private:
+  double mean_rate_;
+  double amplitude_;
+  double period_s_;
+};
+
+// Replays pre-recorded release times (e.g. from a TraceReader); entries at
+// or past the window are dropped.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<sim::SimTime> times);
+
+  [[nodiscard]] bool rate_driven() const override { return true; }
+  [[nodiscard]] std::vector<sim::SimTime> schedule(
+      sim::SimTime window, sim::Rng& rng) const override;
+
+ private:
+  std::vector<sim::SimTime> times_;
+};
+
+}  // namespace whisk::workload

@@ -1,0 +1,85 @@
+#include "workload/function_mix.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace whisk::workload {
+
+EqualBlockMix::EqualBlockMix(std::size_t per_function)
+    : per_function_(per_function) {
+  WHISK_CHECK(per_function > 0, "equal mix needs at least one call per "
+                                "function");
+}
+
+FunctionId EqualBlockMix::assign(std::size_t i, std::size_t /*n*/,
+                                 sim::Rng& /*rng*/) const {
+  return static_cast<FunctionId>(i / per_function_);
+}
+
+RoundRobinMix::RoundRobinMix(std::size_t num_functions)
+    : num_functions_(num_functions) {
+  WHISK_CHECK(num_functions > 0, "round-robin mix needs a non-empty catalog");
+}
+
+FunctionId RoundRobinMix::assign(std::size_t i, std::size_t /*n*/,
+                                 sim::Rng& /*rng*/) const {
+  return static_cast<FunctionId>(i % num_functions_);
+}
+
+UniformRandomMix::UniformRandomMix(std::size_t num_functions)
+    : num_functions_(num_functions) {
+  WHISK_CHECK(num_functions > 0, "random mix needs a non-empty catalog");
+}
+
+FunctionId UniformRandomMix::assign(std::size_t /*i*/, std::size_t /*n*/,
+                                    sim::Rng& rng) const {
+  return static_cast<FunctionId>(rng.uniform_index(num_functions_));
+}
+
+WeightedMix::WeightedMix(std::vector<double> weights) {
+  WHISK_CHECK(!weights.empty(), "weighted mix needs at least one weight");
+  cumulative_.reserve(weights.size());
+  double sum = 0.0;
+  for (const double w : weights) {
+    WHISK_CHECK(w >= 0.0, "weighted mix weights must be >= 0");
+    sum += w;
+    cumulative_.push_back(sum);
+  }
+  WHISK_CHECK(sum > 0.0, "weighted mix needs at least one positive weight");
+}
+
+FunctionId WeightedMix::assign(std::size_t /*i*/, std::size_t /*n*/,
+                               sim::Rng& rng) const {
+  const double u = rng.uniform(0.0, cumulative_.back());
+  for (std::size_t f = 0; f < cumulative_.size(); ++f) {
+    if (u < cumulative_[f]) return static_cast<FunctionId>(f);
+  }
+  return static_cast<FunctionId>(cumulative_.size() - 1);
+}
+
+RareFirstMix::RareFirstMix(FunctionId rare_function, std::size_t rare_calls,
+                           std::size_t num_functions)
+    : rare_function_(rare_function),
+      rare_calls_(rare_calls),
+      num_functions_(num_functions) {
+  WHISK_CHECK(num_functions >= 2,
+              "rare-first mix needs at least one non-rare function");
+  WHISK_CHECK(rare_function >= 0 &&
+                  static_cast<std::size_t>(rare_function) < num_functions,
+              "rare function id out of catalog range");
+}
+
+FunctionId RareFirstMix::assign(std::size_t i, std::size_t n,
+                                sim::Rng& rng) const {
+  WHISK_CHECK(rare_calls_ <= n,
+              "rare-first mix has more rare calls than total requests");
+  if (i < rare_calls_) return rare_function_;
+  FunctionId f;
+  do {
+    f = static_cast<FunctionId>(rng.uniform_index(num_functions_));
+  } while (f == rare_function_);
+  return f;
+}
+
+}  // namespace whisk::workload

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/random.h"
+#include "workload/function.h"
+
+namespace whisk::workload {
+
+// Which function each call invokes, independent of *when* it arrives (that
+// is the ArrivalProcess's job). The composer invokes assign() in call order;
+// implementations may draw from the rng (the draws interleave with the
+// arrival draws for count-driven processes — part of the byte-compat
+// contract with the pre-registry seed generators).
+class FunctionMix {
+ public:
+  virtual ~FunctionMix() = default;
+
+  // The function for call i of n total calls.
+  [[nodiscard]] virtual FunctionId assign(std::size_t i, std::size_t n,
+                                          sim::Rng& rng) const = 0;
+};
+
+// Block-equal split: calls [k*per_function, (k+1)*per_function) all invoke
+// function k — the layout of the paper's uniform burst, where every
+// function gets the same number of calls.
+class EqualBlockMix final : public FunctionMix {
+ public:
+  explicit EqualBlockMix(std::size_t per_function);
+
+  [[nodiscard]] FunctionId assign(std::size_t i, std::size_t n,
+                                  sim::Rng& rng) const override;
+
+ private:
+  std::size_t per_function_;
+};
+
+// Round-robin i % num_functions — the layout of the paper's fixed-total
+// multi-node bursts (near-equal counts for any total).
+class RoundRobinMix final : public FunctionMix {
+ public:
+  explicit RoundRobinMix(std::size_t num_functions);
+
+  [[nodiscard]] FunctionId assign(std::size_t i, std::size_t n,
+                                  sim::Rng& rng) const override;
+
+ private:
+  std::size_t num_functions_;
+};
+
+// Each call draws a function uniformly at random.
+class UniformRandomMix final : public FunctionMix {
+ public:
+  explicit UniformRandomMix(std::size_t num_functions);
+
+  [[nodiscard]] FunctionId assign(std::size_t i, std::size_t n,
+                                  sim::Rng& rng) const override;
+
+ private:
+  std::size_t num_functions_;
+};
+
+// Each call draws function f with probability weights[f] / sum(weights)
+// (weights need not be normalized; zero-weight functions never run).
+class WeightedMix final : public FunctionMix {
+ public:
+  explicit WeightedMix(std::vector<double> weights);
+
+  [[nodiscard]] FunctionId assign(std::size_t i, std::size_t n,
+                                  sim::Rng& rng) const override;
+
+ private:
+  std::vector<double> cumulative_;  // running sums; back() == total weight
+};
+
+// The fairness scenario's mix (Sec. VII-D): the first `rare_calls` calls
+// invoke the rare function; every later call rejection-samples uniformly
+// over the *other* functions, matching the seed fairness_burst stream
+// draw for draw.
+class RareFirstMix final : public FunctionMix {
+ public:
+  RareFirstMix(FunctionId rare_function, std::size_t rare_calls,
+               std::size_t num_functions);
+
+  [[nodiscard]] FunctionId assign(std::size_t i, std::size_t n,
+                                  sim::Rng& rng) const override;
+
+ private:
+  FunctionId rare_function_;
+  std::size_t rare_calls_;
+  std::size_t num_functions_;
+};
+
+}  // namespace whisk::workload

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "workload/arrival_process.h"
+#include "workload/function_mix.h"
 
 namespace whisk::workload {
 
-Scenario ScenarioGenerator::finalize(std::vector<CallRequest> calls,
-                                     sim::SimTime window) const {
+Scenario finalize_scenario(std::vector<CallRequest> calls,
+                           sim::SimTime window) {
   std::sort(calls.begin(), calls.end(),
             [](const CallRequest& a, const CallRequest& b) {
               if (a.release != b.release) return a.release < b.release;
@@ -22,73 +24,29 @@ Scenario ScenarioGenerator::finalize(std::vector<CallRequest> calls,
   return s;
 }
 
-Scenario ScenarioGenerator::uniform_burst(int cores, int intensity,
-                                          sim::Rng& rng,
-                                          sim::SimTime window) const {
-  WHISK_CHECK(cores > 0, "cores must be positive");
-  WHISK_CHECK(intensity > 0, "intensity must be positive");
-  // 1.1 * c * v requests over nf functions -> 0.1 * c * v calls per function
-  // for the 11-function SeBS catalog (paper Sec. V-B).
-  const std::size_t nf = catalog_->size();
-  const std::size_t total =
-      static_cast<std::size_t>(1.1 * cores * intensity + 0.5);
-  const std::size_t per_function = total / nf;
-  WHISK_CHECK(per_function * nf == total,
-              "intensity/core combination does not split evenly across "
-              "functions; use multiples of 10 as the paper does");
-
+Scenario compose_scenario(const ArrivalProcess& arrivals,
+                          const FunctionMix& mix, std::size_t total,
+                          sim::SimTime window, sim::Rng& rng) {
+  WHISK_CHECK(window > 0.0, "scenario window must be positive");
   std::vector<CallRequest> calls;
-  calls.reserve(total);
-  for (std::size_t f = 0; f < nf; ++f) {
-    for (std::size_t k = 0; k < per_function; ++k) {
-      calls.push_back(CallRequest{-1, static_cast<FunctionId>(f),
-                                  rng.uniform(0.0, window)});
+  if (arrivals.rate_driven()) {
+    const auto times = arrivals.schedule(window, rng);
+    calls.reserve(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      calls.push_back(
+          CallRequest{-1, mix.assign(i, times.size(), rng), times[i]});
+    }
+  } else {
+    WHISK_CHECK(total > 0, "count-driven scenario needs a positive total");
+    calls.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      // Mix draw before release draw: the seed generators' stream order.
+      // Reordering would change every seeded scenario.
+      const FunctionId f = mix.assign(i, total, rng);
+      calls.push_back(CallRequest{-1, f, arrivals.sample(window, rng)});
     }
   }
-  return finalize(std::move(calls), window);
-}
-
-Scenario ScenarioGenerator::fixed_total_burst(std::size_t total_requests,
-                                              sim::Rng& rng,
-                                              sim::SimTime window) const {
-  WHISK_CHECK(total_requests > 0, "empty burst");
-  const std::size_t nf = catalog_->size();
-  std::vector<CallRequest> calls;
-  calls.reserve(total_requests);
-  for (std::size_t i = 0; i < total_requests; ++i) {
-    calls.push_back(CallRequest{-1, static_cast<FunctionId>(i % nf),
-                                rng.uniform(0.0, window)});
-  }
-  return finalize(std::move(calls), window);
-}
-
-Scenario ScenarioGenerator::fairness_burst(int cores, int intensity,
-                                           FunctionId rare_function,
-                                           std::size_t rare_calls,
-                                           sim::Rng& rng,
-                                           sim::SimTime window) const {
-  const std::size_t total =
-      static_cast<std::size_t>(1.1 * cores * intensity + 0.5);
-  WHISK_CHECK(rare_calls <= total, "more rare calls than total requests");
-  catalog_->spec(rare_function);  // bounds check
-
-  std::vector<CallRequest> calls;
-  calls.reserve(total);
-  for (std::size_t k = 0; k < rare_calls; ++k) {
-    calls.push_back(
-        CallRequest{-1, rare_function, rng.uniform(0.0, window)});
-  }
-  // Remaining calls: uniformly random over the other functions (the paper
-  // drops the equal-counts assumption here).
-  const std::size_t nf = catalog_->size();
-  for (std::size_t k = rare_calls; k < total; ++k) {
-    FunctionId f;
-    do {
-      f = static_cast<FunctionId>(rng.uniform_index(nf));
-    } while (f == rare_function);
-    calls.push_back(CallRequest{-1, f, rng.uniform(0.0, window)});
-  }
-  return finalize(std::move(calls), window);
+  return finalize_scenario(std::move(calls), window);
 }
 
 }  // namespace whisk::workload

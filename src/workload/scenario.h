@@ -9,6 +9,9 @@
 
 namespace whisk::workload {
 
+class ArrivalProcess;  // workload/arrival_process.h
+class FunctionMix;     // workload/function_mix.h
+
 using CallId = std::int64_t;
 
 // A single end-user request in a test scenario: function f(i) is invoked at
@@ -28,42 +31,26 @@ struct Scenario {
   [[nodiscard]] std::size_t size() const { return calls.size(); }
 };
 
-// Generators for the paper's scenarios. All draws come from the provided
-// Rng, so a (seed, parameters) pair fully determines the call sequence —
-// the paper's "5 different random sequences of calls" are seeds 0..4.
-class ScenarioGenerator {
- public:
-  explicit ScenarioGenerator(const FunctionCatalog& catalog)
-      : catalog_(&catalog) {}
+// Sort by (release, function) and assign sequential call ids. Every
+// generator funnels through this, so ids always match release order.
+[[nodiscard]] Scenario finalize_scenario(std::vector<CallRequest> calls,
+                                         sim::SimTime window);
 
-  // The standard burst (Sec. V-B): intensity v and c CPU cores yield exactly
-  // 1.1 * c * v requests, the same number of calls per function, all release
-  // times uniform in the 60 s window.
-  [[nodiscard]] Scenario uniform_burst(int cores, int intensity,
-                                       sim::Rng& rng,
-                                       sim::SimTime window = 60.0) const;
-
-  // A burst with an explicit total request count, split equally among the
-  // functions (used by the multi-node experiments: 1320 or 2376 requests
-  // regardless of the number of worker VMs, Sec. VIII).
-  [[nodiscard]] Scenario fixed_total_burst(std::size_t total_requests,
-                                           sim::Rng& rng,
-                                           sim::SimTime window = 60.0) const;
-
-  // The fairness scenario (Sec. VII-D): exactly `rare_calls` calls of
-  // `rare_function`; the remaining requests drawn uniformly at random from
-  // the other functions (no partial-uniformity assumption).
-  [[nodiscard]] Scenario fairness_burst(int cores, int intensity,
-                                        FunctionId rare_function,
-                                        std::size_t rare_calls,
-                                        sim::Rng& rng,
-                                        sim::SimTime window = 60.0) const;
-
- private:
-  [[nodiscard]] Scenario finalize(std::vector<CallRequest> calls,
-                                  sim::SimTime window) const;
-
-  const FunctionCatalog* catalog_;
-};
+// Cross an ArrivalProcess with a FunctionMix — the open workload surface,
+// mirroring scheduler = invoker x policy x balancer. All draws come from
+// the provided Rng, so a (composition, seed) pair fully determines the call
+// sequence — the paper's "5 different random sequences of calls" are seeds
+// 0..4.
+//
+// Count-driven processes emit exactly `total` calls; per call, the mix's
+// draw happens *before* the release draw — exactly the seed generators'
+// stream order, which is what keeps the registered paper scenarios
+// byte-identical to the pre-registry implementations. Rate-driven processes
+// (Poisson, on-off, diurnal, traces) ignore `total`: they emit their full
+// schedule first and functions are assigned in generation order afterwards.
+[[nodiscard]] Scenario compose_scenario(const ArrivalProcess& arrivals,
+                                        const FunctionMix& mix,
+                                        std::size_t total,
+                                        sim::SimTime window, sim::Rng& rng);
 
 }  // namespace whisk::workload

@@ -1,0 +1,31 @@
+#include "workload/scenario_registry.h"
+
+#include "util/check.h"
+
+namespace whisk::workload {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    detail::register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Scenario make_scenario(const ScenarioSpec& spec, const ScenarioContext& ctx,
+                       sim::Rng& rng) {
+  WHISK_CHECK(ctx.catalog != nullptr,
+              "ScenarioContext.catalog must point at a FunctionCatalog");
+  WHISK_CHECK(ctx.catalog->size() > 0, "scenario needs a non-empty catalog");
+  const ScenarioSpec normalized = spec.normalized();
+  const auto def = ScenarioRegistry::instance().create(normalized.name);
+  return def->generate(normalized, ctx, rng);
+}
+
+Scenario make_scenario(std::string_view spec, const ScenarioContext& ctx,
+                       sim::Rng& rng) {
+  return make_scenario(ScenarioSpec::parse(spec), ctx, rng);
+}
+
+}  // namespace whisk::workload

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.h"
+#include "util/registry.h"
+#include "workload/function.h"
+#include "workload/scenario.h"
+#include "workload/scenario_spec.h"
+
+namespace whisk::workload {
+
+// Deployment-side knobs a scenario generator may scale with. The paper's
+// bursts size themselves as 1.1 * (nodes * cores) * intensity; trace
+// replays and rate-driven processes may ignore everything but the catalog.
+struct ScenarioContext {
+  const FunctionCatalog* catalog = nullptr;
+  int cores = 10;      // per node
+  int nodes = 1;
+  int intensity = 30;  // the paper's load knob; a scenario's own
+                       // intensity parameter takes precedence
+};
+
+// One declared parameter of a registered scenario; surfaced by the
+// unknown-key diagnostics and by tools/scenario_catalog.
+struct ScenarioParam {
+  std::string name;
+  std::string default_value;  // display form, e.g. "60" or "experiment
+                              // intensity"; actual resolution is in the def
+  std::string help;
+  bool required = false;  // no usable default: the spec must set it
+};
+
+// One registered scenario generator: its declared parameters plus the
+// generation recipe (usually compose_scenario of an ArrivalProcess x
+// FunctionMix). Stateless: create() hands out a fresh def, generate() takes
+// everything it needs.
+class ScenarioDef {
+ public:
+  virtual ~ScenarioDef() = default;
+
+  [[nodiscard]] virtual std::string help() const = 0;
+  [[nodiscard]] virtual std::vector<ScenarioParam> params() const = 0;
+  [[nodiscard]] virtual Scenario generate(const ScenarioSpec& spec,
+                                          const ScenarioContext& ctx,
+                                          sim::Rng& rng) const = 0;
+};
+
+// The open set of workload scenarios, keyed by canonical lowercase name.
+// The paper's three scenarios plus the synthetic arrival processes are
+// registered on first use; anything else can be added at runtime:
+//
+//   ScenarioRegistry::instance().register_factory(
+//       "my-scenario", [] { return std::make_unique<MyScenarioDef>(); });
+//   auto s = make_scenario("my-scenario?knob=3", ctx, rng);
+//
+// Unknown names abort with a message listing every registered name.
+class ScenarioRegistry final : public util::FactoryRegistry<ScenarioDef> {
+ public:
+  static ScenarioRegistry& instance();
+
+ private:
+  ScenarioRegistry() : FactoryRegistry("scenario") {}
+};
+
+// Validate `spec` against the registry and run the registered generator —
+// the one-call surface used by the experiment runner and the tools.
+[[nodiscard]] Scenario make_scenario(const ScenarioSpec& spec,
+                                     const ScenarioContext& ctx,
+                                     sim::Rng& rng);
+[[nodiscard]] Scenario make_scenario(std::string_view spec,
+                                     const ScenarioContext& ctx,
+                                     sim::Rng& rng);
+
+namespace detail {
+// Defined in builtin_scenarios.cpp: uniform, fixed-total, fairness,
+// poisson, bursty (alias mmpp), diurnal, trace.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+}  // namespace detail
+
+}  // namespace whisk::workload

@@ -1,0 +1,75 @@
+#include "workload/trace_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace whisk::workload {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<TraceEntry> TraceReader::parse(std::string_view text) {
+  std::vector<TraceEntry> out;
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t nl = text.find('\n', begin);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    const std::string_view line = trim(text.substr(begin, end - begin));
+    ++line_no;
+    begin = end + 1;
+    if (nl == std::string_view::npos && line.empty()) break;
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::size_t comma = line.find(',');
+    const std::string time_field(
+        trim(line.substr(0, comma == std::string_view::npos ? line.size()
+                                                            : comma)));
+    double release = 0.0;
+    const bool numeric = util::parse_finite_double(time_field, &release);
+    if (!numeric || release < 0.0) {
+      WHISK_CHECK(false, ("trace line " + std::to_string(line_no) + " \"" +
+                          std::string(line) +
+                          "\": release time must be a number >= 0")
+                             .c_str());
+    }
+
+    TraceEntry entry;
+    entry.release = release;
+    if (comma != std::string_view::npos) {
+      entry.function = std::string(trim(line.substr(comma + 1)));
+      WHISK_CHECK(!entry.function.empty(),
+                  ("trace line " + std::to_string(line_no) +
+                   ": empty function name after the comma")
+                      .c_str());
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<TraceEntry> TraceReader::read_file(const std::string& path) {
+  std::ifstream in(path);
+  WHISK_CHECK(in.good(),
+              ("cannot open trace file \"" + path + "\"").c_str());
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace whisk::workload

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace whisk::workload {
+
+// One row of a call trace: when the request was released and, optionally,
+// which function it invoked. Rows without a function name get one assigned
+// by the replaying scenario's FunctionMix.
+struct TraceEntry {
+  sim::SimTime release = 0.0;
+  std::string function;  // empty -> assigned at replay time
+};
+
+// Parses call traces from CSV text:
+//
+//   # comment lines and blank lines are ignored
+//   0.25
+//   1.5, graph-bfs
+//   release_seconds[,function-name]
+//
+// Malformed rows (non-numeric or negative release time, missing fields)
+// abort with the 1-based line number. This is deliberately not a streaming
+// reader: the traces the simulator replays are burst-sized, and a parsed
+// vector keeps replay deterministic and trivially seekable.
+class TraceReader {
+ public:
+  [[nodiscard]] static std::vector<TraceEntry> parse(std::string_view text);
+  [[nodiscard]] static std::vector<TraceEntry> read_file(
+      const std::string& path);
+};
+
+}  // namespace whisk::workload

@@ -4,17 +4,26 @@
 
 #include <set>
 
-#include "workload/scenario.h"
+#include "workload/scenario_registry.h"
 
 namespace whisk::cluster {
 namespace {
 
 class ClusterTest : public ::testing::Test {
  protected:
-  ClusterTest() : catalog_(workload::sebs_catalog()), gen_(catalog_) {}
+  ClusterTest() : catalog_(workload::sebs_catalog()) {}
+
+  // A scenario from the registry surface, sized for `cores` on one node.
+  workload::Scenario burst(const std::string& spec, std::uint64_t seed,
+                           int cores = 10) {
+    workload::ScenarioContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.cores = cores;
+    sim::Rng rng(seed);
+    return workload::make_scenario(spec, ctx, rng);
+  }
 
   workload::FunctionCatalog catalog_;
-  workload::ScenarioGenerator gen_;
 };
 
 TEST_F(ClusterTest, CompletesEveryCall) {
@@ -23,8 +32,7 @@ TEST_F(ClusterTest, CompletesEveryCall) {
   params.node.cores = 5;
   Cluster cluster(engine, catalog_, params, 1);
   cluster.warmup();
-  sim::Rng rng(1);
-  const auto scenario = gen_.uniform_burst(5, 30, rng);
+  const auto scenario = burst("uniform?intensity=30", 1, /*cores=*/5);
   cluster.run_scenario(scenario);
   engine.run();
   EXPECT_EQ(cluster.collector().size(), scenario.size());
@@ -79,8 +87,7 @@ TEST_F(ClusterTest, MultiNodeSpreadsCalls) {
   params.balancer = "round-robin";
   Cluster cluster(engine, catalog_, params, 2);
   cluster.warmup();
-  sim::Rng rng(2);
-  const auto scenario = gen_.fixed_total_burst(220, rng);
+  const auto scenario = burst("fixed-total?total=220", 2);
   cluster.run_scenario(scenario);
   engine.run();
   std::set<int> nodes;
@@ -98,8 +105,7 @@ TEST_F(ClusterTest, RoundRobinBalancesEvenly) {
   params.node.cores = 5;
   Cluster cluster(engine, catalog_, params, 2);
   cluster.warmup();
-  sim::Rng rng(3);
-  const auto scenario = gen_.fixed_total_burst(200, rng);
+  const auto scenario = burst("fixed-total?total=200", 3);
   cluster.run_scenario(scenario);
   engine.run();
   int node0 = 0;
@@ -133,8 +139,7 @@ TEST_F(ClusterTest, DeterministicAcrossRuns) {
     params.node.cores = 5;
     Cluster cluster(engine, catalog_, params, seed);
     cluster.warmup();
-    sim::Rng rng(seed);
-    const auto scenario = gen_.uniform_burst(5, 30, rng);
+    const auto scenario = burst("uniform?intensity=30", seed, /*cores=*/5);
     cluster.run_scenario(scenario);
     engine.run();
     double sum = 0.0;
@@ -152,8 +157,7 @@ TEST_F(ClusterTest, TotalStatsAggregateAcrossNodes) {
   params.node.cores = 5;
   Cluster cluster(engine, catalog_, params, 4);
   cluster.warmup();
-  sim::Rng rng(4);
-  const auto scenario = gen_.fixed_total_burst(330, rng);
+  const auto scenario = burst("fixed-total?total=330", 4);
   cluster.run_scenario(scenario);
   engine.run();
   const auto stats = cluster.total_stats();

@@ -185,7 +185,8 @@ TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
     const auto cfg = ExperimentSpec()
                          .cores(10)
                          .intensity(90)
-                         .fairness("dna-visualisation", 10)
+                         .scenario("fairness?rare-function="
+                                   "dna-visualisation&rare-calls=10")
                          .scheduler(SchedulerSpec{"ours",
                                                   std::string(policy)});
     const auto runs = run_repetitions(cfg, cat_, kReps);
@@ -215,7 +216,7 @@ TEST_F(Reproduction, Fig6_FcOnThreeNodesBeatsBaselineOnFour) {
     const auto cfg = ExperimentSpec()
                          .cores(18)
                          .nodes(nodes)
-                         .fixed_total(2376)
+                         .scenario("fixed-total?total=2376")
                          .scheduler(use_baseline ? baseline() : ours("fc"));
     const auto runs = run_repetitions(cfg, cat_, kReps);
     return util::summarize(pooled_responses(runs));
@@ -240,7 +241,7 @@ TEST_F(Reproduction, MultiNode_BaselineScalesWithNodes) {
     const auto cfg = ExperimentSpec()
                          .cores(10)
                          .nodes(nodes)
-                         .fixed_total(1320)
+                         .scenario("fixed-total?total=1320")
                          .scheduler(baseline());
     const auto runs = run_repetitions(cfg, cat_, kReps);
     return util::summarize(pooled_responses(runs)).mean;

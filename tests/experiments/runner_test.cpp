@@ -159,8 +159,8 @@ TEST_F(RunnerTest, UnknownOverrideDiesListingValidNames) {
 }
 
 TEST_F(RunnerTest, FairnessScenarioHasRareFunction) {
-  const auto cfg = ExperimentSpec().cores(5).intensity(30).fairness(
-      "dna-visualisation", 4);
+  const auto cfg = ExperimentSpec().cores(5).intensity(30).scenario(
+      "fairness?rare-function=dna-visualisation&rare-calls=4");
   const auto run = run_experiment(cfg, cat_);
   const auto dna = *cat_.find("dna-visualisation");
   int rare = 0;
@@ -171,9 +171,49 @@ TEST_F(RunnerTest, FairnessScenarioHasRareFunction) {
 }
 
 TEST_F(RunnerTest, MultiNodeFixedTotal) {
-  const auto cfg = ExperimentSpec().cores(5).nodes(2).fixed_total(110);
+  const auto cfg =
+      ExperimentSpec().cores(5).nodes(2).scenario("fixed-total?total=110");
   const auto run = run_experiment(cfg, cat_);
   EXPECT_EQ(run.records.size(), 110u);
+}
+
+TEST_F(RunnerTest, RateDrivenScenariosRunEndToEnd) {
+  // The new arrival processes work through the same runner surface as the
+  // paper scenarios, with no code changes outside the spec string.
+  for (const char* scenario :
+       {"poisson?rate=8&mix=random", "bursty?rate-on=30&rate-off=2",
+        "diurnal?rate=8&amplitude=0.5"}) {
+    const auto cfg = ExperimentSpec().cores(5).seed(1).scenario(scenario);
+    const auto run = run_experiment(cfg, cat_);
+    EXPECT_GT(run.records.size(), 0u) << scenario;
+    EXPECT_EQ(run.records.size(), run.responses.size()) << scenario;
+  }
+}
+
+TEST_F(RunnerTest, ScenarioSpecSurvivesTheBuilderRoundTrip) {
+  const auto cfg = ExperimentSpec().scenario("FIXED?total=110");
+  EXPECT_EQ(cfg.scenario().to_string(), "fixed-total?total=110");
+}
+
+TEST_F(RunnerTest, IntensityConflictsWithFixedTotalScenario) {
+  // intensity() used to be silently ignored by the fixed-total scenario;
+  // now the contradiction is fatal and names both knobs.
+  const auto cfg =
+      ExperimentSpec().intensity(60).scenario("fixed-total?total=110");
+  EXPECT_DEATH((void)run_experiment(cfg, cat_),
+               "intensity\\(60\\) conflicts with scenario "
+               "\"fixed-total\".*total");
+  // Order of the builder calls does not matter.
+  const auto cfg2 =
+      ExperimentSpec().scenario("fixed-total?total=110").intensity(60);
+  EXPECT_DEATH((void)run_experiment(cfg2, cat_), "conflicts with scenario");
+}
+
+TEST_F(RunnerTest, IntensitySetTwiceIsRejected) {
+  const auto cfg =
+      ExperimentSpec().intensity(60).scenario("uniform?intensity=90");
+  EXPECT_DEATH((void)run_experiment(cfg, cat_),
+               "intensity is set twice.*intensity\\(60\\).*intensity=90");
 }
 
 TEST_F(RunnerTest, IdleBenchmarkHasRequestedCalls) {

@@ -1,0 +1,114 @@
+#include "workload/scenario_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario_registry.h"
+
+namespace whisk::workload {
+namespace {
+
+TEST(ScenarioSpec_, DefaultsToUniformWithNoParams) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(spec.name, "uniform");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "uniform");
+}
+
+TEST(ScenarioSpec_, ParsesNameAndParams) {
+  const auto spec = ScenarioSpec::parse("uniform?intensity=60");
+  EXPECT_EQ(spec.name, "uniform");
+  ASSERT_EQ(spec.params.size(), 1u);
+  EXPECT_EQ(spec.params.at("intensity"), "60");
+  EXPECT_EQ(spec.to_string(), "uniform?intensity=60");
+}
+
+TEST(ScenarioSpec_, BareNameParses) {
+  EXPECT_EQ(ScenarioSpec::parse("poisson"),
+            (ScenarioSpec{"poisson", {}}));
+}
+
+TEST(ScenarioSpec_, ToStringIsCanonicalRegardlessOfParamOrder) {
+  const auto a = ScenarioSpec::parse("fairness?rare-calls=4&intensity=30");
+  const auto b = ScenarioSpec::parse("fairness?intensity=30&rare-calls=4");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_string(), "fairness?intensity=30&rare-calls=4");
+}
+
+TEST(ScenarioSpec_, NormalizesNameCaseAndAliasesAndKeyCase) {
+  const auto spec = ScenarioSpec::parse("MMPP?Rate-On=90");
+  EXPECT_EQ(spec.name, "bursty");
+  EXPECT_EQ(spec.params.at("rate-on"), "90");
+  // Values are kept verbatim (they may be paths or function names).
+  EXPECT_EQ(ScenarioSpec::parse("trace?file=/Tmp/T.CSV").params.at("file"),
+            "/Tmp/T.CSV");
+}
+
+TEST(ScenarioSpec_, ParseToStringRoundTripsForAllRegisteredNames) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const ScenarioSpec bare{name, {}};
+    EXPECT_EQ(ScenarioSpec::parse(bare.to_string()), bare) << name;
+    // And with every declared parameter spelled out (skip display-only
+    // defaults that are not literal values).
+    ScenarioSpec full{name, {{"window", "30"}}};
+    EXPECT_EQ(ScenarioSpec::parse(full.to_string()), full.normalized())
+        << name;
+  }
+}
+
+TEST(ScenarioSpec_, TypedAccessorsParseAndFallBack) {
+  const auto spec = ScenarioSpec::parse("poisson?rate=12.5&window=30");
+  EXPECT_DOUBLE_EQ(spec.number("rate", 1.0), 12.5);
+  EXPECT_DOUBLE_EQ(spec.number("missing", 7.0), 7.0);
+  EXPECT_EQ(spec.count("window", 0), 30u);
+  EXPECT_EQ(spec.text("mix", "round-robin"), "round-robin");
+  EXPECT_TRUE(spec.has("rate"));
+  EXPECT_FALSE(spec.has("mix"));
+}
+
+TEST(ScenarioSpecDeath, UnknownNamesEchoInputAndListRegistered) {
+  EXPECT_DEATH((void)ScenarioSpec::parse("warp-burst"),
+               "unknown scenario \"warp-burst\".*uniform.*fixed-total.*"
+               "fairness.*poisson.*bursty.*diurnal.*trace");
+}
+
+TEST(ScenarioSpecDeath, UnknownKeysListTheValidOnes) {
+  EXPECT_DEATH((void)ScenarioSpec::parse("uniform?warp=9"),
+               "scenario \"uniform\" does not take parameter \"warp\".*"
+               "valid parameters: intensity, window");
+}
+
+TEST(ScenarioSpecDeath, MalformedSpecsAreRejected) {
+  EXPECT_DEATH((void)ScenarioSpec::parse(""), "empty scenario spec");
+  EXPECT_DEATH((void)ScenarioSpec::parse("?intensity=60"), "empty name");
+  EXPECT_DEATH((void)ScenarioSpec::parse("uniform?intensity"),
+               "not key=value");
+  EXPECT_DEATH((void)ScenarioSpec::parse("uniform?=60"), "not key=value");
+  EXPECT_DEATH(
+      (void)ScenarioSpec::parse("uniform?intensity=1&intensity=2"),
+      "twice");
+}
+
+TEST(ScenarioSpecDeath, GarbageNumbersNameScenarioKeyAndValue) {
+  const auto spec = ScenarioSpec::parse("poisson?rate=fast");
+  EXPECT_DEATH((void)spec.number("rate", 1.0),
+               "scenario \"poisson\" parameter rate=\"fast\" is not a "
+               "finite number");
+  // Non-finite values are rejected too: an inf rate would make the
+  // exponential-gap arrival loops spin forever.
+  const auto inf = ScenarioSpec::parse("poisson?rate=inf");
+  EXPECT_DEATH((void)inf.number("rate", 1.0), "is not a finite number");
+  const auto neg = ScenarioSpec::parse("fixed-total?total=-5");
+  EXPECT_DEATH((void)neg.count("total", 1),
+               "total=\"-5\" is not a whole number >= 0");
+  // strtoull would skip the space, accept the sign, and wrap to ~1.8e19;
+  // the digits-only parse refuses instead.
+  const auto padded = ScenarioSpec::parse("fixed-total?total= -5");
+  EXPECT_DEATH((void)padded.count("total", 1), "whole number >= 0");
+  const auto huge =
+      ScenarioSpec::parse("fixed-total?total=99999999999999999999");
+  EXPECT_DEATH((void)huge.count("total", 1), "whole number >= 0");
+}
+
+}  // namespace
+}  // namespace whisk::workload

@@ -1,30 +1,47 @@
-#include "workload/scenario.h"
+// Behavior of the built-in registered scenarios through the declarative
+// surface: the paper's count formulas, per-function splits, window/sort/id
+// invariants, and seed determinism.
+#include "workload/scenario_registry.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 namespace whisk::workload {
 namespace {
 
 class ScenarioTest : public ::testing::Test {
  protected:
+  Scenario make(const std::string& spec, std::uint64_t seed, int cores = 10) {
+    ScenarioContext ctx;
+    ctx.catalog = &cat_;
+    ctx.cores = cores;
+    sim::Rng rng(seed);
+    return make_scenario(spec, ctx, rng);
+  }
+
   FunctionCatalog cat_ = sebs_catalog();
-  ScenarioGenerator gen_{cat_};
 };
 
 TEST_F(ScenarioTest, UniformBurstRequestCountMatchesFormula) {
-  sim::Rng rng(1);
   // 1.1 * c * v (paper Sec. V-B).
-  const auto s = gen_.uniform_burst(10, 30, rng);
-  EXPECT_EQ(s.size(), 330u);
-  sim::Rng rng2(1);
-  EXPECT_EQ(gen_.uniform_burst(20, 120, rng2).size(), 2640u);
+  EXPECT_EQ(make("uniform?intensity=30", 1).size(), 330u);
+  EXPECT_EQ(make("uniform?intensity=120", 1, /*cores=*/20).size(), 2640u);
+}
+
+TEST_F(ScenarioTest, UniformIntensityDefaultsToTheContext) {
+  ScenarioContext ctx;
+  ctx.catalog = &cat_;
+  ctx.cores = 10;
+  ctx.intensity = 60;
+  sim::Rng rng(1);
+  EXPECT_EQ(make_scenario("uniform", ctx, rng).size(), 660u);
 }
 
 TEST_F(ScenarioTest, UniformBurstEqualCallsPerFunction) {
-  sim::Rng rng(2);
-  const auto s = gen_.uniform_burst(10, 60, rng);
+  const auto s = make("uniform?intensity=60", 2);
   std::map<FunctionId, int> counts;
   for (const auto& c : s.calls) ++counts[c.function];
   EXPECT_EQ(counts.size(), 11u);
@@ -32,8 +49,7 @@ TEST_F(ScenarioTest, UniformBurstEqualCallsPerFunction) {
 }
 
 TEST_F(ScenarioTest, ReleasesInsideWindowAndSorted) {
-  sim::Rng rng(3);
-  const auto s = gen_.uniform_burst(10, 30, rng);
+  const auto s = make("uniform?intensity=30", 3);
   for (std::size_t i = 0; i < s.calls.size(); ++i) {
     ASSERT_GE(s.calls[i].release, 0.0);
     ASSERT_LT(s.calls[i].release, 60.0);
@@ -42,17 +58,15 @@ TEST_F(ScenarioTest, ReleasesInsideWindowAndSorted) {
 }
 
 TEST_F(ScenarioTest, IdsAreSequentialAfterSorting) {
-  sim::Rng rng(4);
-  const auto s = gen_.uniform_burst(5, 30, rng);
+  const auto s = make("uniform?intensity=30", 4, /*cores=*/5);
   for (std::size_t i = 0; i < s.calls.size(); ++i) {
     EXPECT_EQ(s.calls[i].id, static_cast<CallId>(i));
   }
 }
 
 TEST_F(ScenarioTest, SameSeedSameScenario) {
-  sim::Rng a(9), b(9);
-  const auto s1 = gen_.uniform_burst(10, 40, a);
-  const auto s2 = gen_.uniform_burst(10, 40, b);
+  const auto s1 = make("uniform?intensity=40", 9);
+  const auto s2 = make("uniform?intensity=40", 9);
   ASSERT_EQ(s1.size(), s2.size());
   for (std::size_t i = 0; i < s1.calls.size(); ++i) {
     EXPECT_EQ(s1.calls[i].function, s2.calls[i].function);
@@ -61,9 +75,8 @@ TEST_F(ScenarioTest, SameSeedSameScenario) {
 }
 
 TEST_F(ScenarioTest, DifferentSeedsDifferentOrder) {
-  sim::Rng a(1), b(2);
-  const auto s1 = gen_.uniform_burst(10, 40, a);
-  const auto s2 = gen_.uniform_burst(10, 40, b);
+  const auto s1 = make("uniform?intensity=40", 1);
+  const auto s2 = make("uniform?intensity=40", 2);
   bool differs = false;
   for (std::size_t i = 0; i < s1.calls.size(); ++i) {
     if (s1.calls[i].function != s2.calls[i].function ||
@@ -76,21 +89,17 @@ TEST_F(ScenarioTest, DifferentSeedsDifferentOrder) {
 }
 
 TEST_F(ScenarioTest, CustomWindowRespected) {
-  sim::Rng rng(5);
-  const auto s = gen_.uniform_burst(10, 30, rng, 10.0);
+  const auto s = make("uniform?intensity=30&window=10", 5);
   EXPECT_EQ(s.window, 10.0);
   for (const auto& c : s.calls) ASSERT_LT(c.release, 10.0);
 }
 
 TEST_F(ScenarioTest, FixedTotalBurstExactCount) {
-  sim::Rng rng(6);
-  const auto s = gen_.fixed_total_burst(2376, rng);
-  EXPECT_EQ(s.size(), 2376u);
+  EXPECT_EQ(make("fixed-total?total=2376", 6).size(), 2376u);
 }
 
 TEST_F(ScenarioTest, FixedTotalNearEqualPerFunction) {
-  sim::Rng rng(7);
-  const auto s = gen_.fixed_total_burst(1320, rng);
+  const auto s = make("fixed-total?total=1320", 7);
   std::map<FunctionId, int> counts;
   for (const auto& c : s.calls) ++counts[c.function];
   // 1320 = 120 * 11 exactly.
@@ -98,9 +107,8 @@ TEST_F(ScenarioTest, FixedTotalNearEqualPerFunction) {
 }
 
 TEST_F(ScenarioTest, FairnessBurstHasExactRareCalls) {
-  sim::Rng rng(8);
   const auto dna = *cat_.find("dna-visualisation");
-  const auto s = gen_.fairness_burst(10, 90, dna, 10, rng);
+  const auto s = make("fairness?intensity=90&rare-calls=10", 8);
   EXPECT_EQ(s.size(), 990u);  // 1.1 * 10 * 90
   int rare = 0;
   for (const auto& c : s.calls) {
@@ -110,9 +118,8 @@ TEST_F(ScenarioTest, FairnessBurstHasExactRareCalls) {
 }
 
 TEST_F(ScenarioTest, FairnessOtherFunctionsRoughlyUniform) {
-  sim::Rng rng(9);
   const auto dna = *cat_.find("dna-visualisation");
-  const auto s = gen_.fairness_burst(10, 90, dna, 10, rng);
+  const auto s = make("fairness?intensity=90&rare-calls=10", 9);
   std::map<FunctionId, int> counts;
   for (const auto& c : s.calls) {
     if (c.function != dna) ++counts[c.function];
@@ -125,12 +132,67 @@ TEST_F(ScenarioTest, FairnessOtherFunctionsRoughlyUniform) {
   }
 }
 
+TEST_F(ScenarioTest, PoissonCountTracksRateTimesWindow) {
+  const auto s = make("poisson?rate=30", 10);
+  // 30/s over 60 s -> ~1800 calls; a +-20% band is ~10 sigma.
+  EXPECT_GT(s.size(), 1440u);
+  EXPECT_LT(s.size(), 2160u);
+  for (const auto& c : s.calls) {
+    ASSERT_GE(c.release, 0.0);
+    ASSERT_LT(c.release, 60.0);
+  }
+}
+
+TEST_F(ScenarioTest, WeightedMixSkewsTheFunctionHistogram) {
+  // All weight on function 0 except a sliver on function 1.
+  const auto s = make(
+      "poisson?rate=30&mix=weighted&weights=10,1,0,0,0,0,0,0,0,0,0", 11);
+  std::map<FunctionId, int> counts;
+  for (const auto& c : s.calls) ++counts[c.function];
+  EXPECT_EQ(counts.count(2), 0u) << "zero-weight functions never run";
+  EXPECT_GT(counts[0], counts[1] * 4);
+}
+
+TEST_F(ScenarioTest, BurstyHasBurstierInterarrivalsThanPoisson) {
+  // Same mean-ish volume; the on-off process should concentrate arrivals.
+  const auto bursty =
+      make("bursty?rate-on=120&rate-off=2&mean-on=4&mean-off=8", 12);
+  ASSERT_GT(bursty.size(), 50u);
+  // Count arrivals per 1 s bin; a bursty trace has a much higher max/mean
+  // bin ratio than a flat one.
+  std::vector<int> bins(60, 0);
+  for (const auto& c : bursty.calls) {
+    ++bins[static_cast<std::size_t>(c.release)];
+  }
+  int max_bin = 0;
+  for (int b : bins) max_bin = std::max(max_bin, b);
+  const double mean_bin = static_cast<double>(bursty.size()) / 60.0;
+  EXPECT_GT(max_bin, 2.5 * mean_bin);
+}
+
+TEST_F(ScenarioTest, DiurnalPeakQuarterOutweighsTroughQuarter) {
+  // lambda(t) = rate * (1 + a sin(2 pi t / 60)): peak in [0,15), trough in
+  // [30,45).
+  const auto s = make("diurnal?rate=40&amplitude=0.9", 13);
+  int peak = 0, trough = 0;
+  for (const auto& c : s.calls) {
+    if (c.release < 15.0) ++peak;
+    if (c.release >= 30.0 && c.release < 45.0) ++trough;
+  }
+  EXPECT_GT(peak, 2 * trough);
+}
+
 TEST_F(ScenarioTest, GeneratorDeathOnNonDivisibleIntensity) {
-  sim::Rng rng(10);
-  // 1.1 * 10 * 31 = 341, not divisible by 11 functions evenly... actually
-  // 341 = 31 * 11, divisible. Use cores=3, v=33: 1.1*3*33 = 108.9 -> 109,
-  // not divisible by 11.
-  EXPECT_DEATH((void)gen_.uniform_burst(3, 33, rng), "evenly");
+  // 1.1 * 3 * 33 = 108.9 -> 109, not divisible by 11 functions.
+  EXPECT_DEATH((void)make("uniform?intensity=33", 10, /*cores=*/3),
+               "evenly");
+}
+
+TEST_F(ScenarioTest, FairnessDeathWhenRareCallsExceedBudget) {
+  // 1.1 * 10 * 30 = 330 requests; 500 rare calls cannot fit. The seed
+  // generator's underflow risk is now a loud, named failure.
+  EXPECT_DEATH((void)make("fairness?intensity=30&rare-calls=500", 1),
+               "rare-calls=500 exceeds the burst's 330 requests");
 }
 
 // Property over seeds: uniform burst release times fill the window evenly
@@ -139,9 +201,11 @@ class BurstUniformity : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BurstUniformity, QuartersBalanced) {
   const auto cat = sebs_catalog();
-  ScenarioGenerator gen(cat);
+  ScenarioContext ctx;
+  ctx.catalog = &cat;
+  ctx.cores = 20;
   sim::Rng rng(GetParam());
-  const auto s = gen.uniform_burst(20, 120, rng);
+  const auto s = make_scenario("uniform?intensity=120", ctx, rng);
   int first_quarter = 0;
   for (const auto& c : s.calls) {
     if (c.release < 15.0) ++first_quarter;

@@ -1,0 +1,52 @@
+#include "workload/trace_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace whisk::workload {
+namespace {
+
+TEST(TraceReader_, ParsesTimesCommentsAndFunctionNames) {
+  const auto entries = TraceReader::parse(
+      "# a trace\n"
+      "\n"
+      "0.25\n"
+      "1.5, graph-bfs\n"
+      "  3.75 ,dna-visualisation\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(entries[0].release, 0.25);
+  EXPECT_TRUE(entries[0].function.empty());
+  EXPECT_DOUBLE_EQ(entries[1].release, 1.5);
+  EXPECT_EQ(entries[1].function, "graph-bfs");
+  EXPECT_DOUBLE_EQ(entries[2].release, 3.75);
+  EXPECT_EQ(entries[2].function, "dna-visualisation");
+}
+
+TEST(TraceReader_, EmptyTextYieldsNoEntries) {
+  EXPECT_TRUE(TraceReader::parse("").empty());
+  EXPECT_TRUE(TraceReader::parse("# only comments\n\n").empty());
+}
+
+TEST(TraceReader_, ReadsAFile) {
+  const std::string path = ::testing::TempDir() + "whisk_trace_reader.csv";
+  {
+    std::ofstream out(path);
+    out << "0.5\n1.0, graph-bfs\n";
+  }
+  const auto entries = TraceReader::read_file(path);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].function, "graph-bfs");
+}
+
+TEST(TraceReaderDeath, MalformedRowsNameTheLine) {
+  EXPECT_DEATH((void)TraceReader::parse("0.5\nabc\n"),
+               "trace line 2.*number >= 0");
+  EXPECT_DEATH((void)TraceReader::parse("-2.0\n"), "number >= 0");
+  EXPECT_DEATH((void)TraceReader::parse("1.0,\n"), "empty function name");
+  EXPECT_DEATH((void)TraceReader::read_file("/nonexistent/trace.csv"),
+               "cannot open trace file");
+}
+
+}  // namespace
+}  // namespace whisk::workload

@@ -19,7 +19,7 @@ int main() {
       const auto cfg = experiments::ExperimentSpec()
                            .cores(18)
                            .nodes(nodes)
-                           .fixed_total(2376)
+                           .scenario("fixed-total?total=2376")
                            .scheduler(b == 0 ? "baseline/fifo" : "ours/fc");
       auto runs = experiments::run_repetitions(cfg, cat, 2);
       auto rs = experiments::pooled_responses(runs);

@@ -1,0 +1,72 @@
+// Prints every registered workload scenario: its help line, its declared
+// parameters (with defaults), and a summary of a sample trace generated at
+// seed 0 against the SeBS catalog on a default deployment (10 cores, 1
+// node, intensity 30). Scenarios with required parameters (trace replay
+// needs a file) skip the sample.
+//
+// Usage: scenario_catalog [cores] [intensity]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "workload/scenario_registry.h"
+
+using namespace whisk;
+
+namespace {
+
+void print_sample(const workload::Scenario& s) {
+  std::set<workload::FunctionId> functions;
+  for (const auto& c : s.calls) functions.insert(c.function);
+  const double first = s.calls.empty() ? 0.0 : s.calls.front().release;
+  const double last = s.calls.empty() ? 0.0 : s.calls.back().release;
+  std::printf(
+      "  sample (seed 0): %zu calls over a %.1f s window (%.1f calls/s), "
+      "%zu distinct functions, releases %.2f..%.2f s\n",
+      s.size(), s.window, static_cast<double>(s.size()) / s.window,
+      functions.size(), first, last);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto catalog = workload::sebs_catalog();
+  workload::ScenarioContext ctx;
+  ctx.catalog = &catalog;
+  ctx.cores = argc > 1 ? std::atoi(argv[1]) : 10;
+  ctx.intensity = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  auto& registry = workload::ScenarioRegistry::instance();
+  std::printf(
+      "Registered workload scenarios (%d cores, intensity %d; spec grammar "
+      "\"name?key=value&key=value\"):\n\n",
+      ctx.cores, ctx.intensity);
+
+  for (const auto& name : registry.names()) {
+    const auto def = registry.create(name);
+    std::printf("%s\n  %s\n", name.c_str(), def->help().c_str());
+    bool runnable = true;
+    std::size_t width = 0;
+    for (const auto& param : def->params()) {
+      width = std::max(width, param.name.size());
+    }
+    for (const auto& param : def->params()) {
+      runnable = runnable && !param.required;
+      std::printf("  %-*s  %s  [%s]\n", static_cast<int>(width),
+                  param.name.c_str(), param.help.c_str(),
+                  param.required ? "required"
+                                 : ("default: " + param.default_value)
+                                       .c_str());
+    }
+    if (runnable) {
+      sim::Rng rng(0);
+      print_sample(
+          workload::make_scenario(workload::ScenarioSpec{name, {}}, ctx, rng));
+    } else {
+      std::printf("  sample: (skipped: scenario has required parameters)\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
