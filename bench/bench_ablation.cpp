@@ -1,6 +1,7 @@
 // Ablation benches for the design choices DESIGN.md calls out. Each panel
-// sweeps one knob at the intermediate configuration (10 cores, intensity
-// 60) and reports average/median response time of the affected scheduler.
+// is one campaign whose override axis sweeps one knob at the intermediate
+// configuration (10 cores, intensity 60) and reports average/median
+// response time of the affected scheduler.
 //
 //   1. History window length (paper fixes 10, citing [18]).
 //   2. FC's sliding window T (paper suggests 60 s).
@@ -15,28 +16,41 @@ using namespace whisk;
 
 namespace {
 
-struct Variant {
-  std::string label;
-  experiments::ExperimentSpec cfg;
-};
-
-void run_panel(const workload::FunctionCatalog& cat, const char* title,
-               const std::vector<Variant>& variants, int reps) {
-  std::printf("-- %s --\n", title);
-  util::Table table({"variant", "avg R", "p50 R", "p95 R", "avg S"});
-  for (const auto& v : variants) {
-    const auto runs = experiments::run_repetitions(v.cfg, cat, reps);
-    const auto r = util::summarize(experiments::pooled_responses(runs));
-    const auto s = util::summarize(experiments::pooled_stretches(runs));
-    table.add_row({v.label, util::fmt(r.mean), util::fmt(r.p50),
-                   util::fmt(r.p95), util::fmt(s.mean, 1)});
-  }
-  std::printf("%s\n", table.to_string().c_str());
+// One campaign per panel: a single scheduler, the intermediate workload,
+// the knob as an override axis. Groups land in knob-value order.
+experiments::CampaignSpec panel_grid(const std::string& scheduler,
+                                     const std::string& knob,
+                                     std::vector<double> values, int reps) {
+  experiments::CampaignSpec grid;
+  grid.schedulers = {experiments::SchedulerSpec::parse(scheduler)};
+  grid.scenarios = {workload::ScenarioSpec::parse("uniform?intensity=60")};
+  grid.cores = {10};
+  grid.overrides = {{knob, std::move(values)}};
+  grid.seeds = bench::seed_range(reps);
+  return grid;
 }
 
-experiments::ExperimentSpec base_cfg(std::string_view policy) {
-  return experiments::ExperimentSpec().cores(10).intensity(60).scheduler(
-      experiments::SchedulerSpec{"ours", std::string(policy)});
+// The knob values drive the grid AND the row labels (via label_fn), so the
+// printed variant can never drift from the value actually swept.
+template <typename LabelFn>
+void run_panel(const workload::FunctionCatalog& cat, const char* title,
+               const std::string& scheduler, const std::string& knob,
+               const std::vector<double>& values, LabelFn&& label_fn,
+               int reps) {
+  const auto result = experiments::run_campaign(
+      panel_grid(scheduler, knob, values, reps), cat,
+      bench::campaign_options());
+  const auto rows = bench::summarize_groups(result);
+
+  std::printf("-- %s --\n", title);
+  util::Table table({"variant", "avg R", "p50 R", "p95 R", "avg S"});
+  for (std::size_t g = 0; g < rows.size(); ++g) {
+    const auto& r = rows[g];
+    table.add_row({label_fn(values[g]), util::fmt(r.response.mean),
+                   util::fmt(r.response.p50), util::fmt(r.response.p95),
+                   util::fmt(r.stretch.mean, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
 }
 
 }  // namespace
@@ -47,57 +61,26 @@ int main() {
   std::printf("Ablations at 10 cores, intensity 60 (%d seeds pooled)\n\n",
               reps);
 
-  {
-    std::vector<Variant> vs;
-    for (std::size_t w : {1, 3, 10, 50}) {
-      auto cfg = base_cfg("sept");
-      cfg.with_override("history_window", static_cast<double>(w));
-      vs.push_back({"SEPT, window " + std::to_string(w), cfg});
-    }
-    run_panel(cat, "history window length (runtime estimate E(p))", vs,
-              reps);
-  }
-  {
-    std::vector<Variant> vs;
-    for (double t : {10.0, 60.0, 300.0}) {
-      auto cfg = base_cfg("fc");
-      cfg.with_override("fc_window", t);
-      vs.push_back({"FC, T = " + util::fmt(t, 0) + " s", cfg});
-    }
-    run_panel(cat, "FC sliding window T", vs, reps);
-  }
-  {
-    std::vector<Variant> vs;
-    for (int g : {1, 3, 8, 32}) {
-      auto cfg = base_cfg("sept");
-      cfg.with_override("dispatch_daemon_gate", static_cast<double>(g));
-      vs.push_back({"SEPT, gate " + std::to_string(g), cfg});
-    }
-    run_panel(cat,
-              "dispatch gate (pipeline backlog at which pops pause; large "
-              "values bury the priority queue)",
-              vs, reps);
-  }
-  {
-    std::vector<Variant> vs;
-    for (double strain : {0.0, 0.005, 0.01}) {
-      auto cfg = base_cfg("fifo");
-      cfg.scheduler("baseline/fifo");
-      cfg.with_override("strain_per_container", strain);
-      vs.push_back({"baseline, strain " + util::fmt(strain, 3), cfg});
-    }
-    run_panel(cat, "baseline dockerd strain per live container", vs, reps);
-  }
-  {
-    std::vector<Variant> vs;
-    for (double beta : {0.0, 0.3, 1.0}) {
-      auto cfg = base_cfg("fifo");
-      cfg.scheduler("baseline/fifo");
-      cfg.with_override("context_switch_beta", beta);
-      vs.push_back({"baseline, beta " + util::fmt(beta, 1), cfg});
-    }
-    run_panel(cat, "baseline context-switch penalty (what pinning avoids)",
-              vs, reps);
-  }
+  run_panel(
+      cat, "history window length (runtime estimate E(p))", "ours/sept",
+      "history_window", {1, 3, 10, 50},
+      [](double w) { return "SEPT, window " + util::fmt(w, 0); }, reps);
+  run_panel(
+      cat, "FC sliding window T", "ours/fc", "fc_window", {10.0, 60.0, 300.0},
+      [](double t) { return "FC, T = " + util::fmt(t, 0) + " s"; }, reps);
+  run_panel(
+      cat,
+      "dispatch gate (pipeline backlog at which pops pause; large "
+      "values bury the priority queue)",
+      "ours/sept", "dispatch_daemon_gate", {1, 3, 8, 32},
+      [](double g) { return "SEPT, gate " + util::fmt(g, 0); }, reps);
+  run_panel(
+      cat, "baseline dockerd strain per live container", "baseline/fifo",
+      "strain_per_container", {0.0, 0.005, 0.01},
+      [](double s) { return "baseline, strain " + util::fmt(s, 3); }, reps);
+  run_panel(
+      cat, "baseline context-switch penalty (what pinning avoids)",
+      "baseline/fifo", "context_switch_beta", {0.0, 0.3, 1.0},
+      [](double b) { return "baseline, beta " + util::fmt(b, 1); }, reps);
   return 0;
 }

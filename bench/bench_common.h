@@ -4,16 +4,23 @@
 // regenerates one table or figure of the paper and prints simulated values
 // next to the paper's measured ones where available (see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for the recorded comparison).
+//
+// The benches run their grids through experiments::run_campaign: the sweep
+// is declared once as a CampaignSpec and executed on the work-stealing
+// pool. Campaign determinism guarantees the printed numbers are identical
+// to the old serial rep loops (and to any WHISK_BENCH_THREADS value).
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "experiments/campaign.h"
 #include "experiments/paper_data.h"
 #include "experiments/runner.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace whisk::bench {
 
@@ -27,39 +34,70 @@ inline int repetitions() {
   return 5;
 }
 
+// Campaign worker threads; override with WHISK_BENCH_THREADS. The output
+// does not depend on the value (campaign determinism contract).
+inline int threads() {
+  if (const char* env = std::getenv("WHISK_BENCH_THREADS")) {
+    const int t = std::atoi(env);
+    if (t > 0) return t;
+  }
+  return util::ThreadPool::hardware_threads();
+}
+
+// The paper's seeds 0..reps-1.
+inline std::vector<std::uint64_t> seed_range(int reps) {
+  return experiments::CampaignSpec::first_seeds(reps);
+}
+
+inline experiments::CampaignOptions campaign_options() {
+  experiments::CampaignOptions opts;
+  opts.threads = threads();
+  return opts;
+}
+
 // "value (paper ref)" cell, or just the value when no reference exists.
 inline std::string with_ref(double value, double ref, int precision = 2) {
   return util::fmt(value, precision) + " (" + util::fmt(ref, precision) + ")";
 }
 
-struct SchedulerSweep {
+// One aggregated row per campaign group: exact summaries pooled over the
+// group's seeds, plus summed counters — what every figure/table prints.
+struct SweepRow {
   std::string label;
-  std::vector<experiments::RunResult> runs;
   util::Summary response;
   util::Summary stretch;
   double max_completion = 0.0;
+  node::InvokerStats stats;
 };
 
-// Run all six paper schedulers for one (cores, intensity) configuration.
-inline std::vector<SchedulerSweep> sweep_schedulers(
-    const workload::FunctionCatalog& cat, experiments::ExperimentSpec cfg,
-    int reps) {
-  std::vector<SchedulerSweep> out;
-  for (const auto& sched : experiments::paper_schedulers()) {
-    cfg.scheduler(sched);
-    SchedulerSweep sweep;
-    sweep.label = sched.label();
-    sweep.runs = experiments::run_repetitions(cfg, cat, reps);
-    const auto rs = experiments::pooled_responses(sweep.runs);
-    const auto ss = experiments::pooled_stretches(sweep.runs);
-    sweep.response = util::summarize(rs);
-    sweep.stretch = util::summarize(ss);
-    for (const auto& r : sweep.runs) {
-      sweep.max_completion = std::max(sweep.max_completion, r.max_completion);
-    }
-    out.push_back(std::move(sweep));
+inline std::vector<SweepRow> summarize_groups(
+    const experiments::CampaignResult& result) {
+  std::vector<SweepRow> rows;
+  rows.reserve(result.group_count());
+  for (std::size_t g = 0; g < result.group_count(); ++g) {
+    const auto cells = result.group(g);
+    SweepRow row;
+    row.label = result.group_label(g);
+    row.response = util::summarize(experiments::pooled_responses(cells));
+    row.stretch = util::summarize(experiments::pooled_stretches(cells));
+    row.max_completion = experiments::max_completion(cells);
+    row.stats = experiments::total_stats(cells);
+    rows.push_back(std::move(row));
   }
-  return out;
+  return rows;
+}
+
+// The six paper schedulers (figure order) over one scenario/deployment;
+// groups come back in paper_schedulers() order.
+inline experiments::CampaignSpec paper_scheduler_grid(
+    const std::string& scenario, int cores, int reps, int nodes = 1) {
+  experiments::CampaignSpec grid;
+  grid.schedulers = experiments::paper_schedulers();
+  grid.scenarios = {workload::ScenarioSpec::parse(scenario)};
+  grid.cores = {cores};
+  grid.nodes = {nodes};
+  grid.seeds = seed_range(reps);
+  return grid;
 }
 
 }  // namespace whisk::bench

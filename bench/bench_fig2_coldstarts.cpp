@@ -25,25 +25,35 @@ void run_panel(const workload::FunctionCatalog& cat, bool baseline,
                                             32768, 65536, 131072};
   const std::vector<int> intensities = {30, 40, 60, 90, 120};
 
+  // The whole panel is one campaign: intensities as scenario items, memory
+  // as a deployment axis. Groups land scenario-major, memory-minor.
+  experiments::CampaignSpec grid;
+  grid.schedulers = {experiments::SchedulerSpec::parse(
+      baseline ? "baseline/fifo" : "ours/fifo")};
+  grid.scenarios.clear();
+  for (int v : intensities) {
+    grid.scenarios.push_back(workload::ScenarioSpec::parse(
+        "uniform?intensity=" + std::to_string(v)));
+  }
+  grid.cores = {10};
+  grid.memories_mb = memories_mib;
+  grid.seeds = bench::seed_range(reps);
+  const auto result =
+      experiments::run_campaign(grid, cat, bench::campaign_options());
+
   std::vector<std::string> header = {"memory [MiB]"};
   for (int v : intensities) header.push_back("int " + std::to_string(v));
   util::Table table(header);
 
-  for (double mem : memories_mib) {
-    std::vector<std::string> row = {util::fmt(mem, 0)};
-    for (int v : intensities) {
-      const auto cfg = experiments::ExperimentSpec()
-                           .cores(10)
-                           .intensity(v)
-                           .memory_mb(mem)
-                           .scheduler(baseline ? "baseline/fifo"
-                                               : "ours/fifo");
-      const auto runs = experiments::run_repetitions(cfg, cat, reps);
-      double cold = 0.0;
-      for (const auto& r : runs) {
-        cold += static_cast<double>(r.stats.cold_starts);
-      }
-      row.push_back(util::fmt(cold / static_cast<double>(runs.size()), 0));
+  for (std::size_t m = 0; m < memories_mib.size(); ++m) {
+    std::vector<std::string> row = {util::fmt(memories_mib[m], 0)};
+    for (std::size_t v = 0; v < intensities.size(); ++v) {
+      const auto cells = result.group(
+          grid.group_index(0, /*scenario_i=*/v, 0, 0, /*memory_i=*/m));
+      const auto stats = experiments::total_stats(cells);
+      row.push_back(util::fmt(static_cast<double>(stats.cold_starts) /
+                                  static_cast<double>(cells.size()),
+                              0));
     }
     table.add_row(std::move(row));
   }

@@ -30,16 +30,20 @@ int main(int argc, char** argv) {
 
   for (int cores : core_counts) {
     for (int v : intensities) {
-      const auto cfg =
-          experiments::ExperimentSpec().cores(cores).intensity(v);
-      const auto sweeps = bench::sweep_schedulers(cat, cfg, reps);
+      const auto grid = bench::paper_scheduler_grid(
+          "uniform?intensity=" + std::to_string(v), cores, reps);
+      const auto result =
+          experiments::run_campaign(grid, cat, bench::campaign_options());
+      const auto rows = bench::summarize_groups(result);
 
       std::printf("-- %d CPU cores, intensity %d --\n", cores, v);
       util::Table table({"scheduler", "avg", "p50", "p75", "p95", "p99"});
-      for (const auto& s : sweeps) {
+      for (std::size_t g = 0; g < rows.size(); ++g) {
+        const auto& s = rows[g];
+        const std::string label = experiments::paper_schedulers()[g].label();
         const auto ref =
-            experiments::paper::find_single_node(cores, v, s.label);
-        table.add_row({s.label,
+            experiments::paper::find_single_node(cores, v, label);
+        table.add_row({label,
                        ref ? bench::with_ref(s.stretch.mean, ref->s_avg, 1)
                            : util::fmt(s.stretch.mean, 1),
                        util::fmt(s.stretch.p50, 1),

@@ -13,13 +13,13 @@ using namespace whisk;
 
 namespace {
 
-util::Summary pooled_stretch_of(const std::vector<experiments::RunResult>& rs,
+util::Summary pooled_stretch_of(std::span<const experiments::CellResult> cells,
                                 const workload::FunctionCatalog& cat,
                                 workload::FunctionId fn) {
   std::vector<double> pool;
   const double ref = cat.reference_median(fn);
-  for (const auto& run : rs) {
-    for (const auto& rec : run.records) {
+  for (const auto& cell : cells) {
+    for (const auto& rec : cell.records) {
       if (rec.function == fn) pool.push_back(rec.response() / ref);
     }
   }
@@ -40,23 +40,25 @@ int main() {
       "dna-visualisation) — %d seeds pooled\n\n",
       reps);
 
+  const auto grid = bench::paper_scheduler_grid(
+      "fairness?intensity=90&rare-function=dna-visualisation&rare-calls=10",
+      /*cores=*/10, reps);
+  auto opts = bench::campaign_options();
+  opts.retain_records = true;  // per-function pooling below
+  const auto result = experiments::run_campaign(grid, cat, opts);
+
   util::Table table({"scheduler", "all: avg S", "all: p50 S", "dna: avg S",
                      "dna: p50 S", "bfs: avg S", "bfs: p50 S"});
-  for (const auto& sched : experiments::paper_schedulers()) {
-    const auto cfg = experiments::ExperimentSpec()
-                         .cores(10)
-                         .intensity(90)
-                         .scenario("fairness?rare-function="
-                                   "dna-visualisation&rare-calls=10")
-                         .scheduler(sched);
-    const auto runs = experiments::run_repetitions(cfg, cat, reps);
-    const auto all = util::summarize(experiments::pooled_stretches(runs));
-    const auto dna_s = pooled_stretch_of(runs, cat, dna);
-    const auto bfs_s = pooled_stretch_of(runs, cat, bfs);
-    table.add_row({sched.label(), util::fmt(all.mean, 1),
-                   util::fmt(all.p50, 1), util::fmt(dna_s.mean, 1),
-                   util::fmt(dna_s.p50, 1), util::fmt(bfs_s.mean, 1),
-                   util::fmt(bfs_s.p50, 1)});
+  for (std::size_t g = 0; g < result.group_count(); ++g) {
+    const auto cells = result.group(g);
+    const auto all =
+        util::summarize(experiments::pooled_stretches(cells));
+    const auto dna_s = pooled_stretch_of(cells, cat, dna);
+    const auto bfs_s = pooled_stretch_of(cells, cat, bfs);
+    table.add_row({experiments::paper_schedulers()[g].label(),
+                   util::fmt(all.mean, 1), util::fmt(all.p50, 1),
+                   util::fmt(dna_s.mean, 1), util::fmt(dna_s.p50, 1),
+                   util::fmt(bfs_s.mean, 1), util::fmt(bfs_s.p50, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -17,28 +17,35 @@ void run_series(const workload::FunctionCatalog& cat, int cpus_per_node,
       "-- %d-CPU workers, constant load of %zu requests (%d seeds pooled) "
       "--\n",
       cpus_per_node, total_requests, reps);
+
+  // One campaign: both schedulers x all fleet sizes.
+  const std::vector<int> fleet = {4, 3, 2, 1};
+  experiments::CampaignSpec grid;
+  grid.schedulers = {experiments::SchedulerSpec::parse("baseline/fifo"),
+                     experiments::SchedulerSpec::parse("ours/fc")};
+  grid.scenarios = {workload::ScenarioSpec::parse(
+      "fixed-total?total=" + std::to_string(total_requests))};
+  grid.nodes = fleet;
+  grid.cores = {cpus_per_node};
+  grid.seeds = bench::seed_range(reps);
+  const auto result =
+      experiments::run_campaign(grid, cat, bench::campaign_options());
+
   util::Table table({"nodes", "scheduler", "avg", "p50", "p75", "p95", "p99",
                      "max c(i)"});
-  for (int nodes = 4; nodes >= 1; --nodes) {
-    for (const char* label : {"baseline", "FC"}) {
-      const auto cfg =
-          experiments::ExperimentSpec()
-              .cores(cpus_per_node)
-              .nodes(nodes)
-              .scenario("fixed-total?total=" + std::to_string(total_requests))
-              .scheduler(std::string_view(label) == "baseline"
-                             ? "baseline/fifo"
-                             : "ours/fc");
-      const auto runs = experiments::run_repetitions(cfg, cat, reps);
+  for (std::size_t n = 0; n < fleet.size(); ++n) {
+    for (std::size_t s = 0; s < grid.schedulers.size(); ++s) {
+      const char* label = s == 0 ? "baseline" : "FC";
+      const auto cells =
+          result.group(grid.group_index(s, 0, /*nodes_i=*/n));
       const auto sum =
-          util::summarize(experiments::pooled_responses(runs));
-      double max_c = 0.0;
-      for (const auto& r : runs) max_c = std::max(max_c, r.max_completion);
+          util::summarize(experiments::pooled_responses(cells));
+      const double max_c = experiments::max_completion(cells);
 
-      const auto ref =
-          experiments::paper::find_multi_node(nodes, cpus_per_node, label);
+      const auto ref = experiments::paper::find_multi_node(
+          fleet[n], cpus_per_node, label);
       table.add_row(
-          {std::to_string(nodes), label,
+          {std::to_string(fleet[n]), label,
            ref ? bench::with_ref(sum.mean, ref->r_avg) : util::fmt(sum.mean),
            ref ? bench::with_ref(sum.p50, ref->r_p50) : util::fmt(sum.p50),
            ref ? bench::with_ref(sum.p75, ref->r_p75) : util::fmt(sum.p75),

@@ -3,6 +3,10 @@
 // The simulated medians should track the paper's (they calibrate the
 // workload model), and the ~10 ms constant overhead should be visible on
 // the very short graph functions.
+//
+// The closed-loop idle benchmark is not grid-shaped (no seeds/schedulers to
+// sweep), so it rides the campaign pool directly: one task per function,
+// results printed in catalog order regardless of completion order.
 #include "bench_common.h"
 
 using namespace whisk;
@@ -13,13 +17,19 @@ int main() {
       "Table I — SeBS functions on an idle node (50 calls each, ms)\n"
       "Simulated value with the paper's measurement in parentheses.\n\n");
 
+  std::vector<std::vector<double>> responses(cat.size());
+  util::ThreadPool pool(bench::threads());
+  pool.parallel_for(cat.size(), [&](std::size_t i) {
+    responses[i] = experiments::run_idle_function_benchmark(
+        cat, cat.specs()[i].id, 50, /*seed=*/7);
+  });
+
   util::Table table({"function", "5th perc.", "median", "95th perc."});
-  for (const auto& spec : cat.specs()) {
-    const auto responses =
-        experiments::run_idle_function_benchmark(cat, spec.id, 50, /*seed=*/7);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto& spec = cat.specs()[i];
     std::vector<double> ms;
-    ms.reserve(responses.size());
-    for (double r : responses) ms.push_back(r * 1000.0);
+    ms.reserve(responses[i].size());
+    for (double r : responses[i]) ms.push_back(r * 1000.0);
     table.add_row({spec.name,
                    bench::with_ref(util::percentile(ms, 5.0), spec.p5_ms, 0),
                    bench::with_ref(util::percentile(ms, 50.0), spec.median_ms,

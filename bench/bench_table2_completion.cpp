@@ -24,29 +24,47 @@ int main() {
       "parentheses.\n\n",
       reps);
 
+  // The whole table is one campaign: 2 schedulers x 5 intensities x
+  // 3 core counts x reps seeds. Per-seed ratios pair the FIFO and baseline
+  // cells of the same (scenario, cores, seed) coordinate.
+  experiments::CampaignSpec grid;
+  grid.schedulers = {experiments::SchedulerSpec::parse("ours/fifo"),
+                     experiments::SchedulerSpec::parse("baseline/fifo")};
+  grid.scenarios.clear();
+  for (int v : intensities) {
+    grid.scenarios.push_back(workload::ScenarioSpec::parse(
+        "uniform?intensity=" + std::to_string(v)));
+  }
+  grid.cores = core_counts;
+  grid.seeds = bench::seed_range(reps);
+  const auto result =
+      experiments::run_campaign(grid, cat, bench::campaign_options());
+
+  auto group = [&](std::size_t sched_i, std::size_t scen_i,
+                   std::size_t cores_i) {
+    return result.group(
+        grid.group_index(sched_i, scen_i, 0, /*cores_i=*/cores_i));
+  };
+
   std::vector<std::string> header = {"cores"};
   for (int v : intensities) header.push_back("int " + std::to_string(v));
   util::Table table(header);
 
-  for (int cores : core_counts) {
-    std::vector<std::string> row = {std::to_string(cores)};
-    for (int v : intensities) {
-      auto cfg = experiments::ExperimentSpec().cores(cores).intensity(v);
-
-      cfg.scheduler("ours/fifo");
-      const auto fifo = experiments::run_repetitions(cfg, cat, reps);
-      cfg.scheduler("baseline/fifo");
-      const auto base = experiments::run_repetitions(cfg, cat, reps);
-
+  for (std::size_t c = 0; c < core_counts.size(); ++c) {
+    std::vector<std::string> row = {std::to_string(core_counts[c])};
+    for (std::size_t v = 0; v < intensities.size(); ++v) {
+      const auto fifo = group(0, v, c);
+      const auto base = group(1, v, c);
       double lo = 1e30;
       double hi = 0.0;
-      for (std::size_t i = 0; i < fifo.size(); ++i) {
-        const double ratio = fifo[i].max_completion / base[i].max_completion;
+      for (std::size_t s = 0; s < fifo.size(); ++s) {
+        const double ratio = fifo[s].max_completion / base[s].max_completion;
         lo = std::min(lo, ratio);
         hi = std::max(hi, ratio);
       }
       std::string cell = util::fmt_range(lo, hi);
-      if (auto ref = experiments::paper::find_completion_ratio(cores, v)) {
+      if (auto ref = experiments::paper::find_completion_ratio(
+              core_counts[c], intensities[v])) {
         cell += " (" + util::fmt_range(ref->ratio_lo, ref->ratio_hi) + ")";
       }
       row.push_back(std::move(cell));

@@ -9,8 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "experiments/runner.h"
+#include "experiments/campaign.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 using namespace whisk;
 
@@ -26,18 +27,26 @@ int main(int argc, char** argv) {
   std::printf("%5s %-10s %10s %10s %10s %10s\n", "nodes", "scheduler",
               "avg R [s]", "p75 R [s]", "p95 R [s]", "p99 R [s]");
 
-  for (int nodes = 5; nodes >= 1; --nodes) {
-    for (const bool baseline : {true, false}) {
-      const auto cfg = experiments::ExperimentSpec()
-                           .cores(cpus)
-                           .nodes(nodes)
-                           .scenario("fixed-total?total=" + std::to_string(total))
-                           .scheduler(baseline ? "baseline/fifo" : "ours/fc");
-      const auto runs = experiments::run_repetitions(cfg, catalog, 3);
-      const auto sum =
-          util::summarize(experiments::pooled_responses(runs));
-      std::printf("%5d %-10s %10.1f %10.1f %10.1f %10.1f\n", nodes,
-                  baseline ? "baseline" : "FC", sum.mean, sum.p75, sum.p95,
+  // The whole sweep is one campaign: (scheduler x fleet size) x 3 seeds,
+  // run across every core by the campaign pool.
+  experiments::CampaignSpec grid;
+  grid.schedulers = {experiments::SchedulerSpec::parse("baseline/fifo"),
+                     experiments::SchedulerSpec::parse("ours/fc")};
+  grid.scenarios = {workload::ScenarioSpec::parse(
+      "fixed-total?total=" + std::to_string(total))};
+  grid.nodes = {5, 4, 3, 2, 1};
+  grid.cores = {cpus};
+  grid.seeds = {0, 1, 2};
+  experiments::CampaignOptions opts;
+  opts.threads = util::ThreadPool::hardware_threads();
+  const auto result = experiments::run_campaign(grid, catalog, opts);
+
+  for (std::size_t n = 0; n < grid.nodes.size(); ++n) {
+    for (std::size_t s = 0; s < grid.schedulers.size(); ++s) {
+      const auto sum = util::summarize(experiments::pooled_responses(
+          result.group(grid.group_index(s, 0, /*nodes_i=*/n))));
+      std::printf("%5d %-10s %10.1f %10.1f %10.1f %10.1f\n", grid.nodes[n],
+                  s == 0 ? "baseline" : "FC", sum.mean, sum.p75, sum.p95,
                   sum.p99);
     }
   }

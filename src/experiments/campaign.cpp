@@ -1,0 +1,325 @@
+#include "experiments/campaign.h"
+
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "experiments/runner.h"
+#include "metrics/csv.h"
+#include "metrics/sink.h"
+#include "util/check.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace whisk::experiments {
+namespace {
+
+std::string overrides_field(const CampaignSpec& spec,
+                            const CampaignCell& cell) {
+  std::string out;
+  for (std::size_t k = 0; k < spec.overrides.size(); ++k) {
+    if (!out.empty()) out += ' ';
+    out += spec.overrides[k].first + "=" +
+           util::fmt_g(spec.overrides[k].second[cell.override_i[k]]);
+  }
+  return out;
+}
+
+void append_summary_csv(std::ostringstream& out, const util::Summary& s) {
+  out << ',' << s.mean << ',' << s.p50 << ',' << s.p75 << ',' << s.p95 << ','
+      << s.p99 << ',' << s.max;
+}
+
+void append_summary_json(std::ostringstream& out, const util::Summary& s) {
+  out << "{\"count\":" << s.count << ",\"mean\":" << s.mean
+      << ",\"p50\":" << s.p50 << ",\"p75\":" << s.p75 << ",\"p95\":" << s.p95
+      << ",\"p99\":" << s.p99 << ",\"max\":" << s.max << "}";
+}
+
+}  // namespace
+
+util::Summary CellResult::response_summary() const {
+  if (responses.size() == calls) return util::summarize(responses);
+  return response_stream.summary();
+}
+
+util::Summary CellResult::stretch_summary() const {
+  if (stretches.size() == calls) return util::summarize(stretches);
+  return stretch_stream.summary();
+}
+
+std::span<const CellResult> CampaignResult::group(std::size_t g) const {
+  WHISK_CHECK(g < group_count(), "campaign group index out of range");
+  const std::size_t per = spec.seeds_per_group();
+  return {cells.data() + g * per, per};
+}
+
+CampaignCell CampaignResult::group_cell(std::size_t g) const {
+  WHISK_CHECK(g < group_count(), "campaign group index out of range");
+  return spec.cell(g * spec.seeds_per_group());
+}
+
+std::string CampaignResult::group_label(std::size_t g) const {
+  return spec.label(group_cell(g), /*with_seed=*/false);
+}
+
+metrics::RunContext cell_context(const CampaignSpec& spec,
+                                 const CampaignCell& cell) {
+  metrics::RunContext ctx;
+  ctx.fields.push_back(
+      {"cell", std::to_string(cell.index), /*numeric=*/true});
+  ctx.fields.push_back(
+      {"scheduler", spec.schedulers[cell.scheduler_i].to_string()});
+  ctx.fields.push_back(
+      {"scenario", spec.scenarios[cell.scenario_i].to_string()});
+  ctx.fields.push_back(
+      {"seed", std::to_string(spec.seeds[cell.seed_i]), /*numeric=*/true});
+  ctx.fields.push_back(
+      {"nodes", std::to_string(spec.nodes[cell.nodes_i]), /*numeric=*/true});
+  ctx.fields.push_back(
+      {"cores", std::to_string(spec.cores[cell.cores_i]), /*numeric=*/true});
+  ctx.fields.push_back({"memory_mb",
+                        util::fmt_g(spec.memories_mb[cell.memory_i]),
+                        /*numeric=*/true});
+  for (std::size_t k = 0; k < spec.overrides.size(); ++k) {
+    ctx.fields.push_back(
+        {"override:" + spec.overrides[k].first,
+         util::fmt_g(spec.overrides[k].second[cell.override_i[k]]),
+         /*numeric=*/true});
+  }
+  return ctx;
+}
+
+CampaignResult run_campaign(const CampaignSpec& raw_spec,
+                            const workload::FunctionCatalog& cat,
+                            const CampaignOptions& options) {
+  const CampaignSpec spec = raw_spec.normalized();
+  const std::size_t total = spec.size();
+  const int threads = options.threads == 0
+                          ? util::ThreadPool::hardware_threads()
+                          : options.threads;
+  WHISK_CHECK(threads >= 1, "campaign threads must be >= 1 (or 0 for auto)");
+
+  CampaignResult out;
+  out.spec = spec;
+  out.cells.resize(total);
+
+  // Flush/progress state; cells finish in schedule order, the pipeline
+  // consumes them in index order. `flushing` elects one worker to stream
+  // the ready prefix *outside* the lock, so pipeline file I/O never blocks
+  // the other workers from completing cells.
+  std::mutex mutex;
+  std::vector<char> finished(total, 0);
+  std::size_t done = 0;
+  std::size_t next_flush = 0;
+  bool flushing = false;
+
+  auto run_cell = [&](std::size_t i) {
+    const CampaignCell cell = spec.cell(i);
+    RunResult run = run_experiment(cell.spec, cat);
+
+    CellResult& res = out.cells[i];
+    res.index = i;
+    res.calls = run.records.size();
+    res.max_completion = run.max_completion;
+    res.stats = run.stats;
+    if (options.retain_samples) {
+      res.responses = std::move(run.responses);
+      res.stretches = std::move(run.stretches);
+    } else {
+      res.response_stream =
+          metrics::StreamingSummary(options.reservoir_capacity);
+      res.stretch_stream =
+          metrics::StreamingSummary(options.reservoir_capacity);
+      for (double r : run.responses) res.response_stream.add(r);
+      for (double s : run.stretches) res.stretch_stream.add(s);
+    }
+    if (options.retain_records || options.pipeline != nullptr) {
+      res.records = std::move(run.records);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex);
+    finished[i] = 1;
+    ++done;
+    if (options.progress) options.progress(done, total);
+    if (options.pipeline != nullptr && !flushing) {
+      flushing = true;
+      while (next_flush < total && finished[next_flush] != 0) {
+        const std::size_t idx = next_flush++;  // claimed; release the lock
+        lock.unlock();
+        CellResult& ready = out.cells[idx];  // finished: no other writer
+        options.pipeline->begin_run(cell_context(spec, spec.cell(idx)));
+        for (const auto& rec : ready.records) {
+          options.pipeline->consume(rec);
+        }
+        options.pipeline->end_run();
+        if (!options.retain_records) {
+          ready.records.clear();
+          ready.records.shrink_to_fit();
+        }
+        lock.lock();
+      }
+      flushing = false;
+    }
+  };
+
+  if (threads == 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) run_cell(i);
+  } else {
+    util::ThreadPool pool(threads);
+    for (std::size_t i = 0; i < total; ++i) {
+      pool.submit([&run_cell, i] { run_cell(i); });
+    }
+    pool.wait_idle();
+  }
+  return out;
+}
+
+std::vector<double> pooled_responses(std::span<const CellResult> cells) {
+  std::vector<double> out;
+  for (const auto& cell : cells) {
+    WHISK_CHECK(cell.responses.size() == cell.calls,
+                "pooled_responses needs a campaign run with retain_samples");
+    out.insert(out.end(), cell.responses.begin(), cell.responses.end());
+  }
+  return out;
+}
+
+std::vector<double> pooled_stretches(std::span<const CellResult> cells) {
+  std::vector<double> out;
+  for (const auto& cell : cells) {
+    WHISK_CHECK(cell.stretches.size() == cell.calls,
+                "pooled_stretches needs a campaign run with retain_samples");
+    out.insert(out.end(), cell.stretches.begin(), cell.stretches.end());
+  }
+  return out;
+}
+
+namespace {
+
+// Fold cells in order, reading exact samples where retained and the
+// bounded stream otherwise.
+template <typename Samples, typename Stream>
+metrics::StreamingSummary aggregate_cells(std::span<const CellResult> cells,
+                                          Samples&& samples,
+                                          Stream&& stream) {
+  metrics::StreamingSummary agg(
+      cells.empty() ? 0 : stream(cells.front()).reservoir.capacity());
+  for (const auto& cell : cells) {
+    const std::vector<double>& exact = samples(cell);
+    if (exact.size() == cell.calls && cell.calls > 0) {
+      for (double x : exact) agg.add(x);
+    } else {
+      agg.merge(stream(cell));
+    }
+  }
+  return agg;
+}
+
+}  // namespace
+
+metrics::StreamingSummary aggregate_responses(
+    std::span<const CellResult> cells) {
+  return aggregate_cells(
+      cells, [](const CellResult& c) -> const std::vector<double>& {
+        return c.responses;
+      },
+      [](const CellResult& c) -> const metrics::StreamingSummary& {
+        return c.response_stream;
+      });
+}
+
+metrics::StreamingSummary aggregate_stretches(
+    std::span<const CellResult> cells) {
+  return aggregate_cells(
+      cells, [](const CellResult& c) -> const std::vector<double>& {
+        return c.stretches;
+      },
+      [](const CellResult& c) -> const metrics::StreamingSummary& {
+        return c.stretch_stream;
+      });
+}
+
+double max_completion(std::span<const CellResult> cells) {
+  double m = 0.0;
+  for (const auto& cell : cells) m = std::max(m, cell.max_completion);
+  return m;
+}
+
+node::InvokerStats total_stats(std::span<const CellResult> cells) {
+  node::InvokerStats sum;
+  for (const auto& cell : cells) {
+    sum.calls_received += cell.stats.calls_received;
+    sum.calls_completed += cell.stats.calls_completed;
+    sum.cold_starts += cell.stats.cold_starts;
+    sum.prewarm_starts += cell.stats.prewarm_starts;
+    sum.warm_starts += cell.stats.warm_starts;
+    sum.evictions += cell.stats.evictions;
+  }
+  return sum;
+}
+
+std::string cells_csv(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "cell,scheduler,scenario,seed,nodes,cores,memory_mb,overrides,"
+         "calls,r_mean,r_p50,r_p75,r_p95,r_p99,r_max,"
+         "s_mean,s_p50,s_p75,s_p95,s_p99,s_max,"
+         "max_completion,cold_starts,prewarm_starts,warm_starts\n";
+  for (const auto& res : result.cells) {
+    const CampaignCell cell = result.spec.cell(res.index);
+    out << res.index << ','
+        << metrics::csv_field(
+               result.spec.schedulers[cell.scheduler_i].to_string())
+        << ','
+        << metrics::csv_field(
+               result.spec.scenarios[cell.scenario_i].to_string())
+        << ',' << result.spec.seeds[cell.seed_i] << ','
+        << result.spec.nodes[cell.nodes_i] << ','
+        << result.spec.cores[cell.cores_i] << ','
+        << util::fmt_g(result.spec.memories_mb[cell.memory_i]) << ','
+        << metrics::csv_field(overrides_field(result.spec, cell)) << ','
+        << res.calls;
+    append_summary_csv(out, res.response_summary());
+    append_summary_csv(out, res.stretch_summary());
+    out << ',' << res.max_completion << ',' << res.stats.cold_starts << ','
+        << res.stats.prewarm_starts << ',' << res.stats.warm_starts << '\n';
+  }
+  return out.str();
+}
+
+std::string cells_jsonl(const CampaignResult& result) {
+  std::ostringstream out;
+  for (const auto& res : result.cells) {
+    const CampaignCell cell = result.spec.cell(res.index);
+    out << "{\"cell\":" << res.index << ",\"scheduler\":\""
+        << metrics::json_escape(
+               result.spec.schedulers[cell.scheduler_i].to_string())
+        << "\",\"scenario\":\""
+        << metrics::json_escape(
+               result.spec.scenarios[cell.scenario_i].to_string())
+        << "\",\"seed\":" << result.spec.seeds[cell.seed_i]
+        << ",\"nodes\":" << result.spec.nodes[cell.nodes_i]
+        << ",\"cores\":" << result.spec.cores[cell.cores_i]
+        << ",\"memory_mb\":"
+        << util::fmt_g(result.spec.memories_mb[cell.memory_i])
+        << ",\"overrides\":{";
+    for (std::size_t k = 0; k < result.spec.overrides.size(); ++k) {
+      if (k > 0) out << ',';
+      out << '"' << metrics::json_escape(result.spec.overrides[k].first)
+          << "\":"
+          << util::fmt_g(
+                 result.spec.overrides[k].second[cell.override_i[k]]);
+    }
+    out << "},\"calls\":" << res.calls << ",\"response\":";
+    append_summary_json(out, res.response_summary());
+    out << ",\"stretch\":";
+    append_summary_json(out, res.stretch_summary());
+    out << ",\"max_completion\":" << res.max_completion
+        << ",\"cold_starts\":" << res.stats.cold_starts
+        << ",\"prewarm_starts\":" << res.stats.prewarm_starts
+        << ",\"warm_starts\":" << res.stats.warm_starts << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace whisk::experiments

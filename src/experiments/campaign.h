@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign_spec.h"
+#include "metrics/sink.h"
+#include "node/invoker.h"
+#include "util/stats.h"
+
+namespace whisk::experiments {
+
+// What one campaign cell keeps after its run. Bounded by design: the
+// streaming summaries are O(reservoir), and the per-call samples/records
+// are only retained when the options ask for them — a 10k-cell campaign
+// with default options never holds more than the in-flight cells' records.
+struct CellResult {
+  std::size_t index = 0;
+  std::size_t calls = 0;
+  double max_completion = 0.0;  // max c(i), seconds
+  node::InvokerStats stats;
+
+  // Populated only when samples are NOT retained (with samples present the
+  // exact vectors already answer everything and the streams would be
+  // redundant copies); the aggregate_* helpers use whichever is present.
+  metrics::StreamingSummary response_stream;
+  metrics::StreamingSummary stretch_stream;
+
+  // Exact per-call samples (retain_samples) and full records
+  // (retain_records).
+  std::vector<double> responses;
+  std::vector<double> stretches;
+  std::vector<metrics::CallRecord> records;
+
+  // Exact summaries when samples were retained, streaming otherwise.
+  [[nodiscard]] util::Summary response_summary() const;
+  [[nodiscard]] util::Summary stretch_summary() const;
+};
+
+struct CampaignOptions {
+  int threads = 1;  // 0 = util::ThreadPool::hardware_threads()
+  // Keep the per-call response/stretch vectors (exact pooled quantiles for
+  // the paper tables). Turn off for huge grids; the streaming summaries
+  // remain.
+  bool retain_samples = true;
+  // Keep the full CallRecords per cell (per-function post-hoc queries).
+  bool retain_records = false;
+  std::size_t reservoir_capacity = 4096;
+  // Optional per-record sinks. Cells are flushed through the pipeline in
+  // cell-index order no matter which thread finished first, so file output
+  // is byte-identical for any thread count.
+  metrics::MetricsPipeline* pipeline = nullptr;
+  // Called after each finished cell with (done, total); serialized, so a
+  // progress printer needs no locking of its own.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+class CampaignResult {
+ public:
+  CampaignSpec spec;
+  std::vector<CellResult> cells;
+
+  // A group = all cells sharing every non-seed coordinate; contiguous and
+  // seed-ordered by the expansion order contract.
+  [[nodiscard]] std::size_t group_count() const {
+    return spec.group_count();
+  }
+  [[nodiscard]] std::span<const CellResult> group(std::size_t g) const;
+  // The group's first cell, for axis coordinates.
+  [[nodiscard]] CampaignCell group_cell(std::size_t g) const;
+  [[nodiscard]] std::string group_label(std::size_t g) const;
+};
+
+// Execute every cell of the grid — one independent sim::Engine per cell,
+// seeded from the cell's seed-axis value only — on a work-stealing thread
+// pool. Results are byte-identical for any thread count and any schedule:
+// cells write to pre-assigned slots, aggregation folds them in index order,
+// and pipeline sinks see cells in index order.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const workload::FunctionCatalog& cat,
+                                          const CampaignOptions& options = {});
+
+// Pool the exact per-call samples of several cells (typically one group) in
+// cell order — the campaign replacement for the old RunResult pooling
+// helpers. Aborts if the cells were run without retain_samples.
+[[nodiscard]] std::vector<double> pooled_responses(
+    std::span<const CellResult> cells);
+[[nodiscard]] std::vector<double> pooled_stretches(
+    std::span<const CellResult> cells);
+
+// Bounded-memory aggregate across cells, merged in cell order (works with
+// or without retained samples).
+[[nodiscard]] metrics::StreamingSummary aggregate_responses(
+    std::span<const CellResult> cells);
+[[nodiscard]] metrics::StreamingSummary aggregate_stretches(
+    std::span<const CellResult> cells);
+
+// max c(i) / summed start-kind counters over several cells.
+[[nodiscard]] double max_completion(std::span<const CellResult> cells);
+[[nodiscard]] node::InvokerStats total_stats(
+    std::span<const CellResult> cells);
+
+// One CSV row per cell (coordinates + summary statistics) — the
+// whisk_sweep --cells-csv format, also what the thread-count-invariance
+// test compares across pool sizes.
+[[nodiscard]] std::string cells_csv(const CampaignResult& result);
+
+// One JSON object per cell, same content as cells_csv — the whisk_sweep
+// --cells-jsonl format (the CI smoke artifact).
+[[nodiscard]] std::string cells_jsonl(const CampaignResult& result);
+
+// The RunContext handed to pipeline sinks for one cell: cell index plus one
+// field per grid axis (and one per override axis).
+[[nodiscard]] metrics::RunContext cell_context(const CampaignSpec& spec,
+                                               const CampaignCell& cell);
+
+}  // namespace whisk::experiments

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "experiments/experiment_spec.h"
+#include "experiments/scheduler_spec.h"
+#include "workload/scenario_spec.h"
+
+namespace whisk::experiments {
+
+// One cell of an expanded campaign grid: the fully materialized
+// ExperimentSpec plus its coordinates along every axis.
+struct CampaignCell {
+  std::size_t index = 0;
+  std::size_t scheduler_i = 0;
+  std::size_t scenario_i = 0;
+  std::size_t nodes_i = 0;
+  std::size_t cores_i = 0;
+  std::size_t memory_i = 0;
+  std::vector<std::size_t> override_i;  // one per override axis
+  std::size_t seed_i = 0;
+  ExperimentSpec spec;
+};
+
+// A declarative sweep grid — the campaign-level mirror of SchedulerSpec and
+// ScenarioSpec. The paper's result grids (schedulers x scenarios x 5 seeds,
+// with deployment axes where a figure sweeps them) are one CampaignSpec;
+// run_campaign executes the cross product.
+//
+//   auto grid = CampaignSpec::parse(
+//       "schedulers=baseline/fifo,ours/sept; "
+//       "scenarios=uniform?intensity=30,uniform?intensity=60; "
+//       "seeds=0..4; cores=10");
+//   grid.size()  -> 20
+//
+// Grammar: semicolon-separated `axis=item,item,...` entries. Axes:
+// schedulers, scenarios, seeds, nodes, cores, memory-mb, and any number of
+// `override:<name>` ablation axes (names validated against
+// ExperimentSpec::override_names()). `seeds` accepts inclusive ranges
+// (`0..4`) alongside single values. Axis names are case-insensitive;
+// omitted axes keep their defaults (seeds default to the paper's 0..4).
+// Items must not contain `,` or `;` — a scenario whose parameter value
+// needs a comma (mix weights) cannot ride in a grid string, but can still
+// be set on the struct directly.
+//
+// The workload's load knob travels inside the scenario item
+// ("uniform?intensity=60"), never through ExperimentSpec::intensity(): one
+// axis, one spelling, and the scenario generator reads the parameter with
+// exactly the same effect (and rng stream) as the builder knob.
+//
+// to_string() prints every fixed axis in canonical order (plus the override
+// axes sorted by name), so parse(to_string()) round-trips exactly.
+//
+// Cell expansion order is seed-innermost:
+//   scheduler > scenario > nodes > cores > memory > overrides > seed
+// so the cells of one "group" (every axis fixed except the seed) are
+// contiguous and seed-ordered — pooling a group's cells reproduces the
+// serial run_repetitions pooling byte for byte.
+struct CampaignSpec {
+  std::vector<SchedulerSpec> schedulers = {SchedulerSpec{}};
+  std::vector<workload::ScenarioSpec> scenarios = {workload::ScenarioSpec{}};
+  std::vector<int> nodes = {1};
+  std::vector<int> cores = {10};
+  std::vector<double> memories_mb = {32.0 * 1024.0};
+  // Ablation axes, crossed like every other axis; kept sorted by name.
+  std::vector<std::pair<std::string, std::vector<double>>> overrides;
+  std::vector<std::uint64_t> seeds = {0, 1, 2, 3, 4};
+
+  [[nodiscard]] static CampaignSpec parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  // Abort (naming the offender and the valid alternatives) if any component
+  // is unknown or any axis is empty; returns a copy with schedulers,
+  // scenarios and override names canonicalized and override axes sorted.
+  [[nodiscard]] CampaignSpec normalized() const;
+
+  // Number of cells: the product of all axis lengths.
+  [[nodiscard]] std::size_t size() const;
+
+  // Cells per group (= seeds.size()) and number of groups.
+  [[nodiscard]] std::size_t seeds_per_group() const { return seeds.size(); }
+  [[nodiscard]] std::size_t group_count() const {
+    return size() / seeds.size();
+  }
+
+  // Expand cell `index` (0 <= index < size()) deterministically.
+  [[nodiscard]] CampaignCell cell(std::size_t index) const;
+
+  // Flatten non-seed axis coordinates into a group index — the inverse of
+  // the expansion order, so callers never hand-roll `sched_i * n + node_i`
+  // arithmetic that silently breaks when an axis gains a value. Omitted
+  // override coordinates mean "first value of every override axis".
+  [[nodiscard]] std::size_t group_index(
+      std::size_t scheduler_i, std::size_t scenario_i = 0,
+      std::size_t nodes_i = 0, std::size_t cores_i = 0,
+      std::size_t memory_i = 0,
+      const std::vector<std::size_t>& override_i = {}) const;
+
+  // The paper's seed convention: 0..n-1.
+  [[nodiscard]] static std::vector<std::uint64_t> first_seeds(int n);
+
+  // Human-readable cell coordinates: multi-valued axes only, so a grid that
+  // sweeps schedulers x seeds labels cells "ours/sept seed=3", not a wall
+  // of constant columns. `with_seed=false` names the cell's group.
+  [[nodiscard]] std::string label(const CampaignCell& cell,
+                                  bool with_seed = true) const;
+
+  friend bool operator==(const CampaignSpec& a, const CampaignSpec& b) {
+    return a.schedulers == b.schedulers && a.scenarios == b.scenarios &&
+           a.nodes == b.nodes && a.cores == b.cores &&
+           a.memories_mb == b.memories_mb && a.overrides == b.overrides &&
+           a.seeds == b.seeds;
+  }
+  friend bool operator!=(const CampaignSpec& a, const CampaignSpec& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace whisk::experiments

@@ -52,27 +52,12 @@ RunResult run_experiment(const ExperimentSpec& spec,
 std::vector<RunResult> run_repetitions(ExperimentSpec spec,
                                        const workload::FunctionCatalog& cat,
                                        int reps) {
+  const std::uint64_t base_seed = spec.seed();
   std::vector<RunResult> out;
   out.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    spec.seed(static_cast<std::uint64_t>(r));
+    spec.seed(base_seed + static_cast<std::uint64_t>(r));
     out.push_back(run_experiment(spec, cat));
-  }
-  return out;
-}
-
-std::vector<double> pooled_responses(const std::vector<RunResult>& reps) {
-  std::vector<double> out;
-  for (const auto& r : reps) {
-    out.insert(out.end(), r.responses.begin(), r.responses.end());
-  }
-  return out;
-}
-
-std::vector<double> pooled_stretches(const std::vector<RunResult>& reps) {
-  std::vector<double> out;
-  for (const auto& r : reps) {
-    out.insert(out.end(), r.stretches.begin(), r.stretches.end());
   }
   return out;
 }

@@ -26,16 +26,17 @@ struct RunResult {
 [[nodiscard]] RunResult run_experiment(const ExperimentSpec& spec,
                                        const workload::FunctionCatalog& cat);
 
-// Run `reps` seeds (the paper uses 5) and return the per-seed results.
+// Run `reps` seeded repetitions serially and return the per-seed results.
+//
+// Seed contract: repetition r runs at seed spec.seed() + r — the caller's
+// base seed is respected, never clobbered. With the default base seed 0 and
+// reps = 5 this is exactly the paper's five sequences (seeds 0..4), which
+// the figure/table pins rely on. This is the serial reference path; sweeps
+// over schedulers/scenarios/seeds belong on experiments::run_campaign
+// (campaign.h), whose per-cell output is pinned byte-identical to this
+// function's.
 [[nodiscard]] std::vector<RunResult> run_repetitions(
     ExperimentSpec spec, const workload::FunctionCatalog& cat, int reps = 5);
-
-// Pool the responses / stretches of several repetitions, as the paper's
-// box plots do.
-[[nodiscard]] std::vector<double> pooled_responses(
-    const std::vector<RunResult>& reps);
-[[nodiscard]] std::vector<double> pooled_stretches(
-    const std::vector<RunResult>& reps);
 
 // Closed-loop idle-system benchmark of a single function (Table I): `calls`
 // sequential invocations on a warm single-node deployment; returns the

@@ -1,6 +1,7 @@
 #include "metrics/collector.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.h"
 
@@ -11,7 +12,29 @@ void Collector::add(const CallRecord& record) {
               "completion before release");
   WHISK_CHECK(record.exec_end >= record.exec_start,
               "execution ends before it starts");
+  WHISK_CHECK(record.function >= 0, "record without a function id");
+  WHISK_CHECK(records_.size() < std::numeric_limits<std::uint32_t>::max(),
+              "per-run record index overflow");
+
+  const auto position = static_cast<std::uint32_t>(records_.size());
   records_.push_back(record);
+
+  const auto f = static_cast<std::size_t>(record.function);
+  if (f >= by_function_.size()) by_function_.resize(f + 1);
+  by_function_[f].push_back(position);
+
+  max_completion_ = std::max(max_completion_, record.completion);
+  switch (record.start_kind) {
+    case StartKind::kCold:
+      ++cold_;
+      break;
+    case StartKind::kPrewarm:
+      ++prewarm_;
+      break;
+    case StartKind::kWarm:
+      ++warm_;
+      break;
+  }
 }
 
 std::vector<double> Collector::response_times() const {
@@ -30,22 +53,31 @@ std::vector<double> Collector::stretches() const {
   return out;
 }
 
+const std::vector<std::uint32_t>* Collector::bucket(
+    workload::FunctionId f) const {
+  if (f < 0 || static_cast<std::size_t>(f) >= by_function_.size()) {
+    return nullptr;
+  }
+  return &by_function_[static_cast<std::size_t>(f)];
+}
+
 std::vector<double> Collector::response_times_of(
     workload::FunctionId f) const {
   std::vector<double> out;
-  for (const auto& r : records_) {
-    if (r.function == f) out.push_back(r.response());
-  }
+  const auto* idx = bucket(f);
+  if (idx == nullptr) return out;
+  out.reserve(idx->size());
+  for (std::uint32_t i : *idx) out.push_back(records_[i].response());
   return out;
 }
 
 std::vector<double> Collector::stretches_of(workload::FunctionId f) const {
   std::vector<double> out;
-  for (const auto& r : records_) {
-    if (r.function == f) {
-      out.push_back(r.response() / catalog_->reference_median(f));
-    }
-  }
+  const auto* idx = bucket(f);
+  if (idx == nullptr) return out;
+  out.reserve(idx->size());
+  const double ref = catalog_->reference_median(f);
+  for (std::uint32_t i : *idx) out.push_back(records_[i].response() / ref);
   return out;
 }
 
@@ -59,37 +91,9 @@ util::Summary Collector::stretch_summary() const {
   return util::summarize(ss);
 }
 
-double Collector::max_completion() const {
-  double m = 0.0;
-  for (const auto& r : records_) m = std::max(m, r.completion);
-  return m;
-}
-
-std::size_t Collector::cold_starts() const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(), [](const CallRecord& r) {
-        return r.start_kind == StartKind::kCold;
-      }));
-}
-
-std::size_t Collector::prewarm_starts() const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(), [](const CallRecord& r) {
-        return r.start_kind == StartKind::kPrewarm;
-      }));
-}
-
-std::size_t Collector::warm_starts() const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(), [](const CallRecord& r) {
-        return r.start_kind == StartKind::kWarm;
-      }));
-}
-
 std::size_t Collector::calls_of(workload::FunctionId f) const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(),
-                    [f](const CallRecord& r) { return r.function == f; }));
+  const auto* idx = bucket(f);
+  return idx == nullptr ? 0 : idx->size();
 }
 
 std::vector<double> concat(const std::vector<std::vector<double>>& reps) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "metrics/record.h"
@@ -12,6 +13,11 @@ namespace whisk::metrics {
 // Collects completed-call records for one experiment run and derives the
 // paper's metrics: response time R(i), stretch S(i) (w.r.t. the Table I
 // idle-system medians), cold-start counts and the maximum completion time.
+//
+// add() maintains a per-function index and the scalar aggregates, so the
+// per-function queries and the counters are O(answer)/O(1) instead of a
+// full-record scan per call (the fairness experiment queries them per
+// function per repetition).
 class Collector {
  public:
   explicit Collector(const workload::FunctionCatalog& catalog)
@@ -33,7 +39,8 @@ class Collector {
   [[nodiscard]] std::vector<double> stretches() const;
 
   // Metrics restricted to one function (for the fairness experiment and the
-  // per-function discrimination check, Sec. II/VII-D).
+  // per-function discrimination check, Sec. II/VII-D). Values come back in
+  // insertion order, exactly as the pre-index full scans returned them.
   [[nodiscard]] std::vector<double> response_times_of(
       workload::FunctionId f) const;
   [[nodiscard]] std::vector<double> stretches_of(
@@ -43,17 +50,26 @@ class Collector {
   [[nodiscard]] util::Summary stretch_summary() const;
 
   // max c(i): the request completion time of the whole burst (Table II).
-  [[nodiscard]] double max_completion() const;
+  [[nodiscard]] double max_completion() const { return max_completion_; }
 
-  [[nodiscard]] std::size_t cold_starts() const;
-  [[nodiscard]] std::size_t prewarm_starts() const;
-  [[nodiscard]] std::size_t warm_starts() const;
+  [[nodiscard]] std::size_t cold_starts() const { return cold_; }
+  [[nodiscard]] std::size_t prewarm_starts() const { return prewarm_; }
+  [[nodiscard]] std::size_t warm_starts() const { return warm_; }
 
   [[nodiscard]] std::size_t calls_of(workload::FunctionId f) const;
 
  private:
+  [[nodiscard]] const std::vector<std::uint32_t>* bucket(
+      workload::FunctionId f) const;
+
   const workload::FunctionCatalog* catalog_;
   std::vector<CallRecord> records_;
+  // records_ positions per function; FunctionIds are dense catalog indices.
+  std::vector<std::vector<std::uint32_t>> by_function_;
+  double max_completion_ = 0.0;
+  std::size_t cold_ = 0;
+  std::size_t prewarm_ = 0;
+  std::size_t warm_ = 0;
 };
 
 // Merge the samples of several repetitions into one flat vector (the paper

@@ -5,18 +5,31 @@
 
 namespace whisk::metrics {
 
+void write_csv_row(std::ostream& out, const CallRecord& r,
+                   const workload::FunctionCatalog& catalog) {
+  const double stretch = r.response() / catalog.reference_median(r.function);
+  out << r.id << ',' << catalog.spec(r.function).name << ',' << r.node << ','
+      << r.release << ',' << r.received << ',' << r.exec_start << ','
+      << r.exec_end << ',' << r.completion << ',' << r.service << ','
+      << to_string(r.start_kind) << ',' << r.response() << ',' << stretch
+      << '\n';
+}
+
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 void write_csv(std::ostream& out, const std::vector<CallRecord>& records,
                const workload::FunctionCatalog& catalog) {
-  out << "id,function,node,release,received,exec_start,exec_end,completion,"
-         "service,start_kind,response,stretch\n";
-  for (const auto& r : records) {
-    const double stretch = r.response() / catalog.reference_median(r.function);
-    out << r.id << ',' << catalog.spec(r.function).name << ',' << r.node
-        << ',' << r.release << ',' << r.received << ',' << r.exec_start
-        << ',' << r.exec_end << ',' << r.completion << ',' << r.service
-        << ',' << to_string(r.start_kind) << ',' << r.response() << ','
-        << stretch << '\n';
-  }
+  out << kCallRecordCsvHeader << '\n';
+  for (const auto& r : records) write_csv_row(out, r, catalog);
 }
 
 std::string to_csv(const std::vector<CallRecord>& records,

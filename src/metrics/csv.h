@@ -9,10 +9,22 @@
 
 namespace whisk::metrics {
 
+// The per-call record columns, in the paper's notation. Shared by write_csv
+// and CsvSink so every exporter emits the same schema.
+inline constexpr const char* kCallRecordCsvHeader =
+    "id,function,node,release,received,exec_start,exec_end,completion,"
+    "service,start_kind,response,stretch";
+
+// One record as one CSV row (terminated by '\n'), matching the header.
+void write_csv_row(std::ostream& out, const CallRecord& r,
+                   const workload::FunctionCatalog& catalog);
+
+// CSV-quote a free-form field only when it needs it (spec strings can hold
+// commas, e.g. a weighted mix's weights=1,2). Shared by every CSV emitter.
+[[nodiscard]] std::string csv_field(const std::string& value);
+
 // CSV export of per-call records for offline analysis (pandas/R). One row
-// per call with the paper's notation in the header:
-//   id,function,node,release,received,exec_start,exec_end,completion,
-//   service,start_kind,response,stretch
+// per call with the paper's notation in the header.
 void write_csv(std::ostream& out, const std::vector<CallRecord>& records,
                const workload::FunctionCatalog& catalog);
 

@@ -1,0 +1,198 @@
+#include "metrics/sink.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "metrics/csv.h"
+#include "util/check.h"
+
+namespace whisk::metrics {
+
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        // RFC 8259: every control character below 0x20 must be escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Sink* MetricsPipeline::add(std::unique_ptr<Sink> sink) {
+  WHISK_CHECK(sink != nullptr, "cannot add a null sink");
+  sinks_.push_back(std::move(sink));
+  return sinks_.back().get();
+}
+
+void MetricsPipeline::begin_run(const RunContext& ctx) {
+  for (auto& s : sinks_) s->begin_run(ctx);
+}
+
+void MetricsPipeline::consume(const CallRecord& record) {
+  for (auto& s : sinks_) s->on_record(record);
+}
+
+void MetricsPipeline::end_run() {
+  for (auto& s : sinks_) s->end_run();
+}
+
+// --- CsvSink -----------------------------------------------------------------
+
+void CsvSink::begin_run(const RunContext& ctx) {
+  std::vector<std::string> keys;
+  keys.reserve(ctx.fields.size());
+  for (const auto& field : ctx.fields) keys.push_back(field.key);
+  if (!header_written_) {
+    header_keys_ = keys;
+    for (const auto& key : header_keys_) *out_ << csv_field(key) << ',';
+    *out_ << kCallRecordCsvHeader << '\n';
+    header_written_ = true;
+  } else {
+    WHISK_CHECK(keys == header_keys_,
+                "CsvSink: run context keys changed between runs; one "
+                "pipeline writes one schema");
+  }
+  prefix_.clear();
+  for (const auto& field : ctx.fields) {
+    prefix_ += csv_field(field.value);
+    prefix_ += ',';
+  }
+}
+
+void CsvSink::on_record(const CallRecord& record) {
+  if (!header_written_) {
+    // Used without begin_run (plain per-run export): plain record schema.
+    *out_ << kCallRecordCsvHeader << '\n';
+    header_written_ = true;
+  }
+  *out_ << prefix_;
+  write_csv_row(*out_, record, *catalog_);
+}
+
+// --- JsonlSink ---------------------------------------------------------------
+
+void JsonlSink::begin_run(const RunContext& ctx) {
+  prefix_.clear();
+  for (const auto& field : ctx.fields) {
+    prefix_ += '"';
+    prefix_ += json_escape(field.key);
+    prefix_ += "\":";
+    if (field.numeric) {
+      prefix_ += field.value;  // same typed form as cells_jsonl
+    } else {
+      prefix_ += '"';
+      prefix_ += json_escape(field.value);
+      prefix_ += '"';
+    }
+    prefix_ += ',';
+  }
+}
+
+void JsonlSink::on_record(const CallRecord& record) {
+  const double stretch =
+      record.response() / catalog_->reference_median(record.function);
+  std::ostringstream row;
+  row << '{' << prefix_ << "\"id\":" << record.id << ",\"function\":\""
+      << json_escape(catalog_->spec(record.function).name)
+      << "\",\"node\":" << record.node << ",\"release\":" << record.release
+      << ",\"received\":" << record.received
+      << ",\"exec_start\":" << record.exec_start
+      << ",\"exec_end\":" << record.exec_end
+      << ",\"completion\":" << record.completion
+      << ",\"service\":" << record.service << ",\"start_kind\":\""
+      << to_string(record.start_kind)
+      << "\",\"response\":" << record.response() << ",\"stretch\":" << stretch
+      << "}\n";
+  *out_ << row.str();
+}
+
+// --- StreamingSummary --------------------------------------------------------
+
+util::Summary StreamingSummary::summary() const {
+  util::Summary s;
+  s.count = stats.count();
+  if (s.count == 0) return s;
+  s.mean = stats.mean();
+  s.min = stats.min();
+  s.max = stats.max();
+  s.stddev = stats.stddev();
+  std::vector<double> sorted = reservoir.samples();
+  std::sort(sorted.begin(), sorted.end());
+  s.p25 = util::percentile_sorted(sorted, 25.0);
+  s.p50 = util::percentile_sorted(sorted, 50.0);
+  s.p75 = util::percentile_sorted(sorted, 75.0);
+  s.p95 = util::percentile_sorted(sorted, 95.0);
+  s.p99 = util::percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+void StreamingSummarySink::on_record(const CallRecord& record) {
+  const double r = record.response();
+  response_.add(r);
+  stretch_.add(r / catalog_->reference_median(record.function));
+  max_completion_ = std::max(max_completion_, record.completion);
+}
+
+// --- FunctionIndexSink -------------------------------------------------------
+
+void FunctionIndexSink::on_record(const CallRecord& record) {
+  WHISK_CHECK(record.function >= 0, "record without a function id");
+  const auto f = static_cast<std::size_t>(record.function);
+  if (f >= by_function_.size()) by_function_.resize(f + 1);
+  if (by_function_[f] == nullptr) {
+    by_function_[f] = std::make_unique<PerFunction>(reservoir_capacity_);
+  }
+  const double r = record.response();
+  by_function_[f]->response.add(r);
+  by_function_[f]->stretch.add(
+      r / catalog_->reference_median(record.function));
+}
+
+std::size_t FunctionIndexSink::calls_of(workload::FunctionId f) const {
+  const auto* s = response_of(f);
+  return s == nullptr ? 0 : s->stats.count();
+}
+
+const StreamingSummary* FunctionIndexSink::response_of(
+    workload::FunctionId f) const {
+  if (f < 0 || static_cast<std::size_t>(f) >= by_function_.size() ||
+      by_function_[static_cast<std::size_t>(f)] == nullptr) {
+    return nullptr;
+  }
+  return &by_function_[static_cast<std::size_t>(f)]->response;
+}
+
+const StreamingSummary* FunctionIndexSink::stretch_of(
+    workload::FunctionId f) const {
+  if (f < 0 || static_cast<std::size_t>(f) >= by_function_.size() ||
+      by_function_[static_cast<std::size_t>(f)] == nullptr) {
+    return nullptr;
+  }
+  return &by_function_[static_cast<std::size_t>(f)]->stretch;
+}
+
+}  // namespace whisk::metrics

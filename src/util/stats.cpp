@@ -70,6 +70,23 @@ void StreamingStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
 double StreamingStats::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);

@@ -43,6 +43,10 @@ struct Summary {
 class StreamingStats {
  public:
   void add(double x);
+  // Fold another accumulator in (Chan et al.'s pairwise combination):
+  // merging in a fixed order is deterministic, which is how campaign groups
+  // aggregate per-cell stats independently of the thread schedule.
+  void merge(const StreamingStats& other);
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  // sample variance

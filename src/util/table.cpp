@@ -58,4 +58,10 @@ std::string fmt_range(double lo, double hi, int precision) {
   return fmt(lo, precision) + "-" + fmt(hi, precision);
 }
 
+std::string fmt_g(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
 }  // namespace whisk::util

@@ -31,4 +31,9 @@ class Table {
 // Format a ratio range like the paper's Table II cells ("0.59-0.66").
 [[nodiscard]] std::string fmt_range(double lo, double hi, int precision = 2);
 
+// Shortest %.10g form — the one rendering of grid numbers (memory sizes,
+// override values) shared by CampaignSpec::to_string and the cell
+// exporters, so printed specs round-trip through parse.
+[[nodiscard]] std::string fmt_g(double value);
+
 }  // namespace whisk::util

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace whisk::util {
+
+// Work-stealing thread pool sized for campaign cells: tasks are whole
+// simulation runs (milliseconds to seconds each), so queue operations are
+// nowhere near the critical path and all deques share one lock. Each worker
+// owns a deque; it drains its own queue oldest-first and, when empty,
+// steals the oldest task from the next busy worker. Oldest-first matters to
+// run_campaign's streaming pipeline: cells flush in ascending index order,
+// so executing near submission order keeps the reorder buffer at O(threads)
+// cells instead of stalling the lowest index behind a worker's whole queue
+// (the classic LIFO own-pop would do exactly that; its cache-warmth
+// rationale is irrelevant for tasks this coarse).
+//
+// Determinism contract: the pool guarantees nothing about execution order —
+// callers must make tasks independent and write to pre-assigned slots.
+// run_campaign does exactly that, which is why its output is byte-identical
+// for any thread count.
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(threads_.size());
+  }
+
+  // Enqueue one task (round-robin over the worker deques). May be called
+  // while the pool is busy, including from inside a task.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished. The pool is reusable
+  // afterwards.
+  void wait_idle();
+
+  // submit + wait_idle over [0, count): body(i) runs exactly once per index,
+  // in unspecified order, on unspecified threads.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  // std::thread::hardware_concurrency with the zero-means-unknown case
+  // clamped to 1.
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
+  std::mutex mutex_;                  // guards queues_, pending_, stop_
+  std::condition_variable work_cv_;   // task queued or stop
+  std::condition_variable idle_cv_;   // pending_ hit zero
+  std::size_t pending_ = 0;           // queued + running tasks
+  std::size_t next_queue_ = 0;        // round-robin submit cursor
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace whisk::util

@@ -1,0 +1,171 @@
+#include "experiments/campaign_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace whisk::experiments {
+namespace {
+
+TEST(CampaignSpecTest, DefaultsArePaperShaped) {
+  const CampaignSpec spec;
+  EXPECT_EQ(spec.schedulers.size(), 1u);
+  EXPECT_EQ(spec.scenarios.size(), 1u);
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(spec.size(), 5u);
+  EXPECT_EQ(spec.group_count(), 1u);
+}
+
+TEST(CampaignSpecTest, ParseBuildsTheGrid) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=baseline/fifo,ours/sept; "
+      "scenarios=uniform?intensity=30,fixed-total?total=110; "
+      "seeds=0..2; nodes=1,2; cores=10; memory-mb=2048,32768");
+  EXPECT_EQ(spec.schedulers.size(), 2u);
+  EXPECT_EQ(spec.schedulers[1].policy, "sept");
+  EXPECT_EQ(spec.scenarios.size(), 2u);
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(spec.nodes, (std::vector<int>{1, 2}));
+  EXPECT_EQ(spec.memories_mb, (std::vector<double>{2048, 32768}));
+  EXPECT_EQ(spec.size(), 2u * 2u * 3u * 2u * 2u);
+}
+
+TEST(CampaignSpecTest, ToStringRoundTrips) {
+  const char* grids[] = {
+      "schedulers=ours/sept; scenarios=uniform?intensity=60; seeds=0..4",
+      "schedulers=baseline/fifo,ours/fc; scenarios=fixed-total?total=2376; "
+      "seeds=0,1; nodes=4,3,2,1; cores=18",
+      "schedulers=ours/sept; scenarios=uniform?intensity=60; seeds=0..1; "
+      "override:history_window=1,3,10",
+      "schedulers=ours/fifo; scenarios=uniform; seeds=7,3,9..11; "
+      "memory-mb=2048.5",
+  };
+  for (const char* text : grids) {
+    const auto spec = CampaignSpec::parse(text);
+    EXPECT_EQ(CampaignSpec::parse(spec.to_string()), spec) << text;
+    // to_string is canonical: a second round trip is a fixed point.
+    EXPECT_EQ(CampaignSpec::parse(spec.to_string()).to_string(),
+              spec.to_string())
+        << text;
+  }
+}
+
+TEST(CampaignSpecTest, ToStringCollapsesSeedRuns) {
+  CampaignSpec spec;
+  spec.seeds = {0, 1, 2, 3, 4};
+  EXPECT_NE(spec.to_string().find("seeds=0..4"), std::string::npos);
+  spec.seeds = {7, 3, 9, 10, 11};
+  EXPECT_NE(spec.to_string().find("seeds=7,3,9..11"), std::string::npos);
+}
+
+TEST(CampaignSpecTest, NamesAreNormalized) {
+  const auto spec = CampaignSpec::parse(
+      "SCHEDULERS=OURS/SEPT; Scenarios=FIXED?total=10; seeds=0");
+  EXPECT_EQ(spec.schedulers[0].to_string(), "ours/sept/round-robin");
+  EXPECT_EQ(spec.scenarios[0].name, "fixed-total");
+}
+
+TEST(CampaignSpecTest, CellExpansionIsSeedInnermost) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=baseline/fifo,ours/sept; "
+      "scenarios=uniform?intensity=30; seeds=0..1");
+  ASSERT_EQ(spec.size(), 4u);
+  // Cells 0,1: scheduler 0 seeds 0,1. Cells 2,3: scheduler 1 seeds 0,1.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto cell = spec.cell(i);
+    EXPECT_EQ(cell.index, i);
+    EXPECT_EQ(cell.scheduler_i, i / 2);
+    EXPECT_EQ(cell.seed_i, i % 2);
+    EXPECT_EQ(cell.spec.seed(), i % 2);
+    EXPECT_EQ(cell.spec.scheduler(),
+              spec.schedulers[i / 2].normalized());
+  }
+}
+
+TEST(CampaignSpecTest, CellsCarryOverrides) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept; scenarios=uniform?intensity=60; seeds=0; "
+      "override:history_window=1,50");
+  ASSERT_EQ(spec.size(), 2u);
+  EXPECT_EQ(spec.cell(0).spec.node_params().history_window, 1u);
+  EXPECT_EQ(spec.cell(1).spec.node_params().history_window, 50u);
+}
+
+TEST(CampaignSpecTest, GroupIndexInvertsTheCellExpansion) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=baseline/fifo,ours/sept; "
+      "scenarios=uniform?intensity=30,fixed-total?total=110; "
+      "seeds=0..1; nodes=1,2; override:history_window=1,3");
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto cell = spec.cell(i);
+    EXPECT_EQ(spec.group_index(cell.scheduler_i, cell.scenario_i,
+                               cell.nodes_i, cell.cores_i, cell.memory_i,
+                               cell.override_i),
+              i / spec.seeds_per_group())
+        << "cell " << i;
+  }
+  EXPECT_DEATH((void)spec.group_index(2), "scheduler coordinate");
+}
+
+TEST(CampaignSpecTest, FirstSeedsArePaperSeeds) {
+  EXPECT_EQ(CampaignSpec::first_seeds(5),
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_DEATH((void)CampaignSpec::first_seeds(0), "positive count");
+}
+
+TEST(CampaignSpecTest, LabelShowsOnlySweptAxes) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=baseline/fifo,ours/sept; "
+      "scenarios=uniform?intensity=30; seeds=0..1; cores=10");
+  const auto cell = spec.cell(3);
+  EXPECT_EQ(spec.label(cell), "ours/sept/round-robin seed=1");
+  EXPECT_EQ(spec.label(cell, /*with_seed=*/false),
+            "ours/sept/round-robin");
+}
+
+TEST(CampaignSpecDeath, UnknownAxisListsTheValidOnes) {
+  EXPECT_DEATH((void)CampaignSpec::parse("warp=9"),
+               "unknown campaign axis \"warp\".*schedulers");
+}
+
+TEST(CampaignSpecDeath, DuplicateAxisIsRejected) {
+  EXPECT_DEATH((void)CampaignSpec::parse("seeds=0; seeds=1"),
+               "axis \"seeds\" twice");
+  // The memory_mb alias is the same axis as memory-mb, not a second one.
+  EXPECT_DEATH(
+      (void)CampaignSpec::parse("memory-mb=2048; memory_mb=65536"),
+      "axis \"memory-mb\" twice");
+}
+
+TEST(CampaignSpecDeath, BadItemsAreRejectedWithTheAxisName) {
+  EXPECT_DEATH((void)CampaignSpec::parse("seeds=banana"),
+               "\"seeds\".*not a whole number");
+  EXPECT_DEATH((void)CampaignSpec::parse("seeds=4..1"), "runs backwards");
+  EXPECT_DEATH((void)CampaignSpec::parse("cores=0"),
+               "not a positive integer");
+  EXPECT_DEATH((void)CampaignSpec::parse("memory-mb=-4"),
+               "not a positive number");
+  EXPECT_DEATH((void)CampaignSpec::parse("cores="), "has no items");
+}
+
+TEST(CampaignSpecDeath, UnknownSchedulerScenarioOrOverrideAborts) {
+  EXPECT_DEATH((void)CampaignSpec::parse("schedulers=ours/warp-speed"),
+               "");
+  EXPECT_DEATH((void)CampaignSpec::parse("scenarios=starlight"), "");
+  EXPECT_DEATH(
+      (void)CampaignSpec::parse("override:warp_factor=1"),
+      "unknown experiment override \"warp_factor\"");
+  EXPECT_DEATH(
+      (void)CampaignSpec::parse("override:history_window=0"),
+      "out of range");
+}
+
+TEST(CampaignSpecDeath, EmptyAxesAreRejected) {
+  CampaignSpec spec;
+  spec.seeds.clear();
+  EXPECT_DEATH((void)spec.normalized(), "no seeds");
+  CampaignSpec spec2;
+  spec2.schedulers.clear();
+  EXPECT_DEATH((void)spec2.normalized(), "no schedulers");
+}
+
+}  // namespace
+}  // namespace whisk::experiments

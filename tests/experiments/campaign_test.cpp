@@ -1,0 +1,213 @@
+// The campaign runner's contracts:
+//   * each cell is byte-identical to the serial run_experiment at the same
+//     ExperimentSpec (the paper-pin acceptance criterion),
+//   * output is invariant under the thread count (1, 2, hardware),
+//   * pipeline sinks see cells in index order regardless of schedule,
+//   * group pooling reproduces the serial run_repetitions pooling.
+#include "experiments/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiments/runner.h"
+#include "metrics/csv.h"
+#include "metrics/sink.h"
+#include "util/thread_pool.h"
+
+namespace whisk::experiments {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  // 2 schedulers x 2 scenarios x 2 seeds = 8 quick cells.
+  static CampaignSpec small_grid() {
+    return CampaignSpec::parse(
+        "schedulers=baseline/fifo,ours/sept; "
+        "scenarios=uniform?intensity=30,fixed-total?total=110; "
+        "seeds=0..1; cores=5");
+  }
+
+  workload::FunctionCatalog cat_ = workload::sebs_catalog();
+};
+
+TEST_F(CampaignTest, CellsAreByteIdenticalToTheSerialRunner) {
+  const auto spec = small_grid();
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.retain_records = true;
+  const auto result = run_campaign(spec, cat_, opts);
+  ASSERT_EQ(result.cells.size(), spec.size());
+
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto cell = spec.cell(i);
+    const auto serial = run_experiment(cell.spec, cat_);
+    // The full record CSV — every timestamp of every call — matches the
+    // serial path byte for byte.
+    EXPECT_EQ(metrics::to_csv(result.cells[i].records, cat_),
+              metrics::to_csv(serial.records, cat_))
+        << "cell " << i;
+    EXPECT_EQ(result.cells[i].responses, serial.responses);
+    EXPECT_EQ(result.cells[i].stretches, serial.stretches);
+    EXPECT_DOUBLE_EQ(result.cells[i].max_completion, serial.max_completion);
+    EXPECT_EQ(result.cells[i].stats.cold_starts, serial.stats.cold_starts);
+  }
+}
+
+TEST_F(CampaignTest, OutputIsInvariantUnderThreadCount) {
+  const auto spec = small_grid();
+  auto run_at = [&](int threads) {
+    CampaignOptions opts;
+    opts.threads = threads;
+    std::ostringstream records;
+    metrics::MetricsPipeline pipeline;
+    pipeline.emplace<metrics::CsvSink>(records, cat_);
+    opts.pipeline = &pipeline;
+    const auto result = run_campaign(spec, cat_, opts);
+    // Aggregated per-cell CSV + the streamed full-record CSV.
+    return cells_csv(result) + "\n---\n" + cells_jsonl(result) + "\n---\n" +
+           records.str();
+  };
+  const std::string at1 = run_at(1);
+  const std::string at2 = run_at(2);
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at2);
+  const int hw = util::ThreadPool::hardware_threads();
+  if (hw > 2) {
+    EXPECT_EQ(at1, run_at(hw));
+  }
+  EXPECT_EQ(at1, run_at(0)) << "0 = auto thread count";
+}
+
+TEST_F(CampaignTest, PipelineSeesCellsInIndexOrder) {
+  const auto spec = small_grid();
+  CampaignOptions opts;
+  opts.threads = 2;
+
+  // A sink that records the cell field of every begin_run.
+  struct OrderSink final : metrics::Sink {
+    std::vector<std::string> cells;
+    void begin_run(const metrics::RunContext& ctx) override {
+      for (const auto& field : ctx.fields) {
+        if (field.key == "cell") cells.push_back(field.value);
+      }
+    }
+    void on_record(const metrics::CallRecord&) override {}
+  };
+  metrics::MetricsPipeline pipeline;
+  auto* order = pipeline.emplace<OrderSink>();
+  opts.pipeline = &pipeline;
+  (void)run_campaign(spec, cat_, opts);
+
+  ASSERT_EQ(order->cells.size(), spec.size());
+  for (std::size_t i = 0; i < order->cells.size(); ++i) {
+    EXPECT_EQ(order->cells[i], std::to_string(i));
+  }
+}
+
+TEST_F(CampaignTest, GroupPoolingMatchesSerialRepetitions) {
+  CampaignSpec spec;
+  spec.schedulers = {SchedulerSpec::parse("ours/fifo")};
+  spec.scenarios = {workload::ScenarioSpec::parse("uniform?intensity=30")};
+  spec.cores = {5};
+  spec.seeds = {0, 1, 2};
+  const auto result = run_campaign(spec, cat_, {});
+  ASSERT_EQ(result.group_count(), 1u);
+
+  const auto serial = run_repetitions(
+      ExperimentSpec().cores(5).intensity(30).scheduler("ours/fifo"), cat_,
+      3);
+  std::vector<double> serial_pool;
+  for (const auto& r : serial) {
+    serial_pool.insert(serial_pool.end(), r.responses.begin(),
+                       r.responses.end());
+  }
+  EXPECT_EQ(pooled_responses(result.group(0)), serial_pool);
+}
+
+TEST_F(CampaignTest, GroupsAreContiguousAndSeedOrdered) {
+  const auto spec = small_grid();
+  const auto result = run_campaign(spec, cat_, {});
+  ASSERT_EQ(result.group_count(), 4u);
+  for (std::size_t g = 0; g < result.group_count(); ++g) {
+    const auto cells = result.group(g);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].index, g * 2);
+    EXPECT_EQ(cells[1].index, g * 2 + 1);
+    const auto c0 = spec.cell(cells[0].index);
+    const auto c1 = spec.cell(cells[1].index);
+    EXPECT_EQ(c0.seed_i, 0u);
+    EXPECT_EQ(c1.seed_i, 1u);
+    EXPECT_EQ(c0.scheduler_i, c1.scheduler_i);
+    EXPECT_EQ(c0.scenario_i, c1.scenario_i);
+  }
+  EXPECT_EQ(result.group_label(0),
+            "baseline/fifo/round-robin uniform?intensity=30");
+}
+
+TEST_F(CampaignTest, StreamingSummariesMatchExactOnesWithinTheReservoir) {
+  const auto spec = small_grid();
+  CampaignOptions with_samples;
+  const auto exact = run_campaign(spec, cat_, with_samples);
+  CampaignOptions bounded;
+  bounded.retain_samples = false;  // streaming only
+  const auto streamed = run_campaign(spec, cat_, bounded);
+  for (std::size_t i = 0; i < exact.cells.size(); ++i) {
+    EXPECT_TRUE(streamed.cells[i].responses.empty());
+    const auto e = exact.cells[i].response_summary();
+    const auto s = streamed.cells[i].response_summary();
+    // 165/110 calls per cell fit the 4096-entry reservoir: quantiles exact.
+    EXPECT_EQ(s.count, e.count);
+    EXPECT_DOUBLE_EQ(s.p50, e.p50);
+    EXPECT_DOUBLE_EQ(s.p95, e.p95);
+    EXPECT_NEAR(s.mean, e.mean, 1e-12);
+  }
+}
+
+TEST_F(CampaignTest, ProgressReportsEveryCellOnce) {
+  const auto spec = small_grid();
+  CampaignOptions opts;
+  opts.threads = 2;
+  std::vector<std::size_t> done_values;
+  opts.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, spec.size());
+    done_values.push_back(done);
+  };
+  (void)run_campaign(spec, cat_, opts);
+  ASSERT_EQ(done_values.size(), spec.size());
+  // Serialized under the campaign lock: monotone 1..N.
+  for (std::size_t i = 0; i < done_values.size(); ++i) {
+    EXPECT_EQ(done_values[i], i + 1);
+  }
+}
+
+TEST_F(CampaignTest, CellsCsvQuotesSpecsWithCommas) {
+  // Comma-bearing scenario values cannot ride a grid string but are legal
+  // on the struct; the per-cell CSV must quote them, not shift columns.
+  CampaignSpec spec;
+  spec.scenarios = {workload::ScenarioSpec::parse(
+      "poisson?rate=2&mix=weighted&weights=1,1,1,1,1,1,1,1,1,1,1")};
+  spec.cores = {5};
+  spec.seeds = {0};
+  const auto result = run_campaign(spec, cat_, {});
+  const std::string csv = cells_csv(result);
+  EXPECT_NE(
+      csv.find(
+          "\"poisson?mix=weighted&rate=2&weights=1,1,1,1,1,1,1,1,1,1,1\","),
+      std::string::npos)
+      << csv;
+}
+
+TEST_F(CampaignTest, PooledHelpersNeedRetainedSamples) {
+  CampaignSpec spec;
+  spec.scenarios = {workload::ScenarioSpec::parse("uniform?intensity=30")};
+  spec.cores = {5};
+  spec.seeds = {0};
+  CampaignOptions opts;
+  opts.retain_samples = false;
+  const auto result = run_campaign(spec, cat_, opts);
+  EXPECT_DEATH((void)pooled_responses(result.group(0)), "retain_samples");
+}
+
+}  // namespace
+}  // namespace whisk::experiments

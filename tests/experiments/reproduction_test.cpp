@@ -4,12 +4,15 @@
 // for the full measured-vs-paper record.
 //
 // To keep test time low the shapes are checked with 2 seeds; the bench
-// binaries run the full 5-seed versions.
+// binaries run the full 5-seed versions. The sweeps run through
+// run_campaign on 2 worker threads — the same numbers as the serial path
+// (campaign determinism contract), plus free coverage of the pool.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <string_view>
 
+#include "experiments/campaign.h"
 #include "experiments/paper_data.h"
 #include "experiments/runner.h"
 #include "util/stats.h"
@@ -21,12 +24,31 @@ class Reproduction : public ::testing::Test {
  protected:
   static constexpr int kReps = 2;
 
+  static CampaignSpec grid(std::vector<SchedulerSpec> schedulers,
+                           const std::string& scenario, int cores,
+                           std::vector<int> nodes = {1}) {
+    CampaignSpec g;
+    g.schedulers = std::move(schedulers);
+    g.scenarios = {workload::ScenarioSpec::parse(scenario)};
+    g.cores = {cores};
+    g.nodes = std::move(nodes);
+    g.seeds = {0, 1};  // kReps
+    return g;
+  }
+
+  CampaignResult run(const CampaignSpec& g, bool records = false) {
+    CampaignOptions opts;
+    opts.threads = 2;
+    opts.retain_records = records;
+    return run_campaign(g, cat_, opts);
+  }
+
   util::Summary responses(int cores, int intensity,
                           const SchedulerSpec& sched) {
-    const auto cfg =
-        ExperimentSpec().cores(cores).intensity(intensity).scheduler(sched);
-    const auto runs = run_repetitions(cfg, cat_, kReps);
-    return util::summarize(pooled_responses(runs));
+    const auto result = run(
+        grid({sched}, "uniform?intensity=" + std::to_string(intensity),
+             cores));
+    return util::summarize(pooled_responses(result.group(0)));
   }
 
   static SchedulerSpec ours(std::string_view policy) {
@@ -93,11 +115,11 @@ TEST_F(Reproduction, Fig2b_OurColdStartsVanishWithMemory) {
 
 TEST_F(Reproduction, Table2_CompletionRatioCrossesOneWithCores) {
   auto ratio = [&](int cores, int intensity) {
-    auto cfg = ExperimentSpec().cores(cores).intensity(intensity);
-    cfg.scheduler(ours("fifo"));
-    const auto fifo = run_repetitions(cfg, cat_, kReps);
-    cfg.scheduler(baseline());
-    const auto base = run_repetitions(cfg, cat_, kReps);
+    const auto result = run(
+        grid({ours("fifo"), baseline()},
+             "uniform?intensity=" + std::to_string(intensity), cores));
+    const auto fifo = result.group(0);
+    const auto base = result.group(1);
     double sum = 0.0;
     for (std::size_t i = 0; i < fifo.size(); ++i) {
       sum += fifo[i].max_completion / base[i].max_completion;
@@ -162,13 +184,12 @@ TEST_F(Reproduction, Fig3_FifoImprovementGrowsWithIntensity) {
 TEST_F(Reproduction, Fig4_StretchImprovementIsLargerThanResponse) {
   // Paper: stretch improvements (14.9x SEPT, 18x FC vs FIFO) exceed the
   // response improvements because short calls dominate the stretch.
-  auto cfg = ExperimentSpec().cores(10).intensity(60);
-  cfg.scheduler(ours("fifo"));
-  const auto fifo = util::summarize(
-      pooled_stretches(run_repetitions(cfg, cat_, kReps)));
-  cfg.scheduler(ours("sept"));
-  const auto sept = util::summarize(
-      pooled_stretches(run_repetitions(cfg, cat_, kReps)));
+  auto stretch = [&](const SchedulerSpec& sched) {
+    const auto result = run(grid({sched}, "uniform?intensity=60", 10));
+    return util::summarize(pooled_stretches(result.group(0)));
+  };
+  const auto fifo = stretch(ours("fifo"));
+  const auto sept = stretch(ours("sept"));
   EXPECT_GT(fifo.mean / sept.mean, 5.0);
 }
 
@@ -182,17 +203,15 @@ TEST_F(Reproduction, Fig4_SeptKeepsShortCallsNearIdleLatency) {
 TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
   const auto dna = *cat_.find("dna-visualisation");
   auto dna_stretch = [&](std::string_view policy) {
-    const auto cfg = ExperimentSpec()
-                         .cores(10)
-                         .intensity(90)
-                         .scenario("fairness?rare-function="
-                                   "dna-visualisation&rare-calls=10")
-                         .scheduler(SchedulerSpec{"ours",
-                                                  std::string(policy)});
-    const auto runs = run_repetitions(cfg, cat_, kReps);
+    const auto result =
+        run(grid({SchedulerSpec{"ours", std::string(policy)}},
+                 "fairness?intensity=90&rare-function=dna-visualisation&"
+                 "rare-calls=10",
+                 10),
+            /*records=*/true);
     std::vector<double> pool;
-    for (const auto& run : runs) {
-      for (const auto& rec : run.records) {
+    for (const auto& cell : result.group(0)) {
+      for (const auto& rec : cell.records) {
         if (rec.function == dna) {
           pool.push_back(rec.response() / cat_.reference_median(dna));
         }
@@ -212,17 +231,15 @@ TEST_F(Reproduction, Fig5_FcFairToRareLongFunction) {
 }
 
 TEST_F(Reproduction, Fig6_FcOnThreeNodesBeatsBaselineOnFour) {
-  auto multi = [&](int nodes, bool use_baseline) {
-    const auto cfg = ExperimentSpec()
-                         .cores(18)
-                         .nodes(nodes)
-                         .scenario("fixed-total?total=2376")
-                         .scheduler(use_baseline ? baseline() : ours("fc"));
-    const auto runs = run_repetitions(cfg, cat_, kReps);
-    return util::summarize(pooled_responses(runs));
+  // One campaign over both schedulers and every fleet size.
+  const auto result = run(grid({baseline(), ours("fc")},
+                               "fixed-total?total=2376", 18, {4, 3, 2}));
+  auto multi = [&](std::size_t sched_i, std::size_t nodes_i) {
+    return util::summarize(pooled_responses(
+        result.group(result.spec.group_index(sched_i, 0, nodes_i))));
   };
-  const auto base4 = multi(4, true);
-  const auto fc3 = multi(3, false);
+  const auto base4 = multi(0, 0);
+  const auto fc3 = multi(1, 1);
   // The paper's headline: every reported statistic improves.
   EXPECT_LT(fc3.mean, base4.mean);
   EXPECT_LT(fc3.p75, base4.p75);
@@ -231,24 +248,20 @@ TEST_F(Reproduction, Fig6_FcOnThreeNodesBeatsBaselineOnFour) {
   // And FC-2 remains in the baseline-4 ballpark on average while clearly
   // winning on p75 (paper: 58% / 93% reductions; our baseline-4 is less
   // melted than the paper's, so the average margin is thinner).
-  const auto fc2 = multi(2, false);
+  const auto fc2 = multi(1, 2);
   EXPECT_LT(fc2.mean, base4.mean * 1.25);
   EXPECT_LT(fc2.p75, base4.p75);
 }
 
 TEST_F(Reproduction, MultiNode_BaselineScalesWithNodes) {
-  auto avg = [&](int nodes) {
-    const auto cfg = ExperimentSpec()
-                         .cores(10)
-                         .nodes(nodes)
-                         .scenario("fixed-total?total=1320")
-                         .scheduler(baseline());
-    const auto runs = run_repetitions(cfg, cat_, kReps);
-    return util::summarize(pooled_responses(runs)).mean;
+  const auto result = run(
+      grid({baseline()}, "fixed-total?total=1320", 10, {1, 2, 4}));
+  auto avg = [&](std::size_t nodes_i) {
+    return util::summarize(pooled_responses(result.group(nodes_i))).mean;
   };
   // More machines always help the baseline (Table V).
+  EXPECT_GT(avg(0), avg(1));
   EXPECT_GT(avg(1), avg(2));
-  EXPECT_GT(avg(2), avg(4));
 }
 
 }  // namespace

@@ -81,11 +81,18 @@ TEST_F(RunnerTest, RepetitionsUseDistinctSeeds) {
   EXPECT_NE(reps[1].responses, reps[2].responses);
 }
 
-TEST_F(RunnerTest, PooledVectorsConcatenate) {
-  const auto cfg = ExperimentSpec().cores(5).intensity(30);
+TEST_F(RunnerTest, RepetitionsDeriveSeedsFromTheBaseSeed) {
+  // The old implementation clobbered the caller's seed with 0..reps-1;
+  // the contract is now spec.seed() + r.
+  auto cfg = ExperimentSpec().cores(5).intensity(30).seed(3);
   const auto reps = run_repetitions(cfg, cat_, 2);
-  EXPECT_EQ(pooled_responses(reps).size(), 330u);
-  EXPECT_EQ(pooled_stretches(reps).size(), 330u);
+  ASSERT_EQ(reps.size(), 2u);
+  cfg.seed(3);
+  const auto at3 = run_experiment(cfg, cat_);
+  cfg.seed(4);
+  const auto at4 = run_experiment(cfg, cat_);
+  EXPECT_EQ(reps[0].responses, at3.responses);
+  EXPECT_EQ(reps[1].responses, at4.responses);
 }
 
 TEST_F(RunnerTest, NodeParamOverridesApply) {

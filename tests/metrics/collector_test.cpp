@@ -67,6 +67,22 @@ TEST_F(CollectorTest, PerFunctionFiltering) {
   EXPECT_EQ(col_.stretches_of(b).size(), 1u);
 }
 
+TEST_F(CollectorTest, PerFunctionQueriesPreserveInsertionOrder) {
+  // The per-function index must return exactly what the old full scans
+  // returned: values in insertion order, interleavings untangled.
+  const auto a = *cat_.find("graph-bfs");
+  const auto b = *cat_.find("sleep");
+  col_.add(rec(0, a, 0.0, 3.0));
+  col_.add(rec(1, b, 0.0, 9.0));
+  col_.add(rec(2, a, 0.0, 1.0));
+  col_.add(rec(3, a, 0.0, 2.0));
+  EXPECT_EQ(col_.response_times_of(a), (std::vector<double>{3.0, 1.0, 2.0}));
+  EXPECT_EQ(col_.response_times_of(b), (std::vector<double>{9.0}));
+  // Unknown / never-seen functions answer empty, not out-of-bounds.
+  EXPECT_TRUE(col_.response_times_of(workload::kInvalidFunction).empty());
+  EXPECT_EQ(col_.calls_of(static_cast<workload::FunctionId>(10000)), 0u);
+}
+
 TEST_F(CollectorTest, MaxCompletion) {
   col_.add(rec(0, 0, 0.0, 5.0));
   col_.add(rec(1, 1, 0.0, 17.5));

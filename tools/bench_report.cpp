@@ -19,7 +19,9 @@
 #include "../bench/engine_churn.h"
 #include "../bench/reference_engine.h"
 #include "core/history.h"
+#include "experiments/campaign.h"
 #include "sim/engine.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -59,10 +61,30 @@ long peak_rss_kb() {
   return usage.ru_maxrss;  // KiB on Linux
 }
 
+// The end-to-end experiment grid the campaign layer is benchmarked on:
+// 2 schedulers x 4 seeds of the small paper configuration (5 cores,
+// intensity 30). Returns the number of cells run.
+std::size_t run_campaign_workload(const whisk::workload::FunctionCatalog& cat,
+                                  int threads) {
+  whisk::experiments::CampaignSpec grid;
+  grid.schedulers = {
+      whisk::experiments::SchedulerSpec::parse("baseline/fifo"),
+      whisk::experiments::SchedulerSpec::parse("ours/sept")};
+  grid.scenarios = {
+      whisk::workload::ScenarioSpec::parse("uniform?intensity=30")};
+  grid.cores = {5};
+  grid.seeds = {0, 1, 2, 3};
+  whisk::experiments::CampaignOptions opts;
+  opts.threads = threads;
+  opts.retain_samples = false;  // the production big-sweep configuration
+  const auto result = whisk::experiments::run_campaign(grid, cat, opts);
+  return result.cells.size();
+}
+
 void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
           Measurement seed_churn, Measurement new_drain,
-          Measurement seed_drain, Measurement new_hist,
-          Measurement seed_hist) {
+          Measurement seed_drain, Measurement new_hist, Measurement seed_hist,
+          Measurement camp_1t, Measurement camp_mt, int camp_threads) {
   auto block = [out](const char* name, const Measurement& m,
                      const char* trailer) {
     std::fprintf(out,
@@ -89,6 +111,15 @@ void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
   block("seed", seed_hist, ",");
   std::fprintf(out, "    \"speedup\": %.2f\n",
                new_hist.events_per_sec / seed_hist.events_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"campaign\": {\n");
+  std::fprintf(out,
+               "    \"cells\": %zu, \"cells_per_sec_1t\": %.2f, "
+               "\"cells_per_sec_mt\": %.2f, \"threads\": %d,\n",
+               camp_1t.events, camp_1t.events_per_sec, camp_mt.events_per_sec,
+               camp_threads);
+  std::fprintf(out, "    \"parallel_speedup\": %.2f\n",
+               camp_mt.events_per_sec / camp_1t.events_per_sec);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"peak_rss_kb\": %ld\n", peak_rss_kb());
   std::fprintf(out, "}\n");
@@ -135,15 +166,26 @@ int main(int argc, char** argv) {
     return kHistoryCalls;
   });
 
+  const auto cat = whisk::workload::sebs_catalog();
+  const int camp_threads = whisk::util::ThreadPool::hardware_threads();
+  std::fprintf(stderr, "measuring campaign cells/sec (1 thread)...\n");
+  const auto camp_1t =
+      measure([&cat] { return run_campaign_workload(cat, 1); }, 1.0);
+  std::fprintf(stderr, "measuring campaign cells/sec (%d threads)...\n",
+               camp_threads);
+  const auto camp_mt = measure(
+      [&cat, camp_threads] { return run_campaign_workload(cat, camp_threads); },
+      1.0);
+
   emit(stdout, "engine_hot_path", new_churn, seed_churn, new_drain,
-       seed_drain, new_hist, seed_hist);
+       seed_drain, new_hist, seed_hist, camp_1t, camp_mt, camp_threads);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
   emit(f, "engine_hot_path", new_churn, seed_churn, new_drain, seed_drain,
-       new_hist, seed_hist);
+       new_hist, seed_hist, camp_1t, camp_mt, camp_threads);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (churn speedup: %.2fx)\n", path.c_str(),
                new_churn.events_per_sec / seed_churn.events_per_sec);

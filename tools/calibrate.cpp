@@ -4,8 +4,9 @@
 #include <cstdio>
 #include <string>
 
-#include "experiments/runner.h"
+#include "experiments/campaign.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 using namespace whisk;
 
@@ -62,31 +63,34 @@ int main(int argc, char** argv) {
       "%5s %4s %-8s | %9s %9s | %9s %9s | %9s %9s | %10s %10s | %6s\n",
       "cores", "int", "sched", "avgR_sim", "avgR_pap", "p50R_sim",
       "p50R_pap", "maxC_sim", "maxC_pap", "avgS_sim", "avgS_pap", "cold");
+  experiments::CampaignOptions opts;
+  opts.threads = util::ThreadPool::hardware_threads();
   for (const auto& t : kTargets) {
-    const auto cfg =
-        experiments::ExperimentSpec()
-            .cores(t.cores)
-            .intensity(t.intensity)
-            .scheduler(std::string(t.scheduler) == "baseline"
-                           ? "baseline/fifo"
-                           : "ours/" + std::string(t.scheduler));
-    const auto runs = experiments::run_repetitions(cfg, cat, reps);
-    const auto rs = experiments::pooled_responses(runs);
-    const auto ss = experiments::pooled_stretches(runs);
-    const auto sum_r = util::summarize(rs);
-    const auto sum_s = util::summarize(ss);
-    double max_c = 0.0;
-    std::size_t cold = 0;
-    for (const auto& r : runs) {
-      max_c = std::max(max_c, r.max_completion);
-      cold += r.stats.cold_starts;
-    }
+    // One single-group campaign per anchor row (the target list is sparse,
+    // not a cross product); the pool still parallelizes over its seeds.
+    experiments::CampaignSpec grid;
+    grid.schedulers = {experiments::SchedulerSpec::parse(
+        std::string(t.scheduler) == "baseline"
+            ? "baseline/fifo"
+            : "ours/" + std::string(t.scheduler))};
+    grid.scenarios = {workload::ScenarioSpec::parse(
+        "uniform?intensity=" + std::to_string(t.intensity))};
+    grid.cores = {t.cores};
+    grid.seeds = experiments::CampaignSpec::first_seeds(reps);
+    const auto result = experiments::run_campaign(grid, cat, opts);
+    const auto cells = result.group(0);
+    const auto sum_r =
+        util::summarize(experiments::pooled_responses(cells));
+    const auto sum_s =
+        util::summarize(experiments::pooled_stretches(cells));
+    const double max_c = experiments::max_completion(cells);
+    const std::size_t cold = experiments::total_stats(cells).cold_starts;
     std::printf(
         "%5d %4d %-8s | %9.2f %9.2f | %9.2f %9.2f | %9.1f %9.1f | %10.1f "
         "%10.1f | %6zu\n",
         t.cores, t.intensity, t.scheduler, sum_r.mean, t.paper_avg_r,
         sum_r.p50, t.paper_p50_r, max_c, t.paper_max_c, sum_s.mean,
-        t.paper_avg_s, cold / runs.size());
+        t.paper_avg_s, cold / cells.size());
   }
   return 0;
 }

@@ -1,7 +1,10 @@
 
 #include <cstdio>
+
+#include "experiments/campaign.h"
 #include "experiments/runner.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 using namespace whisk;
 int main() {
   const auto cat = workload::sebs_catalog();
@@ -13,20 +16,27 @@ int main() {
                 spec.name.c_str(), util::percentile(rs, 5) * 1000, s.p50 * 1000,
                 s.p95 * 1000, spec.median_ms);
   }
-  // Fig 6: 18-core VMs, 2376 requests, 1-4 nodes, baseline vs FC
-  for (int nodes = 4; nodes >= 1; --nodes) {
-    for (int b = 0; b < 2; ++b) {
-      const auto cfg = experiments::ExperimentSpec()
-                           .cores(18)
-                           .nodes(nodes)
-                           .scenario("fixed-total?total=2376")
-                           .scheduler(b == 0 ? "baseline/fifo" : "ours/fc");
-      auto runs = experiments::run_repetitions(cfg, cat, 2);
-      auto rs = experiments::pooled_responses(runs);
-      auto s = util::summarize(rs);
+  // Fig 6: 18-core VMs, 2376 requests, 1-4 nodes, baseline vs FC — one
+  // campaign over (scheduler x fleet size) x 2 seeds.
+  experiments::CampaignSpec grid;
+  grid.schedulers = {experiments::SchedulerSpec::parse("baseline/fifo"),
+                     experiments::SchedulerSpec::parse("ours/fc")};
+  grid.scenarios = {workload::ScenarioSpec::parse("fixed-total?total=2376")};
+  grid.nodes = {4, 3, 2, 1};
+  grid.cores = {18};
+  grid.seeds = {0, 1};
+  experiments::CampaignOptions opts;
+  opts.threads = util::ThreadPool::hardware_threads();
+  const auto result = experiments::run_campaign(grid, cat, opts);
+  for (std::size_t n = 0; n < grid.nodes.size(); ++n) {
+    for (std::size_t b = 0; b < grid.schedulers.size(); ++b) {
+      const auto cells =
+          result.group(grid.group_index(b, 0, /*nodes_i=*/n));
+      const auto s =
+          util::summarize(experiments::pooled_responses(cells));
       std::printf("nodes=%d %-8s avg=%8.1f p75=%8.1f p95=%8.1f p99=%8.1f\n",
-                  nodes, b == 0 ? "baseline" : "FC", s.mean, s.p75, s.p95,
-                  s.p99);
+                  grid.nodes[n], b == 0 ? "baseline" : "FC", s.mean, s.p75,
+                  s.p95, s.p99);
     }
   }
   return 0;

@@ -1,0 +1,229 @@
+// whisk_sweep — run a declarative campaign grid from the command line:
+// grid in, progress out, per-cell and aggregated tables/CSV/JSONL out.
+//
+//   whisk_sweep "schedulers=baseline/fifo,ours/sept;
+//                scenarios=uniform?intensity=30,uniform?intensity=60;
+//                seeds=0..4" --threads 4 --cells-csv cells.csv
+//
+// Output is byte-identical for any --threads value (campaign determinism
+// contract): cells are seeded from their grid coordinates alone and file
+// sinks consume them in cell-index order.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "experiments/campaign.h"
+#include "metrics/sink.h"
+#include "util/parse.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace whisk;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s \"<grid>\" [options]\n"
+      "\n"
+      "grid axes (semicolon-separated `axis=item,item,...`):\n"
+      "  schedulers=invoker[/policy[/balancer]],...\n"
+      "  scenarios=name[?key=value&...],...\n"
+      "  seeds=0..4 | seeds=0,1,7      nodes=1,2   cores=10,20\n"
+      "  memory-mb=2048,32768          override:<knob>=v1,v2\n"
+      "\n"
+      "options:\n"
+      "  --threads N        worker threads (default 1; 0 = all cores)\n"
+      "  --cells-csv F      per-cell summary CSV\n"
+      "  --cells-jsonl F    per-cell summary JSON Lines\n"
+      "  --records-csv F    full per-call record CSV (streamed)\n"
+      "  --records-jsonl F  full per-call record JSON Lines (streamed)\n"
+      "  --no-samples       bounded memory: streaming summaries only\n"
+      "  --reservoir N      quantile reservoir capacity (default 4096)\n"
+      "  --quiet            no progress, no per-cell table\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_text;
+  std::string cells_csv_path;
+  std::string cells_jsonl_path;
+  std::string records_csv_path;
+  std::string records_jsonl_path;
+  experiments::CampaignOptions opts;
+  bool quiet = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", argv[i]);
+      std::exit(usage(argv[0]));
+    }
+    return argv[++i];
+  };
+  // Strict whole number (atoi would turn "--threads four" into 0 silently).
+  auto need_count = [&](int& i) -> int {
+    const char* flag = argv[i];
+    const char* text = need_value(i);
+    unsigned long long value = 0;
+    if (!util::parse_whole_number(text, &value) || value > 1000000) {
+      std::fprintf(stderr, "%s needs a whole number, got \"%s\"\n", flag,
+                   text);
+      std::exit(usage(argv[0]));
+    }
+    return static_cast<int>(value);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0) {
+      opts.threads = need_count(i);
+    } else if (std::strcmp(arg, "--cells-csv") == 0) {
+      cells_csv_path = need_value(i);
+    } else if (std::strcmp(arg, "--cells-jsonl") == 0) {
+      cells_jsonl_path = need_value(i);
+    } else if (std::strcmp(arg, "--records-csv") == 0) {
+      records_csv_path = need_value(i);
+    } else if (std::strcmp(arg, "--records-jsonl") == 0) {
+      records_jsonl_path = need_value(i);
+    } else if (std::strcmp(arg, "--no-samples") == 0) {
+      opts.retain_samples = false;
+    } else if (std::strcmp(arg, "--reservoir") == 0) {
+      const int cap = need_count(i);
+      if (cap == 0) {
+        std::fprintf(stderr, "--reservoir needs a value > 0\n");
+        return usage(argv[0]);
+      }
+      opts.reservoir_capacity = static_cast<std::size_t>(cap);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      return usage(argv[0]);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg);
+      return usage(argv[0]);
+    } else if (grid_text.empty()) {
+      grid_text = arg;
+    } else {
+      std::fprintf(stderr, "more than one grid argument\n");
+      return usage(argv[0]);
+    }
+  }
+  if (grid_text.empty()) return usage(argv[0]);
+
+  const auto cat = workload::sebs_catalog();
+  const auto spec = experiments::CampaignSpec::parse(grid_text);
+  const std::size_t total = spec.size();
+  const int threads = opts.threads == 0
+                          ? util::ThreadPool::hardware_threads()
+                          : opts.threads;
+  if (!quiet) {
+    std::fprintf(stderr, "campaign: %s\n", spec.to_string().c_str());
+    std::fprintf(stderr, "cells: %zu (%zu groups x %zu seeds), threads: %d\n",
+                 total, spec.group_count(), spec.seeds_per_group(), threads);
+  }
+
+  // Per-record streaming sinks, fed in cell order while the campaign runs.
+  metrics::MetricsPipeline pipeline;
+  std::ofstream records_csv;
+  std::ofstream records_jsonl;
+  if (!records_csv_path.empty()) {
+    records_csv.open(records_csv_path);
+    if (!records_csv) {
+      std::fprintf(stderr, "cannot write %s\n", records_csv_path.c_str());
+      return 1;
+    }
+    pipeline.emplace<metrics::CsvSink>(records_csv, cat);
+  }
+  if (!records_jsonl_path.empty()) {
+    records_jsonl.open(records_jsonl_path);
+    if (!records_jsonl) {
+      std::fprintf(stderr, "cannot write %s\n", records_jsonl_path.c_str());
+      return 1;
+    }
+    pipeline.emplace<metrics::JsonlSink>(records_jsonl, cat);
+  }
+  if (pipeline.size() > 0) opts.pipeline = &pipeline;
+
+  if (!quiet) {
+    const std::size_t step = total <= 100 ? 1 : total / 100;
+    opts.progress = [step, total](std::size_t done, std::size_t all) {
+      if (done % step == 0 || done == all) {
+        std::fprintf(stderr, "\r[%zu/%zu] cells done", done, total);
+        if (done == all) std::fprintf(stderr, "\n");
+      }
+    };
+  }
+
+  const auto result = experiments::run_campaign(spec, cat, opts);
+
+  // Per-cell table (small grids only; the CSV/JSONL carry the full detail).
+  if (!quiet && total <= 64) {
+    util::Table table({"cell", "label", "calls", "avg R", "p50 R", "p95 R",
+                       "avg S", "max c(i)", "cold"});
+    for (const auto& cell : result.cells) {
+      const auto r = cell.response_summary();
+      const auto s = cell.stretch_summary();
+      table.add_row({std::to_string(cell.index),
+                     spec.label(spec.cell(cell.index)),
+                     std::to_string(cell.calls), util::fmt(r.mean),
+                     util::fmt(r.p50), util::fmt(r.p95), util::fmt(s.mean, 1),
+                     util::fmt(cell.max_completion),
+                     std::to_string(cell.stats.cold_starts)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Aggregated per-group table (seeds pooled).
+  util::Table agg({"group", "seeds", "calls", "avg R", "p50 R", "p95 R",
+                   "p99 R", "avg S", "p50 S", "max c(i)", "cold"});
+  for (std::size_t g = 0; g < result.group_count(); ++g) {
+    const auto cells = result.group(g);
+    const util::Summary r =
+        opts.retain_samples
+            ? util::summarize(experiments::pooled_responses(cells))
+            : experiments::aggregate_responses(cells).summary();
+    const util::Summary s =
+        opts.retain_samples
+            ? util::summarize(experiments::pooled_stretches(cells))
+            : experiments::aggregate_stretches(cells).summary();
+    const auto stats = experiments::total_stats(cells);
+    agg.add_row({result.group_label(g), std::to_string(cells.size()),
+                 std::to_string(r.count), util::fmt(r.mean),
+                 util::fmt(r.p50), util::fmt(r.p95), util::fmt(r.p99),
+                 util::fmt(s.mean, 1), util::fmt(s.p50, 1),
+                 util::fmt(experiments::max_completion(cells)),
+                 std::to_string(stats.cold_starts)});
+  }
+  std::printf("%s", agg.to_string().c_str());
+
+  if (!cells_csv_path.empty()) {
+    std::ofstream out(cells_csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cells_csv_path.c_str());
+      return 1;
+    }
+    out << experiments::cells_csv(result);
+    if (!quiet) {
+      std::fprintf(stderr, "wrote %s\n", cells_csv_path.c_str());
+    }
+  }
+  if (!cells_jsonl_path.empty()) {
+    std::ofstream out(cells_jsonl_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cells_jsonl_path.c_str());
+      return 1;
+    }
+    out << experiments::cells_jsonl(result);
+    if (!quiet) {
+      std::fprintf(stderr, "wrote %s\n", cells_jsonl_path.c_str());
+    }
+  }
+  return 0;
+}
