@@ -111,7 +111,7 @@ void run_balancer_sweep(const workload::FunctionCatalog& catalog) {
     cluster::ClusterParams params;
     params.policy = "sept";
     params.balancer = name;  // <- string-selected, including the new ones
-    params.num_nodes = 4;
+    params.deployment = cluster::ClusterSpec::homogeneous(4);
     params.node.cores = 2;
 
     cluster::Cluster cluster(engine, catalog, params, /*seed=*/11);

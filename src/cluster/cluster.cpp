@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+
 #include "node/invoker_registry.h"
 #include "util/check.h"
 
@@ -11,29 +13,118 @@ Cluster::Cluster(sim::Engine& engine,
     : engine_(&engine),
       catalog_(&catalog),
       params_(params),
-      collector_(catalog) {
-  WHISK_CHECK(params_.num_nodes > 0, "cluster needs at least one node");
-  sim::Rng root(seed);
+      collector_(catalog),
+      node_seed_root_(seed) {
+  params_.deployment = params_.deployment.normalized();
+  WHISK_CHECK(params_.deployment.initial_nodes() > 0,
+              "cluster needs at least one node");
   // The balancer gets its own tagged stream so randomized balancers vary
   // across repetition seeds; the built-in deterministic ones ignore it.
   balancer_ = make_balancer(
       params_.balancer,
-      BalancerParams{root.fork(sim::hash_tag("balancer")).next_u64()});
-  auto delivery = [this](const metrics::CallRecord& rec) { deliver(rec); };
-  for (int i = 0; i < params_.num_nodes; ++i) {
-    sim::Rng node_rng = root.fork(sim::hash_tag("node") + i);
-    auto inv = node::InvokerRegistry::instance().create(
-        params_.invoker,
-        node::InvokerArgs{engine, catalog, params_.node, node_rng, delivery,
-                          params_.policy});
-    inv->set_node_index(i);
-    invokers_.push_back(std::move(inv));
-    invoker_ptrs_.push_back(invokers_.back().get());
+      BalancerParams{
+          node_seed_root_.fork(sim::hash_tag("balancer")).next_u64()});
+  group_members_.resize(params_.deployment.groups.size());
+  for (std::size_t g = 0; g < params_.deployment.groups.size(); ++g) {
+    for (int j = 0; j < params_.deployment.groups[g].count; ++j) {
+      add_node(g);
+    }
+  }
+  rebuild_view();
+  for (const LifecycleEvent& event : params_.deployment.events) {
+    engine_->schedule_at(event.time,
+                         [this, event] { apply_lifecycle(event); });
   }
 }
 
+std::size_t Cluster::add_node(std::size_t group) {
+  const std::size_t index = nodes_.size();
+  // Per-node streams are tagged by the *global* node index, so the initial
+  // fleet forks exactly as the homogeneous pre-ClusterSpec cluster did and
+  // joined nodes draw fresh independent streams.
+  sim::Rng node_rng = node_seed_root_.fork(sim::hash_tag("node") + index);
+  auto delivery = [this](const metrics::CallRecord& rec) { deliver(rec); };
+  auto inv = node::InvokerRegistry::instance().create(
+      params_.invoker,
+      node::InvokerArgs{
+          *engine_, *catalog_,
+          params_.deployment.node_params(group, params_.node), node_rng,
+          delivery, params_.policy});
+  inv->set_node_index(static_cast<int>(index));
+  // Per-call in-flight bookkeeping backs fail re-submission and drained
+  // detection; churn-free deployments skip its hot-path cost entirely.
+  if (params_.deployment.has_disruptive_events()) {
+    inv->enable_in_flight_tracking();
+  }
+  NodeSlot slot;
+  slot.invoker = std::move(inv);
+  slot.group = group;
+  nodes_.push_back(std::move(slot));
+  group_members_[group].push_back(index);
+  return index;
+}
+
+void Cluster::rebuild_view() {
+  std::vector<NodeRef> refs;
+  refs.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeSlot& slot = nodes_[i];
+    if (slot.state != NodeState::kActive) continue;
+    refs.push_back(NodeRef{slot.invoker.get(), i, slot.group});
+  }
+  view_ = NodeView(std::move(refs));
+}
+
+std::size_t Cluster::resolve_node(const LifecycleEvent& event) const {
+  const std::size_t g = params_.deployment.group_index(event.group);
+  const auto& members = group_members_[g];
+  WHISK_CHECK(
+      event.node >= 0 &&
+          static_cast<std::size_t>(event.node) < members.size(),
+      ("cluster lifecycle event targets node " + std::to_string(event.node) +
+       " of group \"" + event.group + "\", which has only " +
+       std::to_string(members.size()) + " node(s) at t=" +
+       std::to_string(event.time) + " (joins later in the schedule?)")
+          .c_str());
+  return members[static_cast<std::size_t>(event.node)];
+}
+
+void Cluster::apply_lifecycle(const LifecycleEvent& event) {
+  switch (event.kind) {
+    case LifecycleKind::kJoin: {
+      const std::size_t g = params_.deployment.group_index(event.group);
+      add_node(g);  // joins cold: no warm-up, empty pool
+      break;
+    }
+    case LifecycleKind::kDrain: {
+      NodeSlot& slot = nodes_[resolve_node(event)];
+      WHISK_CHECK(slot.state == NodeState::kActive,
+                  ("drain of group \"" + event.group + "\" node " +
+                   std::to_string(event.node) + ": node is not active")
+                      .c_str());
+      slot.state = NodeState::kDraining;
+      break;
+    }
+    case LifecycleKind::kFail: {
+      NodeSlot& slot = nodes_[resolve_node(event)];
+      WHISK_CHECK(slot.state != NodeState::kFailed,
+                  ("fail of group \"" + event.group + "\" node " +
+                   std::to_string(event.node) + ": node already failed")
+                      .c_str());
+      slot.state = NodeState::kFailed;
+      // The controller re-routes everything the node had received but not
+      // answered, after the failure-detection delay.
+      for (const workload::CallRequest& call : slot.invoker->shutdown()) {
+        resubmit(call);
+      }
+      break;
+    }
+  }
+  rebuild_view();
+}
+
 void Cluster::warmup() {
-  for (auto& inv : invokers_) inv->warmup();
+  for (const NodeSlot& slot : nodes_) slot.invoker->warmup();
 }
 
 void Cluster::run_scenario(const workload::Scenario& scenario) {
@@ -47,17 +138,46 @@ void Cluster::run_scenario(const workload::Scenario& scenario) {
 void Cluster::submit_to_controller(const workload::CallRequest& call) {
   // The controller routes the invocation to a worker; the invoker pulls it
   // from Kafka one hop later (that pull time is r'(i)).
-  const std::size_t target = balancer_->pick(call, invoker_ptrs_);
-  WHISK_CHECK(target < invokers_.size(), "balancer picked a bad index");
-  engine_->schedule_in(params_.controller_to_invoker_s, [this, call, target] {
-    invokers_[target]->submit(call);
-  });
+  WHISK_CHECK(!view_.empty(),
+              "no routable nodes: every node is draining, drained or "
+              "failed while calls are still arriving");
+  const std::size_t pick = balancer_->pick(call, view_);
+  WHISK_CHECK(pick < view_.size(), "balancer picked a bad index");
+  const std::size_t target = view_[pick].node_index;
+  ++nodes_[target].in_transit;
+  engine_->schedule_in(params_.controller_to_invoker_s,
+                       [this, call, target] { arrive_at_node(call, target); });
+}
+
+void Cluster::arrive_at_node(const workload::CallRequest& call,
+                             std::size_t target) {
+  NodeSlot& slot = nodes_[target];
+  WHISK_CHECK(slot.in_transit > 0, "in-transit accounting underflow");
+  --slot.in_transit;
+  if (slot.state == NodeState::kFailed) {
+    // The node died while the call was on the wire; the controller notices
+    // and re-routes. Draining nodes still accept what was already routed.
+    resubmit(call);
+    return;
+  }
+  slot.invoker->submit(call);
+}
+
+void Cluster::resubmit(const workload::CallRequest& call) {
+  ++resubmissions_;
+  ++resubmitted_[call.id];
+  engine_->schedule_in(params_.resubmit_delay_s,
+                       [this, call] { submit_to_controller(call); });
 }
 
 void Cluster::deliver(const metrics::CallRecord& record) {
   // Response travels back to the blocking HTTP client; c(i) is stamped on
   // arrival there.
   metrics::CallRecord rec = record;
+  if (!resubmitted_.empty()) {
+    const auto it = resubmitted_.find(rec.id);
+    if (it != resubmitted_.end()) rec.attempts = 1 + it->second;
+  }
   engine_->schedule_in(params_.response_return_s, [this, rec]() mutable {
     rec.completion = engine_->now();
     collector_.add(rec);
@@ -65,27 +185,54 @@ void Cluster::deliver(const metrics::CallRecord& record) {
 }
 
 node::Invoker& Cluster::invoker(std::size_t i) {
-  WHISK_CHECK(i < invokers_.size(), "invoker index out of range");
-  return *invokers_[i];
+  WHISK_CHECK(i < nodes_.size(), "invoker index out of range");
+  return *nodes_[i].invoker;
 }
 
 const node::Invoker& Cluster::invoker(std::size_t i) const {
-  WHISK_CHECK(i < invokers_.size(), "invoker index out of range");
-  return *invokers_[i];
+  WHISK_CHECK(i < nodes_.size(), "invoker index out of range");
+  return *nodes_[i].invoker;
+}
+
+NodeState Cluster::node_state(std::size_t i) const {
+  WHISK_CHECK(i < nodes_.size(), "node index out of range");
+  const NodeSlot& slot = nodes_[i];
+  // in_flight() covers everything received and not yet delivered (queued,
+  // executing, post-processing); in_transit covers calls routed before the
+  // drain but still on the wire.
+  if (slot.state == NodeState::kDraining && slot.invoker->in_flight() == 0 &&
+      slot.in_transit == 0) {
+    return NodeState::kDrained;
+  }
+  return slot.state;
+}
+
+std::size_t Cluster::node_group(std::size_t i) const {
+  WHISK_CHECK(i < nodes_.size(), "node index out of range");
+  return nodes_[i].group;
 }
 
 node::InvokerStats Cluster::total_stats() const {
   node::InvokerStats total;
-  for (const auto& inv : invokers_) {
-    const auto& s = inv->stats();
-    total.calls_received += s.calls_received;
-    total.calls_completed += s.calls_completed;
-    total.cold_starts += s.cold_starts;
-    total.prewarm_starts += s.prewarm_starts;
-    total.warm_starts += s.warm_starts;
-    total.evictions += s.evictions;
-  }
+  for (const NodeSlot& slot : nodes_) total.merge(slot.invoker->stats());
   return total;
+}
+
+std::vector<GroupStats> Cluster::group_stats() const {
+  std::vector<GroupStats> out;
+  out.reserve(params_.deployment.groups.size());
+  for (std::size_t g = 0; g < params_.deployment.groups.size(); ++g) {
+    GroupStats group;
+    group.name = params_.deployment.groups[g].name;
+    for (const std::size_t i : group_members_[g]) {
+      const NodeSlot& slot = nodes_[i];
+      ++group.nodes;
+      if (slot.state == NodeState::kActive) ++group.active;
+      group.stats.merge(slot.invoker->stats());
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
 }
 
 }  // namespace whisk::cluster

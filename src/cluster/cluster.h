@@ -2,8 +2,10 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "cluster/cluster_spec.h"
 #include "cluster/load_balancer.h"
 #include "metrics/collector.h"
 #include "node/invoker.h"
@@ -27,26 +29,72 @@ struct ClusterParams {
   // "least-loaded", "weighted-least-loaded", "join-idle-queue", ...).
   std::string balancer = "round-robin";
 
-  int num_nodes = 1;
-  node::NodeParams node;  // identical workers, as in the paper
+  // The fleet: heterogeneous node groups, keep-alive policy and scheduled
+  // lifecycle events. ClusterSpec::homogeneous(n) reproduces the paper's
+  // "n identical workers"; the default is one node.
+  ClusterSpec deployment;
+  // Base per-node model constants; each group applies its overrides (and
+  // the deployment's keep-alive) on top.
+  node::NodeParams node;
 
   // Request-path latencies (the ~10 ms client-observable overhead of
   // Table I splits across these plus the node-side idle op costs).
   double client_to_controller_s = 0.002;  // Gatling/NGINX -> controller
   double controller_to_invoker_s = 0.003;  // Kafka hop, r'(i) stamp
   double response_return_s = 0.004;        // node -> end client
+  // Controller-side detect-and-reroute latency for a call interrupted by a
+  // node failure (re-submission enters at submit_to_controller again).
+  double resubmit_delay_s = 0.010;
+};
+
+// Where a node is in its life. kDrained is derived: a draining node whose
+// backlog emptied.
+enum class NodeState { kActive, kDraining, kDrained, kFailed };
+
+[[nodiscard]] constexpr const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kActive:
+      return "active";
+    case NodeState::kDraining:
+      return "draining";
+    case NodeState::kDrained:
+      return "drained";
+    case NodeState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+// Per-group telemetry rollup for sweep outputs: fleet shape plus the full
+// InvokerStats fold over the group's nodes (via InvokerStats::merge, so a
+// new counter shows up here without touching this struct).
+struct GroupStats {
+  std::string name;
+  std::size_t nodes = 0;   // nodes ever in the group (joins included)
+  std::size_t active = 0;  // routable when queried
+  node::InvokerStats stats;
 };
 
 // One full FaaS deployment under test: a controller with a load balancer,
-// `num_nodes` identical workers, and the client-side measurement point.
+// the ClusterSpec's node groups, and the client-side measurement point.
 // Mirrors Fig. 1 of the paper (Gatling -> NGINX -> controller -> Kafka ->
-// invoker -> action container).
+// invoker -> action container), generalized to heterogeneous fleets with
+// scheduled churn:
+//
+//   * drain@t  — the node leaves the balancer's NodeView but finishes its
+//     backlog; once idle it counts as drained;
+//   * join@t   — a fresh, cold (un-warmed) node joins its group and starts
+//     receiving calls;
+//   * fail@t   — the node dies; calls it had received but not completed
+//     are re-submitted through the controller (counted in resubmissions()
+//     and in each record's attempts).
 class Cluster {
  public:
   Cluster(sim::Engine& engine, const workload::FunctionCatalog& catalog,
           ClusterParams params, std::uint64_t seed);
 
-  // Pre-warm every worker (paper Sec. V-A); administrative.
+  // Pre-warm every initial worker (paper Sec. V-A); administrative. Nodes
+  // joining later start cold.
   void warmup();
 
   // Schedule the whole scenario. The caller then drives `engine.run()`
@@ -57,25 +105,65 @@ class Cluster {
   [[nodiscard]] const metrics::Collector& collector() const {
     return collector_;
   }
-  [[nodiscard]] std::size_t num_nodes() const { return invokers_.size(); }
+  // Nodes ever deployed (drained/failed ones included).
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  // Nodes the balancer may currently route to.
+  [[nodiscard]] std::size_t routable_nodes() const { return view_.size(); }
   [[nodiscard]] node::Invoker& invoker(std::size_t i);
   [[nodiscard]] const node::Invoker& invoker(std::size_t i) const;
+  [[nodiscard]] NodeState node_state(std::size_t i) const;
+  // Ordinal into params().deployment.groups for node `i`.
+  [[nodiscard]] std::size_t node_group(std::size_t i) const;
 
-  // Aggregate invoker stats over all workers.
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+
+  // Aggregate invoker stats over all workers (failed ones included).
   [[nodiscard]] node::InvokerStats total_stats() const;
+  // Per-group rollup in ClusterSpec group order.
+  [[nodiscard]] std::vector<GroupStats> group_stats() const;
+  // Calls re-submitted after a node failure (a call surviving two failures
+  // counts twice).
+  [[nodiscard]] std::size_t resubmissions() const { return resubmissions_; }
 
  private:
+  struct NodeSlot {
+    std::unique_ptr<node::Invoker> invoker;
+    std::size_t group = 0;
+    NodeState state = NodeState::kActive;
+    // Calls routed to this node but still on the controller->invoker wire.
+    // Keeps node_state() monotone: a draining node does not read as
+    // drained while a pre-drain call is about to arrive.
+    std::size_t in_transit = 0;
+  };
+
+  // Create one node of `group` and append it to the fleet (construction
+  // and join path). Returns the global node index.
+  std::size_t add_node(std::size_t group);
+  void rebuild_view();
+  void apply_lifecycle(const LifecycleEvent& event);
+  // Global node index of (group ordinal, group-local index); aborts with
+  // the event context when the node does not exist (yet).
+  [[nodiscard]] std::size_t resolve_node(const LifecycleEvent& event) const;
+
   void submit_to_controller(const workload::CallRequest& call);
+  void arrive_at_node(const workload::CallRequest& call, std::size_t target);
+  void resubmit(const workload::CallRequest& call);
   void deliver(const metrics::CallRecord& record);
 
   sim::Engine* engine_;
   const workload::FunctionCatalog* catalog_;
   ClusterParams params_;
 
-  std::vector<std::unique_ptr<node::Invoker>> invokers_;
-  std::vector<node::Invoker*> invoker_ptrs_;
+  std::vector<NodeSlot> nodes_;
+  std::vector<std::vector<std::size_t>> group_members_;
+  NodeView view_;
   std::unique_ptr<LoadBalancer> balancer_;
   metrics::Collector collector_;
+  sim::Rng node_seed_root_;
+  std::size_t resubmissions_ = 0;
+  // Re-submission count per interrupted call id; stamped into the record's
+  // attempts on delivery. Empty unless a fail event fired.
+  std::unordered_map<workload::CallId, int> resubmitted_;
 };
 
 }  // namespace whisk::cluster

@@ -1,0 +1,474 @@
+#include "cluster/cluster_spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+#include "util/parse.h"
+#include "util/registry.h"
+#include "util/table.h"
+
+namespace whisk::cluster {
+namespace {
+
+using util::split_any;
+using util::trim_ws;
+
+bool valid_group_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+constexpr const char* kGroupParamNames = "cores, memory-mb";
+
+// Parameter values are embedded verbatim in to_string()/to_compact_string(),
+// whose section and list separators include ';', '|', ',' and '+' — a value
+// containing one (e.g. memory-mb=6.4e+4) would reparse as a split point and
+// break the round-trip contract. Both group parameters are numeric, so the
+// plain-decimal spelling is always available.
+void check_value_has_no_separators(const std::string& context,
+                                   const std::string& key,
+                                   const std::string& value) {
+  if (value.find_first_of(";|,+& \t") != std::string::npos) {
+    WHISK_CHECK(false,
+                (context + ": " + key + "=\"" + value +
+                 "\" contains a spec separator character (one of ';|,+&' or "
+                 "whitespace); write the plain-decimal form instead (e.g. "
+                 "64000, not 6.4e+4)")
+                    .c_str());
+  }
+}
+
+// `name[:count][?key=value&...]`.
+NodeGroupSpec parse_group(std::string_view item) {
+  NodeGroupSpec group;
+  std::string_view head = item;
+  const std::size_t q = item.find('?');
+  if (q != std::string_view::npos) {
+    head = item.substr(0, q);
+    // The memory_mb alias is folded (and duplicates re-checked) in
+    // normalized().
+    util::parse_param_list(item.substr(q + 1),
+                           "cluster group \"" + std::string(item) + "\"",
+                           &group.params);
+  }
+  const std::size_t colon = head.find(':');
+  group.name = util::ascii_lower(trim_ws(head.substr(0, colon)));
+  if (colon != std::string_view::npos) {
+    const std::string_view count_text = trim_ws(head.substr(colon + 1));
+    unsigned long long count = 0;
+    const bool ok = util::parse_whole_number(count_text, &count) &&
+                    count <= 1000000;
+    WHISK_CHECK(ok, ("cluster group \"" + std::string(item) +
+                     "\": count \"" + std::string(count_text) +
+                     "\" is not a whole number (0..1000000)")
+                        .c_str());
+    group.count = static_cast<int>(count);
+  }
+  return group;
+}
+
+std::string group_to_string(const NodeGroupSpec& g) {
+  return util::render_params(g.name + ":" + std::to_string(g.count),
+                             g.params);
+}
+
+// `kind@time:group[/node]`.
+LifecycleEvent parse_event(std::string_view item) {
+  const auto fail = [&item](const std::string& why) {
+    WHISK_CHECK(false, ("cluster lifecycle event \"" + std::string(item) +
+                        "\" " + why +
+                        "; expected kind@time:group[/node] with kind in "
+                        "join, drain, fail")
+                           .c_str());
+  };
+  LifecycleEvent event;
+  const std::size_t at = item.find('@');
+  if (at == std::string_view::npos) fail("has no '@'");
+  const std::string kind = util::ascii_lower(trim_ws(item.substr(0, at)));
+  if (kind == "join") {
+    event.kind = LifecycleKind::kJoin;
+  } else if (kind == "drain") {
+    event.kind = LifecycleKind::kDrain;
+  } else if (kind == "fail") {
+    event.kind = LifecycleKind::kFail;
+  } else {
+    fail("has unknown kind \"" + kind + "\"");
+  }
+  std::string_view rest = item.substr(at + 1);
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) fail("has no ':' after the time");
+  double time = 0.0;
+  // The 1e9 s (~31 sim-years) bound keeps %.10g rendering in plain form:
+  // an exponent's '+' would reparse as the event-list separator.
+  if (!util::parse_finite_double(trim_ws(rest.substr(0, colon)), &time) ||
+      time < 0.0 || time > 1e9) {
+    fail("has a bad time \"" + std::string(trim_ws(rest.substr(0, colon))) +
+         "\" (need a finite number in [0, 1e9])");
+  }
+  event.time = time;
+  std::string_view target = trim_ws(rest.substr(colon + 1));
+  const std::size_t slash = target.find('/');
+  if (slash != std::string_view::npos) {
+    if (event.kind == LifecycleKind::kJoin) {
+      fail("names a node index, but join events add a fresh node — give "
+           "just the group");
+    }
+    unsigned long long node = 0;
+    if (!util::parse_whole_number(trim_ws(target.substr(slash + 1)), &node) ||
+        node > static_cast<unsigned long long>(
+                   std::numeric_limits<int>::max())) {
+      fail("has a bad node index \"" +
+           std::string(trim_ws(target.substr(slash + 1))) + "\"");
+    }
+    event.node = static_cast<int>(node);
+    target = trim_ws(target.substr(0, slash));
+  } else if (event.kind != LifecycleKind::kJoin) {
+    fail("names no node index; drain/fail target one node as group/node");
+  }
+  event.group = util::ascii_lower(target);
+  if (event.group.empty()) fail("has an empty group name");
+  return event;
+}
+
+// Shortest %g rendering that parses back to exactly `time`, so
+// parse(to_string()) round-trips bit-for-bit without printing 17 digits
+// for "0.1". Within the validated [0, 1e9] range %g never switches to e+
+// exponent form (whose '+' would reparse as the event-list separator);
+// tiny fractions may render as e-05, which contains no separator.
+std::string format_event_time(double time) {
+  char buffer[40];
+  for (int precision = 10; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, time);
+    if (std::strtod(buffer, nullptr) == time) break;
+  }
+  return buffer;
+}
+
+std::string event_to_string(const LifecycleEvent& e) {
+  std::string out = std::string(to_string(e.kind)) + "@" +
+                    format_event_time(e.time) + ":" + e.group;
+  if (e.kind != LifecycleKind::kJoin) {
+    out += "/" + std::to_string(e.node);
+  }
+  return out;
+}
+
+std::string render(const ClusterSpec& spec, char section_sep,
+                   char list_sep) {
+  std::string out;
+  for (std::size_t i = 0; i < spec.groups.size(); ++i) {
+    if (i > 0) out += list_sep;
+    out += group_to_string(spec.groups[i]);
+  }
+  const container::KeepAliveSpec default_keep_alive;
+  if (spec.keep_alive_set || spec.keep_alive != default_keep_alive) {
+    out += section_sep;
+    if (section_sep == ';') out += ' ';
+    out += "keep-alive=" + spec.keep_alive.to_string();
+  }
+  if (!spec.events.empty()) {
+    out += section_sep;
+    if (section_sep == ';') out += ' ';
+    out += "events=";
+    for (std::size_t i = 0; i < spec.events.size(); ++i) {
+      if (i > 0) out += list_sep;
+      out += event_to_string(spec.events[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ClusterSpec ClusterSpec::parse(std::string_view text) {
+  WHISK_CHECK(!trim_ws(text).empty(),
+              "empty cluster spec; expected group[,group...][; "
+              "keep-alive=...][; events=...] like \"big:4?cores=16,small:8; "
+              "keep-alive=ttl?idle-s=600\"");
+  ClusterSpec spec;
+  bool groups_seen = false;
+  bool keep_alive_seen = false;
+  bool events_seen = false;
+  for (std::string_view raw_section : split_any(text, ";|")) {
+    const std::string_view section = trim_ws(raw_section);
+    if (section.empty()) continue;  // tolerate trailing separators
+    const std::string lowered = util::ascii_lower(section);
+    if (lowered.rfind("keep-alive=", 0) == 0 ||
+        lowered.rfind("keep_alive=", 0) == 0) {
+      WHISK_CHECK(!keep_alive_seen,
+                  ("cluster spec \"" + std::string(text) +
+                   "\" sets keep-alive twice")
+                      .c_str());
+      keep_alive_seen = true;
+      spec.keep_alive_set = true;
+      spec.keep_alive = container::KeepAliveSpec::parse(
+          trim_ws(section.substr(section.find('=') + 1)));
+    } else if (lowered.rfind("events=", 0) == 0) {
+      WHISK_CHECK(!events_seen, ("cluster spec \"" + std::string(text) +
+                                 "\" sets events twice")
+                                    .c_str());
+      events_seen = true;
+      for (std::string_view item :
+           split_any(trim_ws(section.substr(section.find('=') + 1)), ",+")) {
+        const std::string_view event = trim_ws(item);
+        if (event.empty()) continue;
+        spec.events.push_back(parse_event(event));
+      }
+    } else {
+      WHISK_CHECK(!groups_seen,
+                  ("cluster spec \"" + std::string(text) +
+                   "\" has two group-list sections (did you mean one list "
+                   "separated by ',' or '+'?)")
+                      .c_str());
+      groups_seen = true;
+      spec.groups.clear();
+      for (std::string_view item : split_any(section, ",+")) {
+        const std::string_view group = trim_ws(item);
+        if (group.empty()) continue;
+        spec.groups.push_back(parse_group(group));
+      }
+    }
+  }
+  WHISK_CHECK(groups_seen && !spec.groups.empty(),
+              ("cluster spec \"" + std::string(text) +
+               "\" lists no node groups")
+                  .c_str());
+  return spec.normalized();
+}
+
+ClusterSpec ClusterSpec::homogeneous(int nodes) {
+  WHISK_CHECK(nodes > 0, "cluster needs at least one node");
+  ClusterSpec spec;
+  spec.groups = {NodeGroupSpec{"node", nodes, {}}};
+  return spec;
+}
+
+std::string ClusterSpec::to_string() const { return render(*this, ';', ','); }
+
+std::string ClusterSpec::to_compact_string() const {
+  return render(*this, '|', '+');
+}
+
+ClusterSpec ClusterSpec::normalized() const {
+  ClusterSpec out = *this;
+  WHISK_CHECK(!out.groups.empty(), "cluster spec has no node groups");
+
+  std::vector<std::string> group_names;
+  std::size_t initial = 0;
+  for (auto& group : out.groups) {
+    group.name = util::ascii_lower(group.name);
+    WHISK_CHECK(valid_group_name(group.name),
+                ("cluster group name \"" + group.name +
+                 "\" is not [a-z0-9_-]+ (separators would collide with the "
+                 "spec grammar)")
+                    .c_str());
+    WHISK_CHECK(std::find(group_names.begin(), group_names.end(),
+                          group.name) == group_names.end(),
+                ("cluster spec lists group \"" + group.name + "\" twice")
+                    .c_str());
+    group_names.push_back(group.name);
+    WHISK_CHECK(group.count >= 0, ("cluster group \"" + group.name +
+                                   "\" has a negative node count")
+                                      .c_str());
+    initial += static_cast<std::size_t>(group.count);
+
+    std::map<std::string, std::string> params;
+    for (const auto& [raw_key, value] : group.params) {
+      std::string key = util::ascii_lower(raw_key);
+      if (key == "memory_mb") key = "memory-mb";
+      check_value_has_no_separators("cluster group \"" + group.name + "\"",
+                                    key, value);
+      if (key == "cores") {
+        unsigned long long cores = 0;
+        WHISK_CHECK(util::parse_whole_number(value, &cores) && cores > 0 &&
+                        cores <= 100000,
+                    ("cluster group \"" + group.name + "\": cores=\"" +
+                     value + "\" is not a positive integer")
+                        .c_str());
+      } else if (key == "memory-mb") {
+        double memory = 0.0;
+        WHISK_CHECK(util::parse_finite_double(value, &memory) &&
+                        memory > 0.0,
+                    ("cluster group \"" + group.name + "\": memory-mb=\"" +
+                     value + "\" is not a positive number")
+                        .c_str());
+      } else {
+        WHISK_CHECK(false, ("cluster group \"" + group.name +
+                            "\" does not take parameter \"" + raw_key +
+                            "\"; valid parameters: " + kGroupParamNames)
+                               .c_str());
+      }
+      WHISK_CHECK(params.count(key) == 0,
+                  ("cluster group \"" + group.name + "\" sets parameter \"" +
+                   key + "\" twice")
+                      .c_str());
+      params[key] = value;
+    }
+    group.params = std::move(params);
+  }
+  WHISK_CHECK(initial > 0,
+              "cluster spec deploys zero nodes at t=0; give at least one "
+              "group a positive count");
+
+  out.keep_alive = out.keep_alive.normalized();
+  // Canonicalize the flag: a non-default policy behaves exactly like an
+  // explicitly named one (to_string renders it either way), so equality
+  // and round-trips see one representation.
+  out.keep_alive_set =
+      keep_alive_set || out.keep_alive != container::KeepAliveSpec{};
+  for (const auto& [key, value] : out.keep_alive.params) {
+    check_value_has_no_separators(
+        "cluster keep-alive \"" + out.keep_alive.name + "\"", key, value);
+  }
+
+  // Validate the event schedule exactly as the cluster will execute it:
+  // walk the events in firing order with a running per-group node count
+  // (joins increment it; node indices never shrink, since drained/failed
+  // nodes keep their slot), so a drain that precedes its enabling join is
+  // rejected at parse time instead of aborting a sweep mid-run.
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const LifecycleEvent& a, const LifecycleEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::map<std::string, int> node_count;
+  for (const auto& group : out.groups) node_count[group.name] = group.count;
+  // Which nodes earlier events already drained or failed — the same state
+  // rules Cluster::apply_lifecycle enforces at runtime (drain needs an
+  // active node; fail needs a not-yet-failed one; a draining node may
+  // still fail).
+  std::map<std::pair<std::string, int>, LifecycleKind> consumed;
+  for (auto& event : out.events) {
+    WHISK_CHECK(event.time >= 0.0 && event.time <= 1e9,
+                ("cluster lifecycle event \"" + event_to_string(event) +
+                 "\" has a time outside [0, 1e9] seconds")
+                    .c_str());
+    event.group = util::ascii_lower(event.group);
+    const auto it = node_count.find(event.group);
+    if (it == node_count.end()) {
+      WHISK_CHECK(false, ("cluster lifecycle event \"" +
+                          event_to_string(event) +
+                          "\" targets unknown group \"" + event.group +
+                          "\"; groups: " + util::join(group_names))
+                             .c_str());
+    }
+    if (event.kind == LifecycleKind::kJoin) {
+      ++it->second;
+      continue;
+    }
+    WHISK_CHECK(
+        event.node >= 0 && event.node < it->second,
+        ("cluster lifecycle event \"" + event_to_string(event) +
+         "\" targets node " + std::to_string(event.node) + " of group \"" +
+         event.group + "\", which has only " + std::to_string(it->second) +
+         " node(s) at t=" + util::fmt_g(event.time) +
+         " (a later join does not count)")
+            .c_str());
+    const auto key = std::make_pair(event.group, event.node);
+    const auto prior = consumed.find(key);
+    if (prior != consumed.end()) {
+      const bool allowed = event.kind == LifecycleKind::kFail &&
+                           prior->second == LifecycleKind::kDrain;
+      WHISK_CHECK(allowed,
+                  ("cluster lifecycle event \"" + event_to_string(event) +
+                   "\" targets a node an earlier event already " +
+                   (prior->second == LifecycleKind::kFail ? "failed"
+                                                          : "drained") +
+                   " (only fail-after-drain is meaningful)")
+                      .c_str());
+    }
+    consumed[key] = event.kind;
+  }
+  return out;
+}
+
+bool ClusterSpec::has_disruptive_events() const {
+  for (const auto& event : events) {
+    if (event.kind != LifecycleKind::kJoin) return true;
+  }
+  return false;
+}
+
+std::size_t ClusterSpec::initial_nodes() const {
+  std::size_t total = 0;
+  for (const auto& group : groups) {
+    total += static_cast<std::size_t>(std::max(group.count, 0));
+  }
+  return total;
+}
+
+int ClusterSpec::initial_cores(int base_cores) const {
+  long long total = 0;
+  for (const auto& group : groups) {
+    long long cores = base_cores;
+    const auto it = group.params.find("cores");
+    if (it != group.params.end()) {
+      unsigned long long value = 0;
+      WHISK_CHECK(util::parse_whole_number(it->second, &value),
+                  "cores validated in normalized()");
+      cores = static_cast<long long>(value);
+    }
+    total += cores * std::max(group.count, 0);
+  }
+  return static_cast<int>(
+      std::min<long long>(total, std::numeric_limits<int>::max()));
+}
+
+std::size_t ClusterSpec::group_index(std::string_view name) const {
+  const std::string key = util::ascii_lower(name);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].name == key) return g;
+  }
+  std::vector<std::string> names;
+  names.reserve(groups.size());
+  for (const auto& group : groups) names.push_back(group.name);
+  WHISK_CHECK(false, ("unknown cluster group \"" + key +
+                      "\"; groups: " + util::join(names))
+                         .c_str());
+  return 0;
+}
+
+node::NodeParams ClusterSpec::node_params(
+    std::size_t group, const node::NodeParams& base) const {
+  WHISK_CHECK(group < groups.size(), "cluster group index out of range");
+  node::NodeParams params = base;
+  // The deployment's keep-alive applies fleet-wide, but a policy set
+  // directly on the base NodeParams is honored like every other base
+  // field — and a contradictory pair is a loud error, not a silent win.
+  const container::KeepAliveSpec default_keep_alive;
+  if (keep_alive_set || keep_alive != default_keep_alive) {
+    WHISK_CHECK(base.keep_alive == default_keep_alive ||
+                    base.keep_alive == keep_alive,
+                ("the deployment sets keep-alive \"" +
+                 keep_alive.to_string() +
+                 "\" but the base NodeParams already carries \"" +
+                 base.keep_alive.to_string() +
+                 "\"; set it in one place")
+                    .c_str());
+    params.keep_alive = keep_alive;
+  }
+  const NodeGroupSpec& g = groups[group];
+  if (const auto it = g.params.find("cores"); it != g.params.end()) {
+    unsigned long long cores = 0;
+    WHISK_CHECK(util::parse_whole_number(it->second, &cores),
+                "cores validated in normalized()");
+    params.cores = static_cast<int>(cores);
+  }
+  if (const auto it = g.params.find("memory-mb"); it != g.params.end()) {
+    double memory = 0.0;
+    WHISK_CHECK(util::parse_finite_double(it->second, &memory),
+                "memory-mb validated in normalized()");
+    params.memory_limit_mb = memory;
+  }
+  return params;
+}
+
+}  // namespace whisk::cluster

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "container/keep_alive.h"
+#include "node/params.h"
+
+namespace whisk::cluster {
+
+// One homogeneous slice of the fleet: `count` nodes sharing a name and a
+// set of NodeParams overrides. Parameter values are kept verbatim and
+// applied on top of the experiment's base NodeParams.
+struct NodeGroupSpec {
+  std::string name = "node";
+  int count = 1;
+  // cores=<int>, memory-mb=<MiB> (alias memory_mb); keys are
+  // case-insensitive and validated by normalized().
+  std::map<std::string, std::string> params;
+
+  friend bool operator==(const NodeGroupSpec& a, const NodeGroupSpec& b) {
+    return a.name == b.name && a.count == b.count && a.params == b.params;
+  }
+  friend bool operator!=(const NodeGroupSpec& a, const NodeGroupSpec& b) {
+    return !(a == b);
+  }
+};
+
+// Scheduled fleet churn. Times are absolute sim seconds (the measured
+// burst starts at 0).
+enum class LifecycleKind {
+  kJoin,   // a new (cold, un-warmed) node joins the group
+  kDrain,  // the node stops receiving calls but finishes its backlog
+  kFail,   // the node dies; its in-flight calls are re-submitted
+};
+
+[[nodiscard]] constexpr const char* to_string(LifecycleKind k) {
+  switch (k) {
+    case LifecycleKind::kJoin:
+      return "join";
+    case LifecycleKind::kDrain:
+      return "drain";
+    case LifecycleKind::kFail:
+      return "fail";
+  }
+  return "?";
+}
+
+struct LifecycleEvent {
+  LifecycleKind kind = LifecycleKind::kJoin;
+  double time = 0.0;
+  std::string group;
+  // Node index within the group (creation order, joins appended); -1 for
+  // join events, which always add a fresh node.
+  int node = -1;
+
+  friend bool operator==(const LifecycleEvent& a, const LifecycleEvent& b) {
+    return a.kind == b.kind && a.time == b.time && a.group == b.group &&
+           a.node == b.node;
+  }
+  friend bool operator!=(const LifecycleEvent& a, const LifecycleEvent& b) {
+    return !(a == b);
+  }
+};
+
+// A declarative deployment description — the cluster-layer mirror of
+// SchedulerSpec / ScenarioSpec / CampaignSpec:
+//
+//   auto spec = ClusterSpec::parse(
+//       "big:4?cores=16&memory-mb=65536,small:8?cores=4; "
+//       "keep-alive=ttl?idle-s=600; "
+//       "events=drain@120:big/0,join@300:small");
+//
+// Grammar: semicolon-separated sections. The first (unkeyed) section lists
+// node groups `name[:count][?key=value&...]`; `keep-alive=` names a
+// container::KeepAlivePolicyRegistry spec; `events=` lists scheduled
+// lifecycle events `kind@time:group[/node]` (drain/fail require the /node
+// index, join takes just the group). Group/policy names are
+// case-insensitive; unknown groups, policies and parameter keys abort with
+// diagnostics that echo the input and list the valid names.
+//
+// Because campaign grids split their axes on ';' and ',', ClusterSpec also
+// accepts '|' wherever ';' appears and '+' wherever a list ',' appears, so
+// a full deployment can ride inside a `clusters=` campaign axis:
+//
+//   clusters=big:2?cores=16+small:4|keep-alive=ttl?idle-s=300
+//
+// to_string() renders the canonical ';'/',' form; to_compact_string() the
+// grid-safe '|'/'+' form. parse(to_string()) round-trips exactly (group
+// order is preserved; parameters and events are canonicalized).
+struct ClusterSpec {
+  std::vector<NodeGroupSpec> groups = {NodeGroupSpec{}};
+  container::KeepAliveSpec keep_alive;
+  // Set by parse() when the spec names a keep-alive section, so an
+  // explicit "keep-alive=lru" still overrides (and conflicts with) a
+  // policy stamped on the base NodeParams, instead of reading as unset.
+  bool keep_alive_set = false;
+  std::vector<LifecycleEvent> events;
+
+  [[nodiscard]] static ClusterSpec parse(std::string_view text);
+  // The legacy deployment: `nodes` identical workers, LRU keep-alive, no
+  // churn (what the flat nodes()/cores()/memory_mb() sugar expands to).
+  [[nodiscard]] static ClusterSpec homogeneous(int nodes);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_compact_string() const;
+
+  // Abort (echoing the offender and listing valid alternatives) on unknown
+  // group parameters, keep-alive policies or event targets; returns a copy
+  // with names lowercased, the keep-alive normalized and events
+  // time-sorted (stable).
+  [[nodiscard]] ClusterSpec normalized() const;
+
+  // Nodes present at t = 0 (before any join events).
+  [[nodiscard]] std::size_t initial_nodes() const;
+  // Sum of initial cores at t = 0, with per-group overrides applied on top
+  // of `base_cores` — what workload sizing scales with.
+  [[nodiscard]] int initial_cores(int base_cores) const;
+  // True when any drain/fail event is scheduled — the churn that needs
+  // per-call in-flight bookkeeping (joins alone do not).
+  [[nodiscard]] bool has_disruptive_events() const;
+
+  // Ordinal of `name` among groups, or abort listing the group names.
+  [[nodiscard]] std::size_t group_index(std::string_view name) const;
+
+  // The group's NodeParams: `base` with the group's overrides and this
+  // spec's keep-alive applied.
+  [[nodiscard]] node::NodeParams node_params(
+      std::size_t group, const node::NodeParams& base) const;
+
+  friend bool operator==(const ClusterSpec& a, const ClusterSpec& b) {
+    return a.groups == b.groups && a.keep_alive == b.keep_alive &&
+           a.keep_alive_set == b.keep_alive_set && a.events == b.events;
+  }
+  friend bool operator!=(const ClusterSpec& a, const ClusterSpec& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace whisk::cluster

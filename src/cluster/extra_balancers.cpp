@@ -1,7 +1,9 @@
 // The two balancers added through the open registry rather than the
 // original closed enum — the extension recipe for new balancers: subclass
 // LoadBalancer in a .cpp, expose one registration function, call it from
-// the registry bootstrap (or at runtime).
+// the registry bootstrap (or at runtime). Both are heterogeneity-aware:
+// they weight by each node's core count from the NodeView, so a
+// mixed-capacity fleet loads big boxes proportionally instead of equally.
 #include <limits>
 
 #include "cluster/balancer_registry.h"
@@ -10,64 +12,60 @@
 namespace whisk::cluster {
 namespace {
 
-// Capacity-aware least-loaded: picks the invoker with the smallest
+// Capacity-aware least-loaded over a view: smallest
+// (queued + executing) / cores ratio, ties towards the lower view index.
+std::size_t weighted_least_loaded(const NodeView& nodes) {
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto load = static_cast<double>(nodes[i].load());
+    const int cores = nodes[i].cores();
+    WHISK_CHECK(cores > 0, "node with no cores");
+    const double score = load / static_cast<double>(cores);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// Capacity-aware least-loaded: picks the node with the smallest
 // (queued + executing) / cores ratio, so a half-busy 16-core box beats an
 // equally-backlogged 2-core one. Ties break towards the lower index, like
 // the unweighted variant.
 class WeightedLeastLoadedBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const workload::CallRequest& call,
-                   const std::vector<node::Invoker*>& invokers) override {
+                   const NodeView& nodes) override {
     (void)call;
-    WHISK_CHECK(!invokers.empty(), "no invokers");
-    std::size_t best = 0;
-    double best_score = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < invokers.size(); ++i) {
-      const auto load = static_cast<double>(invokers[i]->queue_length() +
-                                            invokers[i]->executing());
-      const int cores = invokers[i]->params().cores;
-      WHISK_CHECK(cores > 0, "invoker with no cores");
-      const double score = load / static_cast<double>(cores);
-      if (score < best_score) {
-        best_score = score;
-        best = i;
-      }
-    }
-    return best;
+    WHISK_CHECK(!nodes.empty(), "no routable nodes");
+    return weighted_least_loaded(nodes);
   }
   std::string_view name() const override { return "weighted-least-loaded"; }
 };
 
-// Join-Idle-Queue (Lu et al.): route to an invoker with no queued or
-// executing work if one exists, scanning from a rotating cursor so
-// consecutive idle picks spread over the fleet. When nobody is idle, fall
-// back to least-loaded (the classic JIQ falls back to random; the
-// deterministic fallback keeps seeded runs reproducible).
+// Join-Idle-Queue (Lu et al.): route to a node with no queued or executing
+// work if one exists, scanning from a rotating cursor so consecutive idle
+// picks spread over the fleet. When nobody is idle, fall back to
+// weighted-least-loaded (the classic JIQ falls back to random; the
+// deterministic capacity-normalized fallback keeps seeded runs reproducible
+// and weights heterogeneous fleets correctly).
 class JoinIdleQueueBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const workload::CallRequest& call,
-                   const std::vector<node::Invoker*>& invokers) override {
+                   const NodeView& nodes) override {
     (void)call;
-    WHISK_CHECK(!invokers.empty(), "no invokers");
-    const std::size_t n = invokers.size();
+    WHISK_CHECK(!nodes.empty(), "no routable nodes");
+    const std::size_t n = nodes.size();
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t idx = (cursor_ + k) % n;
-      if (invokers[idx]->queue_length() + invokers[idx]->executing() == 0) {
+      if (nodes[idx].load() == 0) {
         cursor_ = idx + 1;
         return idx;
       }
     }
-    std::size_t best = 0;
-    std::size_t best_load = std::numeric_limits<std::size_t>::max();
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t load =
-          invokers[i]->queue_length() + invokers[i]->executing();
-      if (load < best_load) {
-        best_load = load;
-        best = i;
-      }
-    }
-    return best;
+    return weighted_least_loaded(nodes);
   }
   std::string_view name() const override { return "join-idle-queue"; }
 

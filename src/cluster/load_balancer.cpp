@@ -11,10 +11,10 @@ namespace {
 class RoundRobinBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const workload::CallRequest& call,
-                   const std::vector<node::Invoker*>& invokers) override {
+                   const NodeView& nodes) override {
     (void)call;
-    WHISK_CHECK(!invokers.empty(), "no invokers");
-    return next_++ % invokers.size();
+    WHISK_CHECK(!nodes.empty(), "no routable nodes");
+    return next_++ % nodes.size();
   }
   std::string_view name() const override { return "round-robin"; }
 
@@ -25,23 +25,22 @@ class RoundRobinBalancer final : public LoadBalancer {
 class HomeInvokerBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const workload::CallRequest& call,
-                   const std::vector<node::Invoker*>& invokers) override {
-    WHISK_CHECK(!invokers.empty(), "no invokers");
-    const std::size_t n = invokers.size();
+                   const NodeView& nodes) override {
+    WHISK_CHECK(!nodes.empty(), "no routable nodes");
+    const std::size_t n = nodes.size();
     const std::size_t home =
         static_cast<std::size_t>(call.function) % n;
     // Probe from the home invoker onward; accept the first invoker whose
     // backlog is below a small threshold, falling back to the least loaded
     // probe when all are busy (an approximation of OpenWhisk's
-    // ShardingContainerPoolBalancer semantics).
+    // ShardingContainerPoolBalancer semantics). The threshold scales with
+    // the probed node's own core count, so big boxes absorb more overflow.
     std::size_t best = home;
     std::size_t best_load = std::numeric_limits<std::size_t>::max();
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t idx = (home + k) % n;
-      const std::size_t load =
-          invokers[idx]->queue_length() + invokers[idx]->executing();
-      if (load < static_cast<std::size_t>(
-                     2 * invokers[idx]->params().cores)) {
+      const std::size_t load = nodes[idx].load();
+      if (load < static_cast<std::size_t>(2 * nodes[idx].cores())) {
         return idx;
       }
       if (load < best_load) {
@@ -57,14 +56,13 @@ class HomeInvokerBalancer final : public LoadBalancer {
 class LeastLoadedBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const workload::CallRequest& call,
-                   const std::vector<node::Invoker*>& invokers) override {
+                   const NodeView& nodes) override {
     (void)call;
-    WHISK_CHECK(!invokers.empty(), "no invokers");
+    WHISK_CHECK(!nodes.empty(), "no routable nodes");
     std::size_t best = 0;
     std::size_t best_load = std::numeric_limits<std::size_t>::max();
-    for (std::size_t i = 0; i < invokers.size(); ++i) {
-      const std::size_t load =
-          invokers[i]->queue_length() + invokers[i]->executing();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::size_t load = nodes[i].load();
       if (load < best_load) {
         best_load = load;
         best = i;

@@ -11,10 +11,50 @@
 namespace whisk::cluster {
 
 // Knobs a balancer may consume at construction time. Kept small on
-// purpose: balancers that need more state should read it from the invokers
-// they are handed at pick() time.
+// purpose: balancers that need more state should read it from the node
+// view they are handed at pick() time.
 struct BalancerParams {
   std::uint64_t seed = 0;  // randomized balancers fork their stream here
+};
+
+// One routable worker as the balancer sees it: the invoker for live load
+// queries plus the capacity and identity facts a heterogeneity-aware
+// balancer weights by. `node_index` is the cluster-wide node id (stable
+// across churn); `group` is the ordinal of the node's group in the
+// deployment's ClusterSpec.
+struct NodeRef {
+  node::Invoker* invoker = nullptr;
+  std::size_t node_index = 0;
+  std::size_t group = 0;
+
+  [[nodiscard]] std::size_t load() const {
+    return invoker->queue_length() + invoker->executing();
+  }
+  [[nodiscard]] int cores() const { return invoker->params().cores; }
+  [[nodiscard]] double memory_mb() const {
+    return invoker->params().memory_limit_mb;
+  }
+};
+
+// The routable slice of the fleet, in cluster node order. Draining and
+// failed nodes are excluded by the cluster layer, so balancers never need
+// lifecycle awareness — a pick is always valid. The view is rebuilt only
+// on membership changes; pick() receives a const reference.
+class NodeView {
+ public:
+  NodeView() = default;
+  explicit NodeView(std::vector<NodeRef> nodes) : nodes_(std::move(nodes)) {}
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] const NodeRef& operator[](std::size_t i) const {
+    return nodes_[i];
+  }
+  [[nodiscard]] auto begin() const { return nodes_.begin(); }
+  [[nodiscard]] auto end() const { return nodes_.end(); }
+
+ private:
+  std::vector<NodeRef> nodes_;
 };
 
 // How the controller spreads invocations over invokers (paper Sec. III /
@@ -25,15 +65,16 @@ struct BalancerParams {
 //   least-loaded           fewest queued + executing calls at decision time
 //   weighted-least-loaded  least (queued + executing) / cores — capacity
 //                          aware, for heterogeneous fleets
-//   join-idle-queue        an idle invoker if any exists, else least-loaded
+//   join-idle-queue        an idle invoker if any exists, else
+//                          weighted-least-loaded over the fleet
 class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;
 
-  // Choose the invoker index in [0, invokers.size()) for this call.
-  [[nodiscard]] virtual std::size_t pick(
-      const workload::CallRequest& call,
-      const std::vector<node::Invoker*>& invokers) = 0;
+  // Choose the view index in [0, nodes.size()) for this call. The view is
+  // never empty.
+  [[nodiscard]] virtual std::size_t pick(const workload::CallRequest& call,
+                                         const NodeView& nodes) = 0;
 
   // Canonical registry name ("round-robin", ...).
   [[nodiscard]] virtual std::string_view name() const = 0;

@@ -14,7 +14,7 @@ void DockerDaemon::submit(sim::SimTime base_duration, Callback done,
   WHISK_CHECK(base_duration >= 0.0, "negative op duration");
   WHISK_CHECK(static_cast<bool>(done), "null op callback");
   auto& q = urgent ? urgent_queue_ : queue_;
-  q.push_back(Op{base_duration, std::move(done)});
+  q.push_back(Op{base_duration, std::move(done), engine_->now()});
   max_queue_length_ = std::max(max_queue_length_, queue_length());
   if (!busy_) start_next();
 }
@@ -28,6 +28,10 @@ void DockerDaemon::start_next() {
   busy_ = true;
   Op op = std::move(q.front());
   q.pop_front();
+
+  const sim::SimTime waited = engine_->now() - op.enqueued;
+  queue_wait_seconds_ += waited;
+  max_queue_wait_seconds_ = std::max(max_queue_wait_seconds_, waited);
 
   double factor = 1.0;
   if (load_factor_) factor = std::max(1.0, load_factor_());

@@ -58,11 +58,22 @@ class DockerDaemon {
   [[nodiscard]] std::size_t max_queue_length() const {
     return max_queue_length_;
   }
+  // How long ops sat queued behind the op in progress before starting —
+  // the direct measure of daemon contention (busy_seconds says how much
+  // work the station did; queue wait says how much everything else paid
+  // for it). Sum over all started ops, and the single worst wait.
+  [[nodiscard]] double queue_wait_seconds() const {
+    return queue_wait_seconds_;
+  }
+  [[nodiscard]] double max_queue_wait_seconds() const {
+    return max_queue_wait_seconds_;
+  }
 
  private:
   struct Op {
     sim::SimTime base_duration;
     Callback done;
+    sim::SimTime enqueued = 0.0;
   };
 
   void start_next();
@@ -81,6 +92,8 @@ class DockerDaemon {
   std::size_t ops_completed_ = 0;
   double busy_seconds_ = 0.0;
   std::size_t max_queue_length_ = 0;
+  double queue_wait_seconds_ = 0.0;
+  double max_queue_wait_seconds_ = 0.0;
 };
 
 }  // namespace whisk::container

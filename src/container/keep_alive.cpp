@@ -1,0 +1,266 @@
+#include "container/keep_alive.h"
+
+#include <limits>
+#include <mutex>
+
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace whisk::container {
+namespace {
+
+// Declared parameters per canonical policy name. Cached so normalized()
+// does not construct a probe instance on every call (registrations are
+// append-only, so a cached entry never goes stale). Mutex-guarded: specs
+// are normalized from campaign worker threads too, and map node addresses
+// are stable, so the returned reference outlives the lock safely.
+const std::vector<KeepAliveParam>& declared_params(const std::string& canon) {
+  static auto* mutex = new std::mutex();
+  static auto* cache =
+      new std::map<std::string, std::vector<KeepAliveParam>>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  auto it = cache->find(canon);
+  if (it == cache->end()) {
+    const auto probe = KeepAlivePolicyRegistry::instance().create(
+        canon, KeepAliveSpec{canon, {}});
+    it = cache->emplace(canon, probe->params()).first;
+  }
+  return it->second;
+}
+
+// Lowercase, duplicate-check and declared-key-validate `params` for the
+// canonical policy `canon` — the shared half of normalized() and
+// make_keep_alive() (parameter *values* are validated by constructing the
+// policy).
+std::map<std::string, std::string> fold_params(
+    const std::string& canon,
+    const std::map<std::string, std::string>& params) {
+  const auto& valid = declared_params(canon);
+  std::map<std::string, std::string> out;
+  for (const auto& [raw_key, value] : params) {
+    const std::string key = util::ascii_lower(raw_key);
+    WHISK_CHECK(out.count(key) == 0, ("keep-alive policy \"" + canon +
+                                      "\" sets parameter \"" + key +
+                                      "\" twice")
+                                         .c_str());
+    bool known = false;
+    for (const auto& p : valid) {
+      if (p.name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::vector<std::string> names;
+      names.reserve(valid.size());
+      for (const auto& p : valid) names.push_back(p.name);
+      WHISK_CHECK(false,
+                  ("keep-alive policy \"" + canon +
+                   "\" does not take parameter \"" + raw_key +
+                   "\"; valid parameters: " +
+                   (names.empty() ? "(none)" : util::join(names)))
+                      .c_str());
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+}  // namespace
+
+KeepAliveSpec KeepAliveSpec::parse(std::string_view text) {
+  WHISK_CHECK(!text.empty(),
+              "empty keep-alive spec; expected \"name[?key=value[&...]]\" "
+              "like \"ttl?idle-s=600\"");
+  KeepAliveSpec spec;
+  const std::size_t q = text.find('?');
+  spec.name = std::string(text.substr(0, q));
+  WHISK_CHECK(!spec.name.empty(),
+              ("keep-alive spec \"" + std::string(text) +
+               "\" has an empty name before the '?'")
+                  .c_str());
+  if (q != std::string_view::npos) {
+    util::parse_param_list(text.substr(q + 1),
+                           "keep-alive spec \"" + std::string(text) + "\"",
+                           &spec.params);
+  }
+  return spec.normalized();
+}
+
+std::string KeepAliveSpec::to_string() const {
+  return util::render_params(name, params);
+}
+
+KeepAliveSpec KeepAliveSpec::normalized() const {
+  auto& registry = KeepAlivePolicyRegistry::instance();
+  KeepAliveSpec out;
+  out.name = registry.resolve(name);
+  out.params = fold_params(out.name, params);
+  // Constructing the policy validates the parameter *values* too, so a bad
+  // value dies at parse time, not mid-sweep.
+  (void)registry.create(out.name, out);
+  return out;
+}
+
+bool KeepAliveSpec::has(std::string_view key) const {
+  return params.count(util::ascii_lower(key)) != 0;
+}
+
+double KeepAliveSpec::number(std::string_view key, double fallback) const {
+  const auto it = params.find(util::ascii_lower(key));
+  if (it == params.end()) return fallback;
+  double value = 0.0;
+  if (!util::parse_finite_double(it->second, &value)) {
+    WHISK_CHECK(false, ("keep-alive policy \"" + name + "\" parameter " +
+                        std::string(key) + "=\"" + it->second +
+                        "\" is not a finite number")
+                           .c_str());
+  }
+  return value;
+}
+
+std::size_t KeepAliveSpec::count(std::string_view key,
+                                 std::size_t fallback) const {
+  const auto it = params.find(util::ascii_lower(key));
+  if (it == params.end()) return fallback;
+  unsigned long long value = 0;
+  if (!util::parse_whole_number(it->second, &value)) {
+    WHISK_CHECK(false, ("keep-alive policy \"" + name + "\" parameter " +
+                        std::string(key) + "=\"" + it->second +
+                        "\" is not a whole number >= 0")
+                           .c_str());
+  }
+  return static_cast<std::size_t>(value);
+}
+
+namespace {
+
+// Least-recently-used among the candidates satisfying `pred`:
+// strict-minimum scan in presentation order, first candidate winning ties
+// — exactly the rule the pool hardcoded before the registry existed (the
+// paper-pinned behaviour). Returns the candidate count of
+// std::span::size() when nothing satisfies the predicate.
+template <typename Pred>
+std::size_t lru_scan_where(std::span<const IdleCandidate> candidates,
+                           Pred pred) {
+  std::size_t best = candidates.size();
+  sim::SimTime oldest = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!pred(candidates[i])) continue;
+    if (best == candidates.size() || candidates[i].last_used < oldest) {
+      best = i;
+      oldest = candidates[i].last_used;
+    }
+  }
+  return best;
+}
+
+std::size_t lru_scan(std::span<const IdleCandidate> candidates) {
+  return lru_scan_where(candidates, [](const IdleCandidate&) { return true; });
+}
+
+// The stock rule: keep everything until memory pressure, then evict the
+// least recently used idle container first.
+class LruKeepAlive final : public KeepAlivePolicy {
+ public:
+  std::string_view name() const override { return "lru"; }
+  std::size_t victim(std::span<const IdleCandidate> candidates) override {
+    return lru_scan(candidates);
+  }
+};
+
+// Fixed keep-alive (OpenWhisk-style TTL): an idle container is reclaimed
+// once it has sat unused for `idle-s` seconds, cold-starting the next call
+// of its function; pressure evictions still go oldest-first.
+class TtlKeepAlive final : public KeepAlivePolicy {
+ public:
+  explicit TtlKeepAlive(const KeepAliveSpec& spec)
+      : idle_s_(spec.number("idle-s", 600.0)) {
+    WHISK_CHECK(idle_s_ > 0.0, ("keep-alive policy \"ttl\": idle-s = " +
+                                std::to_string(idle_s_) + " must be > 0")
+                                   .c_str());
+  }
+
+  std::string_view name() const override { return "ttl"; }
+  std::vector<KeepAliveParam> params() const override {
+    return {{"idle-s", "600",
+             "seconds an idle container survives before reclamation"}};
+  }
+  std::size_t victim(std::span<const IdleCandidate> candidates) override {
+    return lru_scan(candidates);
+  }
+  bool may_expire() const override { return true; }
+  double min_idle_s() const override { return idle_s_; }
+  bool expired(const IdleCandidate& candidate,
+               sim::SimTime now) const override {
+    return now - candidate.last_used > idle_s_;
+  }
+
+ private:
+  double idle_s_;
+};
+
+// Prewarm floor: keep at least `floor` idle containers per function warm.
+// Pressure evictions pick the LRU container among functions above their
+// floor; when every candidate is at or below the floor the floor goes soft
+// and plain LRU applies (a hard floor could deadlock a fully-pinned pool).
+class PoolTargetKeepAlive final : public KeepAlivePolicy {
+ public:
+  explicit PoolTargetKeepAlive(const KeepAliveSpec& spec)
+      : floor_(spec.count("floor", 1)) {}
+
+  std::string_view name() const override { return "pool-target"; }
+  std::vector<KeepAliveParam> params() const override {
+    return {{"floor", "1",
+             "idle containers per function shielded from eviction"}};
+  }
+  std::size_t victim(std::span<const IdleCandidate> candidates) override {
+    const std::size_t above_floor =
+        lru_scan_where(candidates, [this](const IdleCandidate& c) {
+          return c.idle_of_function > floor_;
+        });
+    return above_floor < candidates.size() ? above_floor
+                                           : lru_scan(candidates);
+  }
+
+ private:
+  std::size_t floor_;
+};
+
+void register_builtin_keep_alive(KeepAlivePolicyRegistry& registry) {
+  registry.register_factory("lru", [](const KeepAliveSpec&) {
+    return std::make_unique<LruKeepAlive>();
+  });
+  registry.register_factory("ttl", [](const KeepAliveSpec& spec) {
+    return std::make_unique<TtlKeepAlive>(spec);
+  });
+  registry.register_factory("pool-target", [](const KeepAliveSpec& spec) {
+    return std::make_unique<PoolTargetKeepAlive>(spec);
+  });
+  registry.register_alias("fixed", "ttl");
+}
+
+}  // namespace
+
+KeepAlivePolicyRegistry& KeepAlivePolicyRegistry::instance() {
+  static KeepAlivePolicyRegistry* registry = [] {
+    auto* r = new KeepAlivePolicyRegistry();
+    register_builtin_keep_alive(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<KeepAlivePolicy> make_keep_alive(const KeepAliveSpec& spec) {
+  // Same canonicalization and key validation as normalized(), but without
+  // its throwaway validation instance: the returned construction validates
+  // the parameter values itself. One policy object per call — this runs
+  // once per node per campaign cell.
+  auto& registry = KeepAlivePolicyRegistry::instance();
+  KeepAliveSpec normalized;
+  normalized.name = registry.resolve(spec.name);
+  normalized.params = fold_params(normalized.name, spec.params);
+  return registry.create(normalized.name, normalized);
+}
+
+}  // namespace whisk::container

@@ -1,13 +1,18 @@
 #include "container/pool.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
 namespace whisk::container {
 
-ContainerPool::ContainerPool(double memory_limit_mb)
-    : memory_limit_mb_(memory_limit_mb) {
+ContainerPool::ContainerPool(double memory_limit_mb,
+                             std::unique_ptr<KeepAlivePolicy> policy)
+    : policy_(policy != nullptr ? std::move(policy)
+                                : make_keep_alive(KeepAliveSpec{})),
+      memory_limit_mb_(memory_limit_mb) {
   WHISK_CHECK(memory_limit_mb > 0.0, "non-positive memory pool");
 }
 
@@ -136,29 +141,77 @@ void ContainerPool::release(ContainerId id, sim::SimTime now) {
   c.last_used = now;
   count_state(c.state, +1);
   idle_[c.function].push_back(id);
+  earliest_idle_bound_ = std::min(earliest_idle_bound_, now);
+}
+
+std::vector<IdleCandidate> ContainerPool::idle_candidates() const {
+  std::vector<IdleCandidate> out;
+  out.reserve(idle_count_);
+  for (const auto& [fn, list] : idle_) {
+    for (const ContainerId id : list) {
+      const ContainerInfo& c = info(id);
+      out.push_back(
+          IdleCandidate{id, c.function, c.memory_mb, c.last_used,
+                        list.size()});
+    }
+  }
+  return out;
 }
 
 std::size_t ContainerPool::evict_idle_until_free(double memory_mb) {
+  if (memory_free_mb() >= memory_mb || idle_count_ == 0) return 0;
+  // One candidate snapshot per call; evictions remove from it in place
+  // (erase keeps the presentation order, so a policy's scan sees the same
+  // sequence a per-iteration rebuild would) instead of re-scanning and
+  // re-allocating per evicted container.
+  std::vector<IdleCandidate> candidates = idle_candidates();
   std::size_t evicted = 0;
-  while (memory_free_mb() < memory_mb && idle_count_ > 0) {
-    // Find the least recently used idle container across all functions.
-    ContainerId victim = kInvalidContainer;
-    sim::SimTime oldest = 0.0;
-    for (const auto& [fn, list] : idle_) {
-      for (const ContainerId id : list) {
-        const ContainerInfo& c = info(id);
-        if (victim == kInvalidContainer || c.last_used < oldest) {
-          victim = id;
-          oldest = c.last_used;
-        }
-      }
-    }
-    WHISK_CHECK(victim != kInvalidContainer, "idle_count_ out of sync");
-    destroy(victim);
+  while (memory_free_mb() < memory_mb && !candidates.empty()) {
+    const std::size_t pick = policy_->victim(candidates);
+    WHISK_CHECK(pick < candidates.size(),
+                "keep-alive policy picked a bad victim index");
+    const IdleCandidate victim = candidates[pick];
+    destroy(victim.id);
     ++evicted;
     ++evictions_;
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    for (IdleCandidate& c : candidates) {
+      if (c.function == victim.function) --c.idle_of_function;
+    }
   }
   return evicted;
+}
+
+std::size_t ContainerPool::sweep_expired(sim::SimTime now) {
+  if (!policy_->may_expire() || idle_count_ == 0) return 0;
+  // The sweep is called on every dispatch round; skip the scan while even
+  // the (conservatively tracked) oldest idle container is too young to
+  // expire under the policy's min_idle_s() contract. Policies that do not
+  // declare a bound (the +inf default) always pay the scan — skipping on
+  // +inf would silently disable their expiry forever.
+  const double min_idle = policy_->min_idle_s();
+  if (std::isfinite(min_idle) && now - earliest_idle_bound_ <= min_idle) {
+    return 0;
+  }
+  std::vector<ContainerId> lapsed;
+  sim::SimTime earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [fn, list] : idle_) {
+    for (const ContainerId id : list) {
+      const ContainerInfo& c = info(id);
+      const IdleCandidate candidate{id, c.function, c.memory_mb,
+                                    c.last_used, list.size()};
+      if (policy_->expired(candidate, now)) {
+        lapsed.push_back(id);
+      } else {
+        earliest = std::min(earliest, c.last_used);
+      }
+    }
+  }
+  for (const ContainerId id : lapsed) destroy(id);
+  earliest_idle_bound_ = earliest;  // exact again until the next release
+  expirations_ += lapsed.size();
+  return lapsed.size();
 }
 
 void ContainerPool::destroy(ContainerId id) {

@@ -1,18 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "container/keep_alive.h"
 #include "sim/time.h"
 #include "workload/function.h"
 
 namespace whisk::container {
-
-using ContainerId = std::int64_t;
-
-inline constexpr ContainerId kInvalidContainer = -1;
 
 // Lifecycle of an action container on a worker node.
 enum class ContainerState {
@@ -32,11 +31,15 @@ struct ContainerInfo {
 
 // The node's container pool with memory accounting (paper Sec. III):
 // free-pool (idle, function-initialized) containers, prewarm containers,
-// busy containers, plus in-flight creations. Eviction removes idle
-// containers in LRU order to make room for new ones.
+// busy containers, plus in-flight creations. Which idle container is
+// reclaimed — under memory pressure or by keep-alive expiry — is delegated
+// to a KeepAlivePolicy (keep_alive.h); the default "lru" policy reproduces
+// the previously hardcoded LRU-under-pressure rule exactly.
 class ContainerPool {
  public:
-  explicit ContainerPool(double memory_limit_mb);
+  // A null policy means the default "lru".
+  explicit ContainerPool(double memory_limit_mb,
+                         std::unique_ptr<KeepAlivePolicy> policy = nullptr);
 
   // --- acquisition -------------------------------------------------------
 
@@ -70,10 +73,14 @@ class ContainerPool {
   // Busy -> idle; records `now` for LRU ordering.
   void release(ContainerId id, sim::SimTime now);
 
-  // Evict idle containers (oldest last_used first) until at least
-  // `memory_mb` is free or no idle containers remain. Returns the number
-  // evicted.
+  // Evict idle containers — the keep-alive policy picks each victim —
+  // until at least `memory_mb` is free or no idle containers remain.
+  // Returns the number evicted.
   std::size_t evict_idle_until_free(double memory_mb);
+
+  // Destroy idle containers whose keep-alive lapsed at `now` (policies with
+  // may_expire()). Returns the number reclaimed; free for "lru".
+  std::size_t sweep_expired(sim::SimTime now);
 
   // Remove a container outright (any non-busy state).
   void destroy(ContainerId id);
@@ -100,14 +107,22 @@ class ContainerPool {
 
   [[nodiscard]] const ContainerInfo& info(ContainerId id) const;
 
-  // Lifetime counters.
+  // Lifetime counters. `evictions` are memory-pressure victims;
+  // `expirations` are keep-alive lapses swept by sweep_expired.
   [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t expirations() const { return expirations_; }
   [[nodiscard]] std::size_t creations() const { return creations_; }
+
+  [[nodiscard]] const KeepAlivePolicy& keep_alive() const { return *policy_; }
 
  private:
   ContainerInfo& mutable_info(ContainerId id);
   void count_state(ContainerState s, int delta);
+  // Every idle container, in the free-pool's internal order (the order the
+  // pre-registry LRU scan used).
+  [[nodiscard]] std::vector<IdleCandidate> idle_candidates() const;
 
+  std::unique_ptr<KeepAlivePolicy> policy_;
   double memory_limit_mb_;
   double memory_used_mb_ = 0.0;
   ContainerId next_id_ = 1;
@@ -117,12 +132,19 @@ class ContainerPool {
   std::unordered_map<workload::FunctionId, std::vector<ContainerId>> idle_;
   std::vector<ContainerId> prewarm_;
 
+  // Lower bound on the smallest last_used among idle containers (may lag
+  // low after the oldest is acquired/destroyed — that only costs an extra
+  // sweep scan, never skips a due expiry). Exact after each full sweep.
+  sim::SimTime earliest_idle_bound_ =
+      std::numeric_limits<double>::infinity();
+
   std::size_t busy_count_ = 0;
   std::size_t idle_count_ = 0;
   std::size_t prewarm_count_ = 0;
   std::size_t creating_count_ = 0;
 
   std::size_t evictions_ = 0;
+  std::size_t expirations_ = 0;
   std::size_t creations_ = 0;
 };
 

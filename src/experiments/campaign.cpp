@@ -36,6 +36,43 @@ void append_summary_json(std::ostringstream& out, const util::Summary& s) {
       << ",\"p99\":" << s.p99 << ",\"max\":" << s.max << "}";
 }
 
+// The cell's real initial fleet size: in cluster mode the legacy nodes
+// axis is pinned to {1}, so reporting it would claim a 1-node fleet for
+// any multi-group deployment.
+std::size_t effective_nodes(const CampaignSpec& spec,
+                            const CampaignCell& cell) {
+  return spec.cluster_mode()
+             ? spec.clusters[cell.cluster_i].initial_nodes()
+             : static_cast<std::size_t>(spec.nodes[cell.nodes_i]);
+}
+
+// The cell's deployment as a spec string. In legacy mode the clusters
+// axis is the untouched default placeholder, so render the homogeneous
+// expansion of the nodes axis instead of a misleading "node:1".
+std::string effective_cluster(const CampaignSpec& spec,
+                              const CampaignCell& cell) {
+  return spec.cluster_mode()
+             ? spec.clusters[cell.cluster_i].to_compact_string()
+             : cluster::ClusterSpec::homogeneous(spec.nodes[cell.nodes_i])
+                   .to_compact_string();
+}
+
+// Per-group telemetry as one CSV-friendly field:
+// "big:nodes_ever=2:calls=120:cold=3|small:nodes_ever=4:calls=310:cold=0".
+// nodes_ever counts every node the group ever had (joins included) — a
+// deliberately different name from the row's `nodes` column, which is the
+// fleet size at t=0.
+std::string groups_field(const std::vector<cluster::GroupStats>& groups) {
+  std::string out;
+  for (const auto& g : groups) {
+    if (!out.empty()) out += '|';
+    out += g.name + ":nodes_ever=" + std::to_string(g.nodes) +
+           ":calls=" + std::to_string(g.stats.calls_completed) +
+           ":cold=" + std::to_string(g.stats.cold_starts);
+  }
+  return out;
+}
+
 }  // namespace
 
 util::Summary CellResult::response_summary() const {
@@ -56,11 +93,14 @@ std::span<const CellResult> CampaignResult::group(std::size_t g) const {
 
 CampaignCell CampaignResult::group_cell(std::size_t g) const {
   WHISK_CHECK(g < group_count(), "campaign group index out of range");
+  // Full cell(), not coordinates(): group_cell's contract includes a
+  // populated .spec (callers may re-run or inspect the configuration).
   return spec.cell(g * spec.seeds_per_group());
 }
 
 std::string CampaignResult::group_label(std::size_t g) const {
-  return spec.label(group_cell(g), /*with_seed=*/false);
+  return spec.label(spec.coordinates(g * spec.seeds_per_group()),
+                    /*with_seed=*/false);
 }
 
 metrics::RunContext cell_context(const CampaignSpec& spec,
@@ -74,13 +114,14 @@ metrics::RunContext cell_context(const CampaignSpec& spec,
       {"scenario", spec.scenarios[cell.scenario_i].to_string()});
   ctx.fields.push_back(
       {"seed", std::to_string(spec.seeds[cell.seed_i]), /*numeric=*/true});
-  ctx.fields.push_back(
-      {"nodes", std::to_string(spec.nodes[cell.nodes_i]), /*numeric=*/true});
+  ctx.fields.push_back({"nodes", std::to_string(effective_nodes(spec, cell)),
+                        /*numeric=*/true});
   ctx.fields.push_back(
       {"cores", std::to_string(spec.cores[cell.cores_i]), /*numeric=*/true});
   ctx.fields.push_back({"memory_mb",
                         util::fmt_g(spec.memories_mb[cell.memory_i]),
                         /*numeric=*/true});
+  ctx.fields.push_back({"cluster", effective_cluster(spec, cell)});
   for (std::size_t k = 0; k < spec.overrides.size(); ++k) {
     ctx.fields.push_back(
         {"override:" + spec.overrides[k].first,
@@ -123,6 +164,8 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
     res.calls = run.records.size();
     res.max_completion = run.max_completion;
     res.stats = run.stats;
+    res.groups = std::move(run.groups);
+    res.resubmissions = run.resubmissions;
     if (options.retain_samples) {
       res.responses = std::move(run.responses);
       res.stretches = std::move(run.stretches);
@@ -148,7 +191,8 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
         const std::size_t idx = next_flush++;  // claimed; release the lock
         lock.unlock();
         CellResult& ready = out.cells[idx];  // finished: no other writer
-        options.pipeline->begin_run(cell_context(spec, spec.cell(idx)));
+        options.pipeline->begin_run(
+            cell_context(spec, spec.coordinates(idx)));
         for (const auto& rec : ready.records) {
           options.pipeline->consume(rec);
         }
@@ -248,25 +292,20 @@ double max_completion(std::span<const CellResult> cells) {
 
 node::InvokerStats total_stats(std::span<const CellResult> cells) {
   node::InvokerStats sum;
-  for (const auto& cell : cells) {
-    sum.calls_received += cell.stats.calls_received;
-    sum.calls_completed += cell.stats.calls_completed;
-    sum.cold_starts += cell.stats.cold_starts;
-    sum.prewarm_starts += cell.stats.prewarm_starts;
-    sum.warm_starts += cell.stats.warm_starts;
-    sum.evictions += cell.stats.evictions;
-  }
+  for (const auto& cell : cells) sum.merge(cell.stats);
   return sum;
 }
 
 std::string cells_csv(const CampaignResult& result) {
   std::ostringstream out;
-  out << "cell,scheduler,scenario,seed,nodes,cores,memory_mb,overrides,"
+  out << "cell,scheduler,scenario,seed,nodes,cores,memory_mb,cluster,"
+         "overrides,"
          "calls,r_mean,r_p50,r_p75,r_p95,r_p99,r_max,"
          "s_mean,s_p50,s_p75,s_p95,s_p99,s_max,"
-         "max_completion,cold_starts,prewarm_starts,warm_starts\n";
+         "max_completion,cold_starts,prewarm_starts,warm_starts,"
+         "resubmissions,daemon_wait_s,daemon_wait_max_s,groups\n";
   for (const auto& res : result.cells) {
-    const CampaignCell cell = result.spec.cell(res.index);
+    const CampaignCell cell = result.spec.coordinates(res.index);
     out << res.index << ','
         << metrics::csv_field(
                result.spec.schedulers[cell.scheduler_i].to_string())
@@ -274,15 +313,20 @@ std::string cells_csv(const CampaignResult& result) {
         << metrics::csv_field(
                result.spec.scenarios[cell.scenario_i].to_string())
         << ',' << result.spec.seeds[cell.seed_i] << ','
-        << result.spec.nodes[cell.nodes_i] << ','
+        << effective_nodes(result.spec, cell) << ','
         << result.spec.cores[cell.cores_i] << ','
         << util::fmt_g(result.spec.memories_mb[cell.memory_i]) << ','
-        << metrics::csv_field(overrides_field(result.spec, cell)) << ','
-        << res.calls;
+        << metrics::csv_field(effective_cluster(result.spec, cell)) << ','
+        << metrics::csv_field(overrides_field(result.spec, cell))
+        << ',' << res.calls;
     append_summary_csv(out, res.response_summary());
     append_summary_csv(out, res.stretch_summary());
     out << ',' << res.max_completion << ',' << res.stats.cold_starts << ','
-        << res.stats.prewarm_starts << ',' << res.stats.warm_starts << '\n';
+        << res.stats.prewarm_starts << ',' << res.stats.warm_starts << ','
+        << res.resubmissions << ','
+        << res.stats.daemon_queue_wait_seconds << ','
+        << res.stats.daemon_max_queue_wait_seconds << ','
+        << metrics::csv_field(groups_field(res.groups)) << '\n';
   }
   return out.str();
 }
@@ -290,7 +334,7 @@ std::string cells_csv(const CampaignResult& result) {
 std::string cells_jsonl(const CampaignResult& result) {
   std::ostringstream out;
   for (const auto& res : result.cells) {
-    const CampaignCell cell = result.spec.cell(res.index);
+    const CampaignCell cell = result.spec.coordinates(res.index);
     out << "{\"cell\":" << res.index << ",\"scheduler\":\""
         << metrics::json_escape(
                result.spec.schedulers[cell.scheduler_i].to_string())
@@ -298,11 +342,13 @@ std::string cells_jsonl(const CampaignResult& result) {
         << metrics::json_escape(
                result.spec.scenarios[cell.scenario_i].to_string())
         << "\",\"seed\":" << result.spec.seeds[cell.seed_i]
-        << ",\"nodes\":" << result.spec.nodes[cell.nodes_i]
+        << ",\"nodes\":" << effective_nodes(result.spec, cell)
         << ",\"cores\":" << result.spec.cores[cell.cores_i]
         << ",\"memory_mb\":"
         << util::fmt_g(result.spec.memories_mb[cell.memory_i])
-        << ",\"overrides\":{";
+        << ",\"cluster\":\""
+        << metrics::json_escape(effective_cluster(result.spec, cell))
+        << "\",\"overrides\":{";
     for (std::size_t k = 0; k < result.spec.overrides.size(); ++k) {
       if (k > 0) out << ',';
       out << '"' << metrics::json_escape(result.spec.overrides[k].first)
@@ -317,7 +363,20 @@ std::string cells_jsonl(const CampaignResult& result) {
     out << ",\"max_completion\":" << res.max_completion
         << ",\"cold_starts\":" << res.stats.cold_starts
         << ",\"prewarm_starts\":" << res.stats.prewarm_starts
-        << ",\"warm_starts\":" << res.stats.warm_starts << "}\n";
+        << ",\"warm_starts\":" << res.stats.warm_starts
+        << ",\"resubmissions\":" << res.resubmissions
+        << ",\"daemon_wait_s\":" << res.stats.daemon_queue_wait_seconds
+        << ",\"daemon_wait_max_s\":"
+        << res.stats.daemon_max_queue_wait_seconds << ",\"groups\":[";
+    for (std::size_t g = 0; g < res.groups.size(); ++g) {
+      if (g > 0) out << ',';
+      const auto& group = res.groups[g];
+      out << "{\"name\":\"" << metrics::json_escape(group.name)
+          << "\",\"nodes_ever\":" << group.nodes
+          << ",\"calls\":" << group.stats.calls_completed
+          << ",\"cold_starts\":" << group.stats.cold_starts << "}";
+    }
+    out << "]}\n";
   }
   return out.str();
 }

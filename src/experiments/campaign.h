@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "experiments/campaign_spec.h"
 #include "metrics/sink.h"
 #include "node/invoker.h"
@@ -22,6 +23,12 @@ struct CellResult {
   std::size_t calls = 0;
   double max_completion = 0.0;  // max c(i), seconds
   node::InvokerStats stats;
+  // Per node group, in the deployment's group order (one entry for
+  // homogeneous cells).
+  std::vector<cluster::GroupStats> groups;
+  // Extra submissions caused by node failures (a call surviving two
+  // failures counts twice; 0 without fail events).
+  std::size_t resubmissions = 0;
 
   // Populated only when samples are NOT retained (with samples present the
   // exact vectors already answer everything and the streams would be

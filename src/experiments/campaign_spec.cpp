@@ -12,29 +12,13 @@ namespace whisk::experiments {
 namespace {
 
 constexpr const char* kAxisNames =
-    "schedulers, scenarios, seeds, nodes, cores, memory-mb, override:<name>";
+    "schedulers, scenarios, seeds, nodes, cores, memory-mb, clusters, "
+    "override:<name>";
 
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
+using util::trim_ws;
 
 std::vector<std::string_view> split(std::string_view text, char sep) {
-  std::vector<std::string_view> out;
-  std::size_t begin = 0;
-  while (begin <= text.size()) {
-    const std::size_t end = text.find(sep, begin);
-    out.push_back(text.substr(
-        begin, (end == std::string_view::npos ? text.size() : end) - begin));
-    if (end == std::string_view::npos) break;
-    begin = end + 1;
-  }
-  return out;
+  return util::split_any(text, std::string_view(&sep, 1));
 }
 
 std::uint64_t parse_seed(std::string_view item, std::string_view axis) {
@@ -70,14 +54,14 @@ double parse_positive_double(std::string_view item, std::string_view axis) {
 void parse_seed_items(std::string_view value,
                       std::vector<std::uint64_t>* out) {
   for (std::string_view raw : split(value, ',')) {
-    const std::string_view item = trim(raw);
+    const std::string_view item = trim_ws(raw);
     const std::size_t dots = item.find("..");
     if (dots == std::string_view::npos) {
       out->push_back(parse_seed(item, "seeds"));
       continue;
     }
-    const std::uint64_t lo = parse_seed(trim(item.substr(0, dots)), "seeds");
-    const std::uint64_t hi = parse_seed(trim(item.substr(dots + 2)), "seeds");
+    const std::uint64_t lo = parse_seed(trim_ws(item.substr(0, dots)), "seeds");
+    const std::uint64_t hi = parse_seed(trim_ws(item.substr(dots + 2)), "seeds");
     WHISK_CHECK(lo <= hi, ("campaign axis \"seeds\": range \"" +
                            std::string(item) + "\" runs backwards")
                               .c_str());
@@ -125,16 +109,16 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
   CampaignSpec spec;
   std::vector<std::string> seen_axes;
   for (std::string_view raw_axis : split(text, ';')) {
-    const std::string_view axis = trim(raw_axis);
+    const std::string_view axis = trim_ws(raw_axis);
     if (axis.empty()) continue;  // tolerate trailing ';'
     const std::size_t eq = axis.find('=');
     WHISK_CHECK(eq != std::string_view::npos,
                 ("campaign grid entry \"" + std::string(axis) +
                  "\" is not axis=items; valid axes: " + kAxisNames)
                     .c_str());
-    std::string key = util::ascii_lower(trim(axis.substr(0, eq)));
+    std::string key = util::ascii_lower(trim_ws(axis.substr(0, eq)));
     if (key == "memory_mb") key = "memory-mb";  // alias; one axis identity
-    const std::string_view value = trim(axis.substr(eq + 1));
+    const std::string_view value = trim_ws(axis.substr(eq + 1));
     WHISK_CHECK(std::find(seen_axes.begin(), seen_axes.end(), key) ==
                     seen_axes.end(),
                 ("campaign grid sets axis \"" + key + "\" twice").c_str());
@@ -145,12 +129,12 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
     if (key == "schedulers") {
       spec.schedulers.clear();
       for (std::string_view item : split(value, ',')) {
-        spec.schedulers.push_back(SchedulerSpec::parse(trim(item)));
+        spec.schedulers.push_back(SchedulerSpec::parse(trim_ws(item)));
       }
     } else if (key == "scenarios") {
       spec.scenarios.clear();
       for (std::string_view item : split(value, ',')) {
-        spec.scenarios.push_back(workload::ScenarioSpec::parse(trim(item)));
+        spec.scenarios.push_back(workload::ScenarioSpec::parse(trim_ws(item)));
       }
     } else if (key == "seeds") {
       spec.seeds.clear();
@@ -158,25 +142,33 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
     } else if (key == "nodes") {
       spec.nodes.clear();
       for (std::string_view item : split(value, ',')) {
-        spec.nodes.push_back(parse_positive_int(trim(item), key));
+        spec.nodes.push_back(parse_positive_int(trim_ws(item), key));
       }
     } else if (key == "cores") {
       spec.cores.clear();
       for (std::string_view item : split(value, ',')) {
-        spec.cores.push_back(parse_positive_int(trim(item), key));
+        spec.cores.push_back(parse_positive_int(trim_ws(item), key));
       }
     } else if (key == "memory-mb") {
       spec.memories_mb.clear();
       for (std::string_view item : split(value, ',')) {
-        spec.memories_mb.push_back(parse_positive_double(trim(item), key));
+        spec.memories_mb.push_back(parse_positive_double(trim_ws(item), key));
+      }
+    } else if (key == "clusters") {
+      spec.clusters_set = true;
+      spec.clusters.clear();
+      for (std::string_view item : split(value, ',')) {
+        // Items arrive in the ClusterSpec compact form ('+'/'|'), since ','
+        // and ';' are grid separators.
+        spec.clusters.push_back(cluster::ClusterSpec::parse(trim_ws(item)));
       }
     } else if (key.rfind("override:", 0) == 0) {
-      const std::string name = std::string(trim(key).substr(9));
+      const std::string name = std::string(trim_ws(key).substr(9));
       WHISK_CHECK(!name.empty(), "campaign override axis has no name");
       std::vector<double> values;
       for (std::string_view item : split(value, ',')) {
         double v = 0.0;
-        WHISK_CHECK(util::parse_finite_double(trim(item), &v),
+        WHISK_CHECK(util::parse_finite_double(trim_ws(item), &v),
                     ("campaign axis \"" + key + "\": \"" + std::string(item) +
                      "\" is not a number")
                         .c_str());
@@ -209,6 +201,11 @@ std::string CampaignSpec::to_string() const {
   });
   out += "; memory-mb=" +
          join_items(memories_mb, [](double m) { return util::fmt_g(m); });
+  if (cluster_mode()) {
+    out += "; clusters=" + join_items(clusters, [](const auto& c) {
+      return c.to_compact_string();
+    });
+  }
   for (const auto& [name, values] : overrides) {
     out += "; override:" + name + "=" +
            join_items(values, [](double v) { return util::fmt_g(v); });
@@ -224,8 +221,19 @@ CampaignSpec CampaignSpec::normalized() const {
   WHISK_CHECK(!out.nodes.empty(), "campaign has no node counts");
   WHISK_CHECK(!out.cores.empty(), "campaign has no core counts");
   WHISK_CHECK(!out.memories_mb.empty(), "campaign has no memory sizes");
+  WHISK_CHECK(!out.clusters.empty(), "campaign has no cluster specs");
   for (auto& s : out.schedulers) s = s.normalized();
   for (auto& s : out.scenarios) s = s.normalized();
+  for (auto& c : out.clusters) c = c.normalized();
+  // Canonicalize: non-default cluster entries behave exactly like an
+  // explicit clusters= axis, so equality and round-trips see one
+  // representation.
+  out.clusters_set = out.cluster_mode();
+  if (out.cluster_mode()) {
+    WHISK_CHECK(out.nodes.size() == 1 && out.nodes[0] == 1,
+                "campaign sets both a clusters axis and a nodes axis; the "
+                "cluster specs already size the fleet — drop nodes=");
+  }
   for (int n : out.nodes) WHISK_CHECK(n > 0, "nodes must be positive");
   for (int n : out.cores) WHISK_CHECK(n > 0, "cores must be positive");
   for (double m : out.memories_mb) {
@@ -253,14 +261,20 @@ CampaignSpec CampaignSpec::normalized() const {
   return out;
 }
 
+bool CampaignSpec::cluster_mode() const {
+  if (clusters_set || clusters.size() > 1) return true;
+  return !clusters.empty() && clusters[0] != cluster::ClusterSpec{};
+}
+
 std::size_t CampaignSpec::size() const {
   std::size_t total = schedulers.size() * scenarios.size() * nodes.size() *
-                      cores.size() * memories_mb.size() * seeds.size();
+                      cores.size() * memories_mb.size() * clusters.size() *
+                      seeds.size();
   for (const auto& [name, values] : overrides) total *= values.size();
   return total;
 }
 
-CampaignCell CampaignSpec::cell(std::size_t index) const {
+CampaignCell CampaignSpec::coordinates(std::size_t index) const {
   WHISK_CHECK(index < size(), "campaign cell index out of range");
   CampaignCell c;
   c.index = index;
@@ -272,6 +286,8 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
     c.override_i[k] = rem % overrides[k].second.size();
     rem /= overrides[k].second.size();
   }
+  c.cluster_i = rem % clusters.size();
+  rem /= clusters.size();
   c.memory_i = rem % memories_mb.size();
   rem /= memories_mb.size();
   c.cores_i = rem % cores.size();
@@ -281,13 +297,23 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
   c.scenario_i = rem % scenarios.size();
   rem /= scenarios.size();
   c.scheduler_i = rem % schedulers.size();
+  return c;
+}
 
+CampaignCell CampaignSpec::cell(std::size_t index) const {
+  CampaignCell c = coordinates(index);
   c.spec.scheduler(schedulers[c.scheduler_i])
       .scenario(scenarios[c.scenario_i])
-      .nodes(nodes[c.nodes_i])
       .cores(cores[c.cores_i])
       .memory_mb(memories_mb[c.memory_i])
       .seed(seeds[c.seed_i]);
+  // The clusters axis and the legacy nodes axis are mutually exclusive
+  // (normalized() enforces it), so exactly one of these runs.
+  if (cluster_mode()) {
+    c.spec.cluster(clusters[c.cluster_i]);
+  } else {
+    c.spec.nodes(nodes[c.nodes_i]);
+  }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     c.spec.with_override(overrides[k].first,
                          overrides[k].second[c.override_i[k]]);
@@ -297,7 +323,7 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
 
 std::size_t CampaignSpec::group_index(
     std::size_t scheduler_i, std::size_t scenario_i, std::size_t nodes_i,
-    std::size_t cores_i, std::size_t memory_i,
+    std::size_t cores_i, std::size_t memory_i, std::size_t cluster_i,
     const std::vector<std::size_t>& override_i) const {
   WHISK_CHECK(scheduler_i < schedulers.size(),
               "group_index: scheduler coordinate out of range");
@@ -309,6 +335,8 @@ std::size_t CampaignSpec::group_index(
               "group_index: cores coordinate out of range");
   WHISK_CHECK(memory_i < memories_mb.size(),
               "group_index: memory coordinate out of range");
+  WHISK_CHECK(cluster_i < clusters.size(),
+              "group_index: cluster coordinate out of range");
   WHISK_CHECK(override_i.empty() || override_i.size() == overrides.size(),
               "group_index: give one coordinate per override axis (or none)");
   std::size_t index = scheduler_i;
@@ -316,6 +344,7 @@ std::size_t CampaignSpec::group_index(
   index = index * nodes.size() + nodes_i;
   index = index * cores.size() + cores_i;
   index = index * memories_mb.size() + memory_i;
+  index = index * clusters.size() + cluster_i;
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     const std::size_t coord = override_i.empty() ? 0 : override_i[k];
     WHISK_CHECK(coord < overrides[k].second.size(),
@@ -352,6 +381,9 @@ std::string CampaignSpec::label(const CampaignCell& cell,
   }
   if (memories_mb.size() > 1) {
     parts.push_back("mem=" + util::fmt_g(memories_mb[cell.memory_i]) + "MiB");
+  }
+  if (clusters.size() > 1) {
+    parts.push_back(clusters[cell.cluster_i].to_compact_string());
   }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     if (overrides[k].second.size() > 1) {

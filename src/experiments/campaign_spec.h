@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster_spec.h"
 #include "experiments/experiment_spec.h"
 #include "experiments/scheduler_spec.h"
 #include "workload/scenario_spec.h"
@@ -22,6 +23,7 @@ struct CampaignCell {
   std::size_t nodes_i = 0;
   std::size_t cores_i = 0;
   std::size_t memory_i = 0;
+  std::size_t cluster_i = 0;
   std::vector<std::size_t> override_i;  // one per override axis
   std::size_t seed_i = 0;
   ExperimentSpec spec;
@@ -39,14 +41,21 @@ struct CampaignCell {
 //   grid.size()  -> 20
 //
 // Grammar: semicolon-separated `axis=item,item,...` entries. Axes:
-// schedulers, scenarios, seeds, nodes, cores, memory-mb, and any number of
-// `override:<name>` ablation axes (names validated against
+// schedulers, scenarios, seeds, nodes, cores, memory-mb, clusters, and any
+// number of `override:<name>` ablation axes (names validated against
 // ExperimentSpec::override_names()). `seeds` accepts inclusive ranges
 // (`0..4`) alongside single values. Axis names are case-insensitive;
 // omitted axes keep their defaults (seeds default to the paper's 0..4).
 // Items must not contain `,` or `;` — a scenario whose parameter value
 // needs a comma (mix weights) cannot ride in a grid string, but can still
-// be set on the struct directly.
+// be set on the struct directly. `clusters` items use the ClusterSpec
+// compact form ('+' between groups/events, '|' between sections):
+//
+//   clusters=node:4,big:2?cores=16+small:4|keep-alive=ttl?idle-s=300
+//
+// sweeps a homogeneous 4-node fleet against a heterogeneous TTL one. The
+// clusters axis supersedes `nodes` (setting both non-default aborts);
+// cores/memory-mb still sweep the *base* NodeParams each group inherits.
 //
 // The workload's load knob travels inside the scenario item
 // ("uniform?intensity=60"), never through ExperimentSpec::intensity(): one
@@ -57,7 +66,8 @@ struct CampaignCell {
 // axes sorted by name), so parse(to_string()) round-trips exactly.
 //
 // Cell expansion order is seed-innermost:
-//   scheduler > scenario > nodes > cores > memory > overrides > seed
+//   scheduler > scenario > nodes > cores > memory > clusters > overrides
+//   > seed
 // so the cells of one "group" (every axis fixed except the seed) are
 // contiguous and seed-ordered — pooling a group's cells reproduces the
 // serial run_repetitions pooling byte for byte.
@@ -67,6 +77,14 @@ struct CampaignSpec {
   std::vector<int> nodes = {1};
   std::vector<int> cores = {10};
   std::vector<double> memories_mb = {32.0 * 1024.0};
+  // Deployment axis; any entry beyond the default one-node spec — or an
+  // explicit `clusters=` axis in the parsed grid (clusters_set) — puts the
+  // campaign in cluster mode (cells call ExperimentSpec::cluster), which
+  // requires the legacy `nodes` axis to stay at its default.
+  std::vector<cluster::ClusterSpec> clusters = {cluster::ClusterSpec{}};
+  // Set by parse() when the grid names the axis, so an explicit
+  // `clusters=node:1` still supersedes (and conflicts with) `nodes=`.
+  bool clusters_set = false;
   // Ablation axes, crossed like every other axis; kept sorted by name.
   std::vector<std::pair<std::string, std::vector<double>>> overrides;
   std::vector<std::uint64_t> seeds = {0, 1, 2, 3, 4};
@@ -91,6 +109,12 @@ struct CampaignSpec {
   // Expand cell `index` (0 <= index < size()) deterministically.
   [[nodiscard]] CampaignCell cell(std::size_t index) const;
 
+  // Decode only the axis coordinates of cell `index`, leaving the
+  // ExperimentSpec member default-constructed — what the per-row output
+  // renderers need, without re-normalizing scheduler/scenario/cluster
+  // specs for every rendered row.
+  [[nodiscard]] CampaignCell coordinates(std::size_t index) const;
+
   // Flatten non-seed axis coordinates into a group index — the inverse of
   // the expansion order, so callers never hand-roll `sched_i * n + node_i`
   // arithmetic that silently breaks when an axis gains a value. Omitted
@@ -98,8 +122,11 @@ struct CampaignSpec {
   [[nodiscard]] std::size_t group_index(
       std::size_t scheduler_i, std::size_t scenario_i = 0,
       std::size_t nodes_i = 0, std::size_t cores_i = 0,
-      std::size_t memory_i = 0,
+      std::size_t memory_i = 0, std::size_t cluster_i = 0,
       const std::vector<std::size_t>& override_i = {}) const;
+
+  // True when the clusters axis is in play (any non-default entry).
+  [[nodiscard]] bool cluster_mode() const;
 
   // The paper's seed convention: 0..n-1.
   [[nodiscard]] static std::vector<std::uint64_t> first_seeds(int n);
@@ -113,7 +140,8 @@ struct CampaignSpec {
   friend bool operator==(const CampaignSpec& a, const CampaignSpec& b) {
     return a.schedulers == b.schedulers && a.scenarios == b.scenarios &&
            a.nodes == b.nodes && a.cores == b.cores &&
-           a.memories_mb == b.memories_mb && a.overrides == b.overrides &&
+           a.memories_mb == b.memories_mb && a.clusters == b.clusters &&
+           a.clusters_set == b.clusters_set && a.overrides == b.overrides &&
            a.seeds == b.seeds;
   }
   friend bool operator!=(const CampaignSpec& a, const CampaignSpec& b) {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/cluster_spec.h"
 #include "experiments/scheduler_spec.h"
 #include "node/params.h"
 #include "workload/scenario_registry.h"
@@ -42,6 +43,18 @@ class ExperimentSpec {
   [[nodiscard]] const SchedulerSpec& scheduler() const { return scheduler_; }
 
   // --- deployment ----------------------------------------------------------
+  // The full declarative form: heterogeneous node groups, keep-alive
+  // policy and lifecycle events (cluster::ClusterSpec grammar). cores()
+  // and memory_mb() still set the *base* NodeParams that groups inherit
+  // and override; nodes() is legacy sugar for a one-group deployment and
+  // conflicts with an explicit cluster().
+  ExperimentSpec& cluster(cluster::ClusterSpec spec);
+  ExperimentSpec& cluster(std::string_view text);  // ClusterSpec::parse
+  // The effective deployment: the explicit spec when set, else the
+  // homogeneous one-group expansion of nodes().
+  [[nodiscard]] cluster::ClusterSpec cluster() const;
+  [[nodiscard]] bool has_explicit_cluster() const { return cluster_set_; }
+
   ExperimentSpec& cores(int value);
   [[nodiscard]] int cores() const { return cores_; }
   ExperimentSpec& nodes(int value);
@@ -87,6 +100,9 @@ class ExperimentSpec {
   SchedulerSpec scheduler_;
   int cores_ = 10;  // per node, for action containers
   int nodes_ = 1;
+  bool nodes_set_ = false;
+  cluster::ClusterSpec cluster_;
+  bool cluster_set_ = false;
   double memory_mb_ = 32.0 * 1024.0;
   workload::ScenarioSpec scenario_;  // defaults to "uniform"
   int intensity_ = 30;

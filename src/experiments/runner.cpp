@@ -17,7 +17,10 @@ RunResult run_experiment(const ExperimentSpec& spec,
   cp.invoker = sched.invoker;
   cp.policy = sched.policy;
   cp.balancer = sched.balancer;
-  cp.num_nodes = spec.nodes();
+  // The legacy nodes()/cores()/memory_mb() triple arrives here as a
+  // one-group homogeneous ClusterSpec; explicit .cluster() specs arrive
+  // verbatim (groups override the base NodeParams).
+  cp.deployment = spec.cluster();
   cp.node = spec.node_params();
 
   // Scenario and cluster noise derive from independent streams of the same
@@ -46,6 +49,8 @@ RunResult run_experiment(const ExperimentSpec& spec,
   out.stretches = col.stretches();
   out.max_completion = col.max_completion();
   out.stats = cluster.total_stats();
+  out.groups = cluster.group_stats();
+  out.resubmissions = cluster.resubmissions();
   return out;
 }
 
@@ -69,7 +74,6 @@ std::vector<double> run_idle_function_benchmark(
   cluster::ClusterParams cp;
   cp.invoker = "ours";
   cp.policy = "fifo";
-  cp.num_nodes = 1;
   cp.node.cores = cores;
 
   cluster::Cluster cluster(engine, cat, cp, seed);

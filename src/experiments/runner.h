@@ -20,6 +20,12 @@ struct RunResult {
   std::vector<double> stretches;  // S(i)
   double max_completion = 0.0;    // max c(i), seconds
   node::InvokerStats stats;
+  // Per node group, in ClusterSpec group order (one entry for legacy
+  // homogeneous runs).
+  std::vector<cluster::GroupStats> groups;
+  // Extra submissions caused by node failures (a call surviving two
+  // failures counts twice; 0 without fail events).
+  std::size_t resubmissions = 0;
 };
 
 // Run one seeded experiment end to end (warm-up, 60 s burst, drain).

@@ -24,6 +24,10 @@ void Collector::add(const CallRecord& record) {
   by_function_[f].push_back(position);
 
   max_completion_ = std::max(max_completion_, record.completion);
+  if (record.attempts > 1) {
+    ++resubmitted_calls_;
+    resubmissions_ += static_cast<std::size_t>(record.attempts - 1);
+  }
   switch (record.start_kind) {
     case StartKind::kCold:
       ++cold_;

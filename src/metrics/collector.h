@@ -56,6 +56,13 @@ class Collector {
   [[nodiscard]] std::size_t prewarm_starts() const { return prewarm_; }
   [[nodiscard]] std::size_t warm_starts() const { return warm_; }
 
+  // Failure accounting (node fail lifecycle events): completed calls that
+  // needed more than one submission, and the total extra submissions.
+  [[nodiscard]] std::size_t resubmitted_calls() const {
+    return resubmitted_calls_;
+  }
+  [[nodiscard]] std::size_t resubmissions() const { return resubmissions_; }
+
   [[nodiscard]] std::size_t calls_of(workload::FunctionId f) const;
 
  private:
@@ -70,6 +77,8 @@ class Collector {
   std::size_t cold_ = 0;
   std::size_t prewarm_ = 0;
   std::size_t warm_ = 0;
+  std::size_t resubmitted_calls_ = 0;
+  std::size_t resubmissions_ = 0;
 };
 
 // Merge the samples of several repetitions into one flat vector (the paper

@@ -124,8 +124,8 @@ void JsonlSink::on_record(const CallRecord& record) {
       << ",\"exec_end\":" << record.exec_end
       << ",\"completion\":" << record.completion
       << ",\"service\":" << record.service << ",\"start_kind\":\""
-      << to_string(record.start_kind)
-      << "\",\"response\":" << record.response() << ",\"stretch\":" << stretch
+      << to_string(record.start_kind) << "\",\"attempts\":" << record.attempts
+      << ",\"response\":" << record.response() << ",\"stretch\":" << stretch
       << "}\n";
   *out_ << row.str();
 }

@@ -12,7 +12,8 @@ BaselineInvoker::BaselineInvoker(sim::Engine& engine,
                                  NodeParams params, sim::Rng rng,
                                  DeliveryFn delivery)
     : Invoker(engine, catalog, params, rng, std::move(delivery)),
-      pool_(params.memory_limit_mb),
+      pool_(params.memory_limit_mb,
+            container::make_keep_alive(params.keep_alive)),
       daemon_(engine),
       cpu_(engine,
            os::CpuParams{os::ExecMode::kProportionalShare, params.cores,
@@ -38,8 +39,10 @@ void BaselineInvoker::warmup() {
   // measured burst (Fig. 2a). We reproduce the outcome administratively:
   //   containers(f) ~= ceil(c * s_f / (s_f + overlap)),
   // with s_f the function's warm service time and `overlap` the effective
-  // container-creation latency.
-  const sim::SimTime ancient = -1000.0;
+  // container-creation latency. The stamps sit just before t=0 (the
+  // warm-up's minute), keeping TTL keep-alive from treating the warm set
+  // as arbitrarily stale; LRU only uses the relative order.
+  const sim::SimTime ancient = -60.0;
   int filled = 0;
   for (const auto& spec : catalog_->specs()) {
     const double s = spec.warm_median_ms() / 1000.0;
@@ -61,7 +64,12 @@ void BaselineInvoker::warmup() {
   }
 }
 
-void BaselineInvoker::submit(const workload::CallRequest& call) {
+const InvokerStats& BaselineInvoker::stats() const {
+  sync_station_telemetry(pool_, daemon_);
+  return stats_;
+}
+
+void BaselineInvoker::on_submit(const workload::CallRequest& call) {
   ++stats_.calls_received;
   metrics::CallRecord rec;
   rec.id = call.id;
@@ -74,6 +82,10 @@ void BaselineInvoker::submit(const workload::CallRequest& call) {
 }
 
 void BaselineInvoker::process_queue() {
+  if (dead()) return;
+  // Reclaim keep-alive-lapsed idle containers before any pool decision
+  // (free for policies without expiry).
+  pool_.sweep_expired(engine_->now());
   while (!queue_.empty()) {
     metrics::CallRecord rec = queue_.front();
     const auto& spec = catalog_->spec(rec.function);
@@ -91,9 +103,10 @@ void BaselineInvoker::process_queue() {
       dispatch(rec, *prewarm, metrics::StartKind::kPrewarm);
       continue;
     }
-    // 3. Create a new container, evicting idle ones if memory is short.
+    // 3. Create a new container, evicting idle ones (keep-alive policy's
+    // pick) if memory is short.
     if (pool_.memory_free_mb() < spec.memory_mb) {
-      stats_.evictions += pool_.evict_idle_until_free(spec.memory_mb);
+      pool_.evict_idle_until_free(spec.memory_mb);
     }
     if (auto created = pool_.begin_creation(spec.memory_mb)) {
       queue_.pop_front();
@@ -147,6 +160,7 @@ void BaselineInvoker::dispatch(metrics::CallRecord rec,
 
   ActiveCall active{rec, cid};
   daemon_.submit(op, [this, active = std::move(active), init_delay]() mutable {
+    if (dead()) return;
     if (active.record.start_kind == metrics::StartKind::kCold) {
       pool_.finish_creation_busy(active.cid, active.record.function);
     }
@@ -162,6 +176,7 @@ void BaselineInvoker::dispatch(metrics::CallRecord rec,
 }
 
 void BaselineInvoker::begin_exec(ActiveCall active) {
+  if (dead()) return;
   active.record.exec_start = engine_->now();
   active.record.service =
       catalog_->sample_service(active.record.function, rng_);
@@ -175,6 +190,7 @@ void BaselineInvoker::begin_exec(ActiveCall active) {
 }
 
 void BaselineInvoker::on_exec_complete(os::CpuSystem::TaskId task) {
+  if (dead()) return;
   auto it = running_.find(task);
   WHISK_CHECK(it != running_.end(), "completion for unknown task");
   ActiveCall active = std::move(it->second);
@@ -190,10 +206,11 @@ void BaselineInvoker::on_exec_complete(os::CpuSystem::TaskId task) {
 }
 
 void BaselineInvoker::finish_call(ActiveCall active) {
+  if (dead()) return;
   pool_.release(active.cid, engine_->now());
   ++stats_.calls_completed;
   active.record.completion = engine_->now();
-  delivery_(active.record);
+  deliver(active.record);
   // The stock invoker pauses the now-idle container; the op consumes the
   // daemon but blocks nobody directly (the container can still be claimed
   // while the pause is queued).
@@ -220,7 +237,9 @@ void BaselineInvoker::replenish_prewarm() {
                                   params_.cold_init_sigma),
                  params_.cold_init_min_s, params_.cold_init_max_s);
   daemon_.submit(op, [this, cid = *cid, init] {
+    if (dead()) return;
     engine_->schedule_in(init, [this, cid] {
+      if (dead()) return;
       pool_.finish_creation_prewarm(cid);
       --prewarm_creating_;
       process_queue();

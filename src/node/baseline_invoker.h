@@ -30,7 +30,6 @@ class BaselineInvoker final : public Invoker {
                   sim::Rng rng, DeliveryFn delivery);
 
   void warmup() override;
-  void submit(const workload::CallRequest& call) override;
 
   [[nodiscard]] std::size_t queue_length() const override {
     return queue_.size();
@@ -41,6 +40,9 @@ class BaselineInvoker final : public Invoker {
   [[nodiscard]] std::string_view approach() const override {
     return "baseline";
   }
+
+  // Base counters plus the daemon-station and pool telemetry.
+  [[nodiscard]] const InvokerStats& stats() const override;
 
   // Introspection for tests and telemetry.
   [[nodiscard]] const container::ContainerPool& pool() const { return pool_; }
@@ -59,6 +61,8 @@ class BaselineInvoker final : public Invoker {
            static_cast<double>(queue_.size()) +
            static_cast<double>(pool_.creating_count());
   }
+
+  void on_submit(const workload::CallRequest& call) override;
 
   void process_queue();
   void dispatch(metrics::CallRecord rec, container::ContainerId cid,

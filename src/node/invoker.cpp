@@ -1,0 +1,19 @@
+#include "node/invoker.h"
+
+#include "container/docker_daemon.h"
+#include "container/pool.h"
+
+namespace whisk::node {
+
+void Invoker::sync_station_telemetry(
+    const container::ContainerPool& pool,
+    const container::DockerDaemon& daemon) const {
+  stats_.evictions = pool.evictions();
+  stats_.expirations = pool.expirations();
+  stats_.daemon_busy_seconds = daemon.busy_seconds();
+  stats_.daemon_max_queue_length = daemon.max_queue_length();
+  stats_.daemon_queue_wait_seconds = daemon.queue_wait_seconds();
+  stats_.daemon_max_queue_wait_seconds = daemon.max_queue_wait_seconds();
+}
+
+}  // namespace whisk::node

@@ -1,28 +1,66 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "metrics/record.h"
 #include "node/params.h"
 #include "sim/engine.h"
 #include "sim/random.h"
+#include "util/check.h"
 #include "workload/function.h"
 #include "workload/scenario.h"
+
+namespace whisk::container {
+class ContainerPool;
+class DockerDaemon;
+}  // namespace whisk::container
 
 namespace whisk::node {
 
 // Counters every invoker maintains for the cold-start experiment (Fig. 2)
 // and general telemetry. Start-kind counts cover only measured calls;
-// warm-up is excluded, as in the paper.
+// warm-up is excluded, as in the paper. The daemon_* fields mirror the
+// node's DockerDaemon station telemetry (synced on stats()), so daemon
+// contention is visible per cell in sweeps without reaching into the
+// invoker internals.
 struct InvokerStats {
   std::size_t calls_received = 0;
   std::size_t calls_completed = 0;
+  std::size_t calls_lost = 0;  // in flight when the node failed
   std::size_t cold_starts = 0;
   std::size_t prewarm_starts = 0;
   std::size_t warm_starts = 0;
-  std::size_t evictions = 0;
+  std::size_t evictions = 0;          // memory-pressure victims
+  std::size_t expirations = 0;        // keep-alive lapses (ttl sweeps)
+  double daemon_busy_seconds = 0.0;
+  std::size_t daemon_max_queue_length = 0;
+  double daemon_queue_wait_seconds = 0.0;      // sum over started ops
+  double daemon_max_queue_wait_seconds = 0.0;  // single worst wait
+
+  // Fold another node's (or cell's) counters into this rollup: counts and
+  // seconds add, high-water marks take the max. The single spot that
+  // knows which is which — every aggregator goes through here.
+  void merge(const InvokerStats& other) {
+    calls_received += other.calls_received;
+    calls_completed += other.calls_completed;
+    calls_lost += other.calls_lost;
+    cold_starts += other.cold_starts;
+    prewarm_starts += other.prewarm_starts;
+    warm_starts += other.warm_starts;
+    evictions += other.evictions;
+    expirations += other.expirations;
+    daemon_busy_seconds += other.daemon_busy_seconds;
+    daemon_max_queue_length =
+        std::max(daemon_max_queue_length, other.daemon_max_queue_length);
+    daemon_queue_wait_seconds += other.daemon_queue_wait_seconds;
+    daemon_max_queue_wait_seconds = std::max(
+        daemon_max_queue_wait_seconds, other.daemon_max_queue_wait_seconds);
+  }
 };
 
 // A worker node's resource manager. Two implementations:
@@ -35,6 +73,13 @@ struct InvokerStats {
 // Kafka (r'(i)); `delivery` fires when the response leaves the node, with
 // exec_* timestamps and the start kind filled in. The cluster layer adds the
 // return-path latency and stamps c(i).
+//
+// Node lifecycle: a node is live until the cluster fails it via shutdown(),
+// which returns every call received but not yet delivered (so the
+// controller can re-submit them) and turns all of the node's future engine
+// callbacks into no-ops. Draining is a cluster-level routing decision — a
+// draining node simply stops receiving new submits and finishes its
+// backlog through the normal path.
 class Invoker {
  public:
   using DeliveryFn = std::function<void(const metrics::CallRecord&)>;
@@ -57,14 +102,36 @@ class Invoker {
   // counts.
   virtual void warmup() = 0;
 
-  // Receive a call (now == r'(i)).
-  virtual void submit(const workload::CallRequest& call) = 0;
+  // Receive a call (now == r'(i)); hands off to the implementation's
+  // on_submit. With in-flight tracking enabled the call is also remembered
+  // until delivery so a failure can return it.
+  void submit(const workload::CallRequest& call);
+
+  // Opt in to per-call in-flight bookkeeping (one hash-map insert + erase
+  // per call). The cluster enables it only on deployments that schedule
+  // drain/fail events, so the common churn-free run pays nothing.
+  void enable_in_flight_tracking() { track_in_flight_ = true; }
+  [[nodiscard]] bool tracks_in_flight() const { return track_in_flight_; }
+
+  // Fail the node: every future callback of this invoker becomes a no-op
+  // and the calls received but not yet delivered are returned (ordered by
+  // call id) for the controller to re-submit. Requires in-flight tracking;
+  // idempotent-hostile on purpose: failing a node twice is a caller bug
+  // and aborts.
+  [[nodiscard]] std::vector<workload::CallRequest> shutdown();
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  // Calls received and not yet delivered (queued, executing, or in
+  // post-processing). Always 0 when tracking is disabled.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
 
   [[nodiscard]] virtual std::size_t queue_length() const = 0;
   [[nodiscard]] virtual std::size_t executing() const = 0;
   [[nodiscard]] virtual std::string_view approach() const = 0;
 
-  [[nodiscard]] const InvokerStats& stats() const { return stats_; }
+  // Implementations override to fold live telemetry (daemon station, pool
+  // counters) into the returned snapshot.
+  [[nodiscard]] virtual const InvokerStats& stats() const { return stats_; }
   [[nodiscard]] const NodeParams& params() const { return params_; }
 
   // Node index stamped into call records (set by the cluster layer).
@@ -72,6 +139,27 @@ class Invoker {
   [[nodiscard]] int node_index() const { return node_index_; }
 
  protected:
+  // Implementation hook behind submit().
+  virtual void on_submit(const workload::CallRequest& call) = 0;
+
+  // Deliver a finished record to the cluster layer and drop it from the
+  // in-flight set. Implementations must route completions through here
+  // (never through delivery_ directly) or failed-node re-submission would
+  // double-count.
+  void deliver(const metrics::CallRecord& record);
+
+  // True once shutdown() ran; every engine callback re-entering the
+  // invoker checks this first and bails.
+  [[nodiscard]] bool dead() const { return failed_; }
+
+  // Fold the node's pool and daemon-station telemetry into stats_ — the
+  // one block both stats() overrides share, so a new field cannot be
+  // synced for one invoker and silently report 0 for the other. Defined
+  // in invoker.cpp: the base header stays forward-declaration-only on the
+  // container layer.
+  void sync_station_telemetry(const container::ContainerPool& pool,
+                              const container::DockerDaemon& daemon) const;
+
   // Lognormal sample around `median` with spread `sigma`.
   double sample_lognormal(double median, double sigma) {
     return rng_.lognormal(std::log(median), sigma);
@@ -89,9 +177,41 @@ class Invoker {
   const workload::FunctionCatalog* catalog_;
   NodeParams params_;
   sim::Rng rng_;
-  DeliveryFn delivery_;
-  InvokerStats stats_;
+  mutable InvokerStats stats_;
   int node_index_ = 0;
+
+ private:
+  DeliveryFn delivery_;
+  std::unordered_map<workload::CallId, workload::CallRequest> in_flight_;
+  bool failed_ = false;
+  bool track_in_flight_ = false;
 };
+
+inline void Invoker::submit(const workload::CallRequest& call) {
+  WHISK_CHECK(!failed_, "submit to a failed node");
+  if (track_in_flight_) in_flight_.emplace(call.id, call);
+  on_submit(call);
+}
+
+inline void Invoker::deliver(const metrics::CallRecord& record) {
+  if (track_in_flight_) in_flight_.erase(record.id);
+  delivery_(record);
+}
+
+inline std::vector<workload::CallRequest> Invoker::shutdown() {
+  WHISK_CHECK(!failed_, "node failed twice");
+  WHISK_CHECK(track_in_flight_,
+              "shutdown without in-flight tracking enabled");
+  failed_ = true;
+  std::vector<workload::CallRequest> lost;
+  lost.reserve(in_flight_.size());
+  for (const auto& [id, call] : in_flight_) lost.push_back(call);
+  std::sort(lost.begin(), lost.end(),
+            [](const workload::CallRequest& a,
+               const workload::CallRequest& b) { return a.id < b.id; });
+  stats_.calls_lost += lost.size();
+  in_flight_.clear();
+  return lost;
+}
 
 }  // namespace whisk::node

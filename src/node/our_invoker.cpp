@@ -14,7 +14,8 @@ OurInvoker::OurInvoker(sim::Engine& engine,
     : Invoker(engine, catalog, params, rng, std::move(delivery)),
       policy_(core::make_policy(policy, params.policy)),
       history_(params.history_window),
-      pool_(params.memory_limit_mb),
+      pool_(params.memory_limit_mb,
+            container::make_keep_alive(params.keep_alive)),
       daemon_(engine),
       cpu_(engine,
            os::CpuParams{os::ExecMode::kPinnedCore, params.cores,
@@ -33,8 +34,11 @@ void OurInvoker::warmup() {
   // Under our invoker the paper's warm-up (c parallel calls per function,
   // Sec. V-A) results in up to `cores` containers per function: each of the
   // c parallel calls is popped into its own slot, finds no warm container
-  // and creates one. Administrative: no simulated time passes.
-  const sim::SimTime ancient = -1000.0;
+  // and creates one. Administrative: no simulated time passes. The warm-up
+  // happens in the minute before the burst, so last_used sits just before
+  // t=0: LRU only compares relative order, and TTL keep-alive sees a warm
+  // set that is one minute old, not arbitrarily stale.
+  const sim::SimTime ancient = -60.0;
   int filled = 0;
   for (int round = 0; round < params_.cores; ++round) {
     for (const auto& spec : catalog_->specs()) {
@@ -66,7 +70,12 @@ void OurInvoker::warmup() {
   }
 }
 
-void OurInvoker::submit(const workload::CallRequest& call) {
+const InvokerStats& OurInvoker::stats() const {
+  sync_station_telemetry(pool_, daemon_);
+  return stats_;
+}
+
+void OurInvoker::on_submit(const workload::CallRequest& call) {
   ++stats_.calls_received;
   metrics::CallRecord rec;
   rec.id = call.id;
@@ -87,6 +96,11 @@ void OurInvoker::submit(const workload::CallRequest& call) {
 }
 
 void OurInvoker::try_dispatch() {
+  if (dead()) return;
+  // Reclaim idle containers whose keep-alive lapsed before taking any
+  // dispatch decision, so a stale warm container cold-starts instead of
+  // serving. Free for policies without expiry (lru).
+  pool_.sweep_expired(engine_->now());
   // Two gates: the paper's busy-container cap (<= cores) and a shallow
   // daemon backlog. The second keeps the waiting calls in the *priority*
   // queue where the policy can reorder them, instead of burying them in the
@@ -125,9 +139,10 @@ bool OurInvoker::dispatch_one() {
     init_delay = sample_lognormal(params_.prewarm_init_median_s,
                                   params_.prewarm_init_sigma);
   } else {
-    // Need a fresh container; evict idle LRU containers if memory is short.
+    // Need a fresh container; the keep-alive policy picks eviction victims
+    // if memory is short. (stats() folds the pool's eviction counters in.)
     if (pool_.memory_free_mb() < spec.memory_mb) {
-      stats_.evictions += pool_.evict_idle_until_free(spec.memory_mb);
+      pool_.evict_idle_until_free(spec.memory_mb);
     }
     auto created = pool_.begin_creation(spec.memory_mb);
     if (!created) {
@@ -163,6 +178,7 @@ bool OurInvoker::dispatch_one() {
   // initialization which delays only this call. Dispatch ops take priority
   // over queued background result/log processing.
   daemon_.submit(op, [this, active = std::move(active), init_delay]() mutable {
+    if (dead()) return;
     if (active.record.start_kind == metrics::StartKind::kCold) {
       pool_.finish_creation_busy(active.cid, active.record.function);
     }
@@ -179,6 +195,7 @@ bool OurInvoker::dispatch_one() {
 }
 
 void OurInvoker::begin_exec(ActiveCall active) {
+  if (dead()) return;
   active.record.exec_start = engine_->now();
   active.record.service =
       catalog_->sample_service(active.record.function, rng_);
@@ -188,6 +205,7 @@ void OurInvoker::begin_exec(ActiveCall active) {
 }
 
 void OurInvoker::on_exec_complete(os::CpuSystem::TaskId task) {
+  if (dead()) return;
   auto it = running_.find(task);
   WHISK_CHECK(it != running_.end(), "completion for unknown task");
   ActiveCall active = std::move(it->second);
@@ -226,12 +244,13 @@ void OurInvoker::on_exec_complete(os::CpuSystem::TaskId task) {
 }
 
 void OurInvoker::finish_call(ActiveCall active) {
+  if (dead()) return;
   pool_.release(active.cid, engine_->now());
   --busy_slots_;
   resource_blocked_ = false;
   ++stats_.calls_completed;
   active.record.completion = engine_->now();
-  delivery_(active.record);
+  deliver(active.record);
   try_dispatch();
 }
 

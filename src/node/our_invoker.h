@@ -35,7 +35,6 @@ class OurInvoker final : public Invoker {
              std::string_view policy);
 
   void warmup() override;
-  void submit(const workload::CallRequest& call) override;
 
   [[nodiscard]] std::size_t queue_length() const override {
     return pending_.size();
@@ -44,6 +43,9 @@ class OurInvoker final : public Invoker {
     return static_cast<std::size_t>(busy_slots_);
   }
   [[nodiscard]] std::string_view approach() const override { return "our"; }
+
+  // Base counters plus the daemon-station and pool telemetry.
+  [[nodiscard]] const InvokerStats& stats() const override;
 
   [[nodiscard]] std::string_view policy_name() const {
     return policy_->name();
@@ -75,6 +77,8 @@ class OurInvoker final : public Invoker {
     return static_cast<double>(busy_slots_) +
            static_cast<double>(pending_.size());
   }
+
+  void on_submit(const workload::CallRequest& call) override;
 
   void try_dispatch();
   // Returns false when the node is resource-blocked (memory too small for

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "container/keep_alive.h"
 #include "core/policy.h"
 #include "sim/time.h"
 
@@ -104,6 +105,14 @@ struct NodeParams {
 
   // Baseline prewarm ("stem cell") containers kept per node.
   int prewarm_target = 2;
+
+  // --- container keep-alive --------------------------------------------------
+  // Which idle containers the pool keeps warm: any spec accepted by
+  // container::KeepAlivePolicyRegistry ("lru", "ttl?idle-s=600",
+  // "pool-target?floor=2", ...). The cluster layer stamps the deployment's
+  // ClusterSpec keep-alive here; the default reproduces the paper's
+  // LRU-under-pressure rule.
+  container::KeepAliveSpec keep_alive;
 
   // Linear idle->loaded interpolation factor for an activity level x.
   [[nodiscard]] double ramp(double x) const {

@@ -19,42 +19,15 @@ ScenarioSpec ScenarioSpec::parse(std::string_view text) {
                "name before the '?'")
                   .c_str());
   if (q != std::string_view::npos) {
-    std::string_view rest = text.substr(q + 1);
-    while (!rest.empty()) {
-      const std::size_t amp = rest.find('&');
-      const std::string_view piece = rest.substr(0, amp);
-      rest = amp == std::string_view::npos ? std::string_view{}
-                                           : rest.substr(amp + 1);
-      const std::size_t eq = piece.find('=');
-      if (piece.empty() || eq == 0 || eq == std::string_view::npos) {
-        WHISK_CHECK(false, ("scenario spec \"" + std::string(text) +
-                            "\": parameter \"" + std::string(piece) +
-                            "\" is not key=value")
-                               .c_str());
-      }
-      const std::string key = util::ascii_lower(piece.substr(0, eq));
-      if (spec.params.count(key) != 0) {
-        WHISK_CHECK(false, ("scenario spec \"" + std::string(text) +
-                            "\" sets parameter \"" + key + "\" twice")
-                               .c_str());
-      }
-      spec.params[key] = std::string(piece.substr(eq + 1));
-    }
+    util::parse_param_list(text.substr(q + 1),
+                           "scenario spec \"" + std::string(text) + "\"",
+                           &spec.params);
   }
   return spec.normalized();
 }
 
 std::string ScenarioSpec::to_string() const {
-  std::string out = name;
-  char sep = '?';
-  for (const auto& [key, value] : params) {
-    out += sep;
-    out += key;
-    out += '=';
-    out += value;
-    sep = '&';
-  }
-  return out;
+  return util::render_params(name, params);
 }
 
 ScenarioSpec ScenarioSpec::normalized() const {

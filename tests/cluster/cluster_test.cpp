@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
+#include "experiments/runner.h"
+#include "metrics/csv.h"
 #include "workload/scenario_registry.h"
 
 namespace whisk::cluster {
@@ -82,7 +85,7 @@ TEST_F(ClusterTest, IdleResponseMatchesTableOneOverhead) {
 TEST_F(ClusterTest, MultiNodeSpreadsCalls) {
   sim::Engine engine;
   ClusterParams params;
-  params.num_nodes = 4;
+  params.deployment = ClusterSpec::homogeneous(4);
   params.node.cores = 5;
   params.balancer = "round-robin";
   Cluster cluster(engine, catalog_, params, 2);
@@ -101,7 +104,7 @@ TEST_F(ClusterTest, MultiNodeSpreadsCalls) {
 TEST_F(ClusterTest, RoundRobinBalancesEvenly) {
   sim::Engine engine;
   ClusterParams params;
-  params.num_nodes = 2;
+  params.deployment = ClusterSpec::homogeneous(2);
   params.node.cores = 5;
   Cluster cluster(engine, catalog_, params, 2);
   cluster.warmup();
@@ -153,7 +156,7 @@ TEST_F(ClusterTest, DeterministicAcrossRuns) {
 TEST_F(ClusterTest, TotalStatsAggregateAcrossNodes) {
   sim::Engine engine;
   ClusterParams params;
-  params.num_nodes = 3;
+  params.deployment = ClusterSpec::homogeneous(3);
   params.node.cores = 5;
   Cluster cluster(engine, catalog_, params, 4);
   cluster.warmup();
@@ -165,6 +168,176 @@ TEST_F(ClusterTest, TotalStatsAggregateAcrossNodes) {
   EXPECT_EQ(stats.calls_completed, 330u);
   EXPECT_EQ(stats.warm_starts + stats.prewarm_starts + stats.cold_starts,
             330u);
+}
+
+TEST_F(ClusterTest, LegacySugarEqualsExplicitOneGroupSpec) {
+  // The byte-pin behind the refactor: .nodes(n) is sugar for a one-group
+  // ClusterSpec, so both spellings must produce the identical record CSV.
+  auto run_csv = [&](bool explicit_cluster) {
+    auto spec = experiments::ExperimentSpec()
+                    .scheduler("ours/sept")
+                    .scenario("fixed-total?total=120")
+                    .cores(5)
+                    .seed(3);
+    if (explicit_cluster) {
+      spec.cluster("node:2");
+    } else {
+      spec.nodes(2);
+    }
+    const auto result = experiments::run_experiment(spec, catalog_);
+    return metrics::to_csv(result.records, catalog_);
+  };
+  EXPECT_EQ(run_csv(false), run_csv(true));
+}
+
+TEST_F(ClusterTest, HeterogeneousFleetRoutesByCapacity) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.balancer = "weighted-least-loaded";
+  params.node.cores = 4;
+  params.deployment = ClusterSpec::parse("big:1?cores=16,small:1?cores=4");
+  Cluster cluster(engine, catalog_, params, 5);
+  cluster.warmup();
+  // A 10 s window keeps a standing backlog, so the capacity weighting (not
+  // the idle tie-break) decides most picks.
+  const auto scenario = burst("fixed-total?total=400&window=10", 5);
+  cluster.run_scenario(scenario);
+  engine.run();
+  EXPECT_EQ(cluster.collector().size(), scenario.size());
+  EXPECT_EQ(cluster.invoker(0).params().cores, 16);
+  EXPECT_EQ(cluster.invoker(1).params().cores, 4);
+  EXPECT_EQ(cluster.node_group(0), 0u);
+  EXPECT_EQ(cluster.node_group(1), 1u);
+  std::map<int, int> calls_per_node;
+  for (const auto& rec : cluster.collector().records()) {
+    ++calls_per_node[rec.node];
+  }
+  EXPECT_GT(calls_per_node[0], 2 * calls_per_node[1])
+      << "the 16-core box should absorb most of the load";
+  const auto groups = cluster.group_stats();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].name, "big");
+  EXPECT_EQ(static_cast<int>(groups[0].stats.calls_completed),
+            calls_per_node[0]);
+}
+
+TEST_F(ClusterTest, DrainedNodeStopsReceivingButFinishesItsBacklog) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  params.deployment =
+      ClusterSpec::parse("node:2; events=drain@5:node/1");
+  Cluster cluster(engine, catalog_, params, 2);
+  cluster.warmup();
+  const auto scenario = burst("fixed-total?total=200", 2);
+  cluster.run_scenario(scenario);
+  engine.run();
+  EXPECT_EQ(cluster.collector().size(), scenario.size())
+      << "every call completes, including those queued on the drained node";
+  // No call released after the drain (plus the network hop) may land on
+  // node 1.
+  for (const auto& rec : cluster.collector().records()) {
+    if (rec.release > 5.0) {
+      EXPECT_EQ(rec.node, 0) << "call " << rec.id
+                             << " routed to a draining node";
+    }
+  }
+  EXPECT_EQ(cluster.node_state(1), NodeState::kDrained);
+  EXPECT_EQ(cluster.routable_nodes(), 1u);
+  EXPECT_EQ(cluster.resubmissions(), 0u);
+}
+
+TEST_F(ClusterTest, JoinedNodeStartsColdAndReceivesCalls) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  params.deployment = ClusterSpec::parse("node:1; events=join@10:node");
+  Cluster cluster(engine, catalog_, params, 3);
+  cluster.warmup();
+  const auto scenario = burst("fixed-total?total=200", 3);
+  cluster.run_scenario(scenario);
+  engine.run();
+  EXPECT_EQ(cluster.collector().size(), scenario.size());
+  EXPECT_EQ(cluster.num_nodes(), 2u);
+  EXPECT_EQ(cluster.routable_nodes(), 2u);
+  std::size_t on_joined = 0;
+  for (const auto& rec : cluster.collector().records()) {
+    if (rec.node == 1) {
+      ++on_joined;
+      EXPECT_GT(rec.received, 10.0) << "no call before the join";
+    }
+  }
+  EXPECT_GT(on_joined, 0u) << "the joined node takes traffic";
+  EXPECT_GT(cluster.invoker(1).stats().cold_starts, 0u)
+      << "a joined node is cold: its first calls create containers";
+  EXPECT_EQ(cluster.invoker(0).stats().cold_starts, 0u)
+      << "the warmed node never cold-starts in this load";
+}
+
+TEST_F(ClusterTest, FailedNodeCallsAreResubmittedAndAccounted) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  params.deployment = ClusterSpec::parse("node:2; events=fail@5:node/1");
+  Cluster cluster(engine, catalog_, params, 4);
+  cluster.warmup();
+  // 20 calls/s guarantees node 1 holds in-flight work when it dies at t=5.
+  const auto scenario = burst("fixed-total?total=200&window=10", 4);
+  cluster.run_scenario(scenario);
+  engine.run();
+  // Every call still completes exactly once; the interrupted ones needed a
+  // second submission.
+  EXPECT_EQ(cluster.collector().size(), scenario.size());
+  EXPECT_GT(cluster.resubmissions(), 0u)
+      << "a mid-burst failure must interrupt something";
+  EXPECT_EQ(cluster.node_state(1), NodeState::kFailed);
+  EXPECT_EQ(cluster.routable_nodes(), 1u);
+  const auto& col = cluster.collector();
+  EXPECT_EQ(col.resubmissions(), cluster.resubmissions())
+      << "the collector accounts every re-submission";
+  EXPECT_GT(col.resubmitted_calls(), 0u);
+  std::size_t attempts_above_one = 0;
+  for (const auto& rec : col.records()) {
+    if (rec.attempts > 1) {
+      ++attempts_above_one;
+      EXPECT_EQ(rec.node, 0) << "the retry completed on the survivor";
+    }
+  }
+  EXPECT_EQ(attempts_above_one, col.resubmitted_calls());
+  const auto stats = cluster.total_stats();
+  EXPECT_EQ(stats.calls_lost, cluster.invoker(1).stats().calls_lost);
+  EXPECT_EQ(stats.calls_completed, scenario.size());
+}
+
+TEST_F(ClusterTest, DaemonQueueWaitSurfacesInStats) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  Cluster cluster(engine, catalog_, params, 1);
+  cluster.warmup();
+  const auto scenario = burst("uniform?intensity=30", 1, /*cores=*/5);
+  cluster.run_scenario(scenario);
+  engine.run();
+  const auto stats = cluster.total_stats();
+  EXPECT_GT(stats.daemon_busy_seconds, 0.0);
+  EXPECT_GT(stats.daemon_queue_wait_seconds, 0.0)
+      << "a 30-intensity burst contends on the daemon";
+  EXPECT_GT(stats.daemon_max_queue_wait_seconds, 0.0);
+  EXPECT_GE(stats.daemon_queue_wait_seconds,
+            stats.daemon_max_queue_wait_seconds);
+}
+
+TEST(ClusterDeath, AllNodesGoneAborts) {
+  const auto catalog = workload::sebs_catalog();
+  sim::Engine engine;
+  ClusterParams params;
+  params.deployment = ClusterSpec::parse("node:1; events=drain@0.5:node/0");
+  Cluster cluster(engine, catalog, params, 1);
+  cluster.warmup();
+  workload::Scenario s;
+  s.calls.push_back(workload::CallRequest{0, 0, 1.0});
+  cluster.run_scenario(s);
+  EXPECT_DEATH(engine.run(), "no routable nodes");
 }
 
 }  // namespace

@@ -11,8 +11,9 @@
 namespace whisk::cluster {
 namespace {
 
-// A small fixture that builds real invokers (the balancer interface takes
-// Invoker*), optionally loading some of them with calls.
+// A small fixture that builds real invokers and presents them to the
+// balancers through the NodeView they see in production, optionally
+// loading some of them with calls.
 class BalancerTest : public ::testing::Test {
  protected:
   BalancerTest() : catalog_(workload::sebs_catalog()) {
@@ -21,22 +22,26 @@ class BalancerTest : public ::testing::Test {
     }
   }
 
-  void add_invoker(int cores) {
+  void add_invoker(int cores, std::size_t group = 0) {
     node::NodeParams p;
     p.cores = cores;
     invokers_.push_back(std::make_unique<node::OurInvoker>(
         engine_, catalog_, p, sim::Rng(invokers_.size()),
         [](const metrics::CallRecord&) {}, "fifo"));
     invokers_.back()->warmup();
-    ptrs_.push_back(invokers_.back().get());
+    refs_.push_back(NodeRef{invokers_.back().get(), refs_.size(), group});
   }
 
   void load_node(std::size_t idx, int calls) {
     const auto sleep = *catalog_.find("sleep");
     for (int k = 0; k < calls; ++k) {
-      ptrs_[idx]->submit(workload::CallRequest{k, sleep, 0.0});
+      refs_[idx].invoker->submit(workload::CallRequest{k, sleep, 0.0});
     }
   }
+
+  // The routable view, as the cluster layer hands it to pick().
+  [[nodiscard]] NodeView view() const { return NodeView(refs_); }
+  [[nodiscard]] std::size_t size() const { return refs_.size(); }
 
   workload::CallRequest call(workload::FunctionId fn = 0) const {
     return workload::CallRequest{0, fn, 0.0};
@@ -45,37 +50,37 @@ class BalancerTest : public ::testing::Test {
   sim::Engine engine_;
   workload::FunctionCatalog catalog_;
   std::vector<std::unique_ptr<node::Invoker>> invokers_;
-  std::vector<node::Invoker*> ptrs_;
+  std::vector<NodeRef> refs_;
 };
 
 TEST_F(BalancerTest, RoundRobinCycles) {
   auto b = make_balancer("round-robin");
-  EXPECT_EQ(b->pick(call(), ptrs_), 0u);
-  EXPECT_EQ(b->pick(call(), ptrs_), 1u);
-  EXPECT_EQ(b->pick(call(), ptrs_), 2u);
-  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
-  EXPECT_EQ(b->pick(call(), ptrs_), 0u);
+  EXPECT_EQ(b->pick(call(), view()), 0u);
+  EXPECT_EQ(b->pick(call(), view()), 1u);
+  EXPECT_EQ(b->pick(call(), view()), 2u);
+  EXPECT_EQ(b->pick(call(), view()), 3u);
+  EXPECT_EQ(b->pick(call(), view()), 0u);
 }
 
 TEST_F(BalancerTest, RoundRobinIgnoresFunction) {
   auto b = make_balancer("round-robin");
-  EXPECT_EQ(b->pick(call(3), ptrs_), 0u);
-  EXPECT_EQ(b->pick(call(3), ptrs_), 1u);
+  EXPECT_EQ(b->pick(call(3), view()), 0u);
+  EXPECT_EQ(b->pick(call(3), view()), 1u);
 }
 
 TEST_F(BalancerTest, HomeInvokerIsFunctionSticky) {
   auto b = make_balancer("home-invoker");
-  const auto first = b->pick(call(5), ptrs_);
-  const auto second = b->pick(call(5), ptrs_);
+  const auto first = b->pick(call(5), view());
+  const auto second = b->pick(call(5), view());
   EXPECT_EQ(first, second) << "same function lands on its home while idle";
-  EXPECT_EQ(first, 5u % ptrs_.size());
+  EXPECT_EQ(first, 5u % size());
 }
 
 TEST_F(BalancerTest, HomeInvokerOverflowsWhenHomeBusy) {
   auto b = make_balancer("home-invoker");
   const std::size_t home = 1u;  // function 5 % 4 == 1
   load_node(home, 10);          // well beyond 2 * cores
-  const auto got = b->pick(call(5), ptrs_);
+  const auto got = b->pick(call(5), view());
   EXPECT_NE(got, home);
 }
 
@@ -85,12 +90,12 @@ TEST_F(BalancerTest, LeastLoadedPicksEmptiestNode) {
   load_node(1, 1);
   load_node(2, 5);
   // Node 3 untouched.
-  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+  EXPECT_EQ(b->pick(call(), view()), 3u);
 }
 
 TEST_F(BalancerTest, LeastLoadedBreaksTiesByIndex) {
   auto b = make_balancer("least-loaded");
-  EXPECT_EQ(b->pick(call(), ptrs_), 0u);
+  EXPECT_EQ(b->pick(call(), view()), 0u);
 }
 
 TEST_F(BalancerTest, WeightedLeastLoadedNormalizesByCores) {
@@ -104,7 +109,7 @@ TEST_F(BalancerTest, WeightedLeastLoadedNormalizesByCores) {
   load_node(3, 2);
   load_node(4, 4);
   auto b = make_balancer("weighted-least-loaded");
-  EXPECT_EQ(b->pick(call(), ptrs_), 4u);
+  EXPECT_EQ(b->pick(call(), view()), 4u);
 }
 
 TEST_F(BalancerTest, WeightedLeastLoadedMatchesUnweightedOnUniformFleet) {
@@ -112,7 +117,7 @@ TEST_F(BalancerTest, WeightedLeastLoadedMatchesUnweightedOnUniformFleet) {
   load_node(0, 3);
   load_node(1, 1);
   load_node(2, 5);
-  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+  EXPECT_EQ(b->pick(call(), view()), 3u);
 }
 
 TEST_F(BalancerTest, JoinIdleQueuePrefersIdleInvokers) {
@@ -121,7 +126,7 @@ TEST_F(BalancerTest, JoinIdleQueuePrefersIdleInvokers) {
   load_node(1, 1);
   load_node(3, 4);
   // Node 2 is the only idle one.
-  EXPECT_EQ(b->pick(call(), ptrs_), 2u);
+  EXPECT_EQ(b->pick(call(), view()), 2u);
 }
 
 TEST_F(BalancerTest, JoinIdleQueueRotatesOverIdleInvokers) {
@@ -129,9 +134,9 @@ TEST_F(BalancerTest, JoinIdleQueueRotatesOverIdleInvokers) {
   load_node(0, 2);
   // Nodes 1, 2, 3 idle: consecutive picks spread instead of hammering the
   // first idle node.
-  EXPECT_EQ(b->pick(call(), ptrs_), 1u);
-  EXPECT_EQ(b->pick(call(), ptrs_), 2u);
-  EXPECT_EQ(b->pick(call(), ptrs_), 3u);
+  EXPECT_EQ(b->pick(call(), view()), 1u);
+  EXPECT_EQ(b->pick(call(), view()), 2u);
+  EXPECT_EQ(b->pick(call(), view()), 3u);
 }
 
 TEST_F(BalancerTest, JoinIdleQueueFallsBackToLeastLoaded) {
@@ -140,7 +145,32 @@ TEST_F(BalancerTest, JoinIdleQueueFallsBackToLeastLoaded) {
   load_node(1, 1);
   load_node(2, 5);
   load_node(3, 2);
-  EXPECT_EQ(b->pick(call(), ptrs_), 1u);
+  EXPECT_EQ(b->pick(call(), view()), 1u);
+}
+
+TEST_F(BalancerTest, JoinIdleQueueFallbackIsCapacityAware) {
+  // Nobody idle: the fallback must normalize by cores, landing on the
+  // 16-core box (4/16 = 0.25) over the less-backlogged 2-core ones.
+  add_invoker(/*cores=*/16, /*group=*/1);  // index 4
+  load_node(0, 1);
+  load_node(1, 1);
+  load_node(2, 1);
+  load_node(3, 1);
+  load_node(4, 4);
+  auto b = make_balancer("join-idle-queue");
+  EXPECT_EQ(b->pick(call(), view()), 4u);
+}
+
+TEST_F(BalancerTest, NodeViewExposesGroupAndCapacityIdentity) {
+  add_invoker(/*cores=*/16, /*group=*/1);
+  const NodeView v = view();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0].group, 0u);
+  EXPECT_EQ(v[4].group, 1u);
+  EXPECT_EQ(v[4].node_index, 4u);
+  EXPECT_EQ(v[4].cores(), 16);
+  EXPECT_EQ(v[0].cores(), 2);
+  EXPECT_EQ(v[0].load(), 0u);
 }
 
 TEST_F(BalancerTest, AllRegisteredBalancersReturnValidIndices) {
@@ -148,8 +178,8 @@ TEST_F(BalancerTest, AllRegisteredBalancersReturnValidIndices) {
     auto b = make_balancer(name);
     for (int i = 0; i < 32; ++i) {
       const auto idx =
-          b->pick(call(static_cast<workload::FunctionId>(i % 11)), ptrs_);
-      ASSERT_LT(idx, ptrs_.size()) << name;
+          b->pick(call(static_cast<workload::FunctionId>(i % 11)), view());
+      ASSERT_LT(idx, size()) << name;
     }
   }
 }

@@ -131,6 +131,40 @@ TEST(DockerDaemon, TelemetryCounters) {
   EXPECT_DOUBLE_EQ(d.busy_seconds(), 6.0);
 }
 
+TEST(DockerDaemon, QueueWaitTracksTimeSpentBehindOtherOps) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  // Op A starts immediately (wait 0), B waits out A's 1 s, C waits A+B.
+  d.submit(1.0, [] {});
+  d.submit(2.0, [] {});
+  d.submit(0.5, [] {});
+  e.run();
+  EXPECT_DOUBLE_EQ(d.queue_wait_seconds(), 0.0 + 1.0 + 3.0);
+  EXPECT_DOUBLE_EQ(d.max_queue_wait_seconds(), 3.0);
+}
+
+TEST(DockerDaemon, QueueWaitCountsFromSubmissionTime) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  d.submit(2.0, [] {});
+  // Submitted at t=1 while the first op runs until t=2: waits 1 s.
+  e.schedule_at(1.0, [&d] { d.submit(1.0, [] {}); });
+  e.run();
+  EXPECT_DOUBLE_EQ(d.queue_wait_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max_queue_wait_seconds(), 1.0);
+}
+
+TEST(DockerDaemon, IdleDaemonAccruesNoQueueWait) {
+  sim::Engine e;
+  DockerDaemon d(e);
+  d.submit(1.0, [] {});
+  e.run();
+  d.submit(1.0, [] {});
+  e.run();
+  EXPECT_DOUBLE_EQ(d.queue_wait_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max_queue_wait_seconds(), 0.0);
+}
+
 TEST(DockerDaemon, ZeroDurationOpCompletesInstantly) {
   sim::Engine e;
   DockerDaemon d(e);

@@ -189,6 +189,81 @@ TEST(PoolDeath, FinishCreationTwiceAborts) {
   EXPECT_DEATH(pool.finish_creation_busy(*cid, 1), "non-creating");
 }
 
+TEST(Pool, LruOrderSurvivesPrewarmAssignAndRelease) {
+  // A prewarm-origin container enters the LRU order at its *release* time,
+  // not its creation or assign_function time: releasing it last must make
+  // it the most-recently-used and the old warm container the victim.
+  ContainerPool pool(2.0 * kMb);
+  const auto old_warm = make_idle(pool, 7, 1.0);
+  const auto pre = pool.begin_creation(kMb);
+  ASSERT_TRUE(pre.has_value());
+  pool.finish_creation_prewarm(*pre);
+  const auto got = pool.acquire_prewarm();
+  ASSERT_TRUE(got.has_value());
+  pool.assign_function(*got, 7);
+  pool.release(*got, 5.0);
+  EXPECT_EQ(pool.idle_count_of(7), 2u);
+  // MRU-first acquire returns the newly released prewarm-origin container.
+  EXPECT_EQ(pool.acquire_warm(7), got);
+  pool.release(*got, 6.0);
+  // Under pressure the stale original is evicted, not the fresh one.
+  EXPECT_EQ(pool.evict_idle_until_free(kMb), 1u);
+  EXPECT_EQ(pool.acquire_warm(7), got);
+  (void)old_warm;
+}
+
+TEST(Pool, CancelCreationKeepsAccountingExactUnderPressure) {
+  ContainerPool pool(2.0 * kMb);
+  const auto a = pool.begin_creation(kMb);
+  const auto b = pool.begin_creation(kMb);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(pool.begin_creation(kMb).has_value()) << "pool full";
+  EXPECT_EQ(pool.creations(), 2u);
+  pool.cancel_creation(*a);
+  EXPECT_DOUBLE_EQ(pool.memory_used_mb(), kMb);
+  EXPECT_EQ(pool.creating_count(), 1u);
+  EXPECT_EQ(pool.total_containers(), 1u);
+  // The freed reservation is immediately reusable, and the cancelled id is
+  // gone for good.
+  EXPECT_TRUE(pool.begin_creation(kMb).has_value());
+  EXPECT_DEATH(pool.cancel_creation(*a), "unknown container");
+  // creations() counts begin_creation calls; cancellation does not rewind
+  // it (it is a lifetime counter, not a live gauge).
+  EXPECT_EQ(pool.creations(), 3u);
+}
+
+TEST(PoolDeath, CancelCreationRejectsNonCreatingStates) {
+  ContainerPool pool(4.0 * kMb);
+  const auto idle = make_idle(pool, 1, 1.0);
+  EXPECT_DEATH(pool.cancel_creation(idle), "non-creating");
+  const auto pre = pool.begin_creation(kMb);
+  pool.finish_creation_prewarm(*pre);
+  EXPECT_DEATH(pool.cancel_creation(*pre), "non-creating");
+}
+
+TEST(Pool, EvictionRefusesBusyAndCreatingContainers) {
+  ContainerPool pool(3.0 * kMb);
+  make_idle(pool, 1, 1.0);
+  const auto busy = pool.acquire_warm(1);
+  ASSERT_TRUE(busy.has_value());
+  const auto creating = pool.begin_creation(kMb);
+  ASSERT_TRUE(creating.has_value());
+  make_idle(pool, 2, 2.0);
+  // Pool holds one busy, one creating, one idle. Asking for 2 slots can
+  // only reclaim the idle one; busy/creating are never victims no matter
+  // how much is requested.
+  EXPECT_EQ(pool.evict_idle_until_free(2.0 * kMb), 1u);
+  EXPECT_EQ(pool.busy_count(), 1u);
+  EXPECT_EQ(pool.creating_count(), 1u);
+  EXPECT_DOUBLE_EQ(pool.memory_free_mb(), kMb);
+  // Prewarm containers are likewise not eviction candidates.
+  const auto pre = pool.begin_creation(kMb);
+  pool.finish_creation_prewarm(*pre);
+  EXPECT_EQ(pool.evict_idle_until_free(3.0 * kMb), 0u);
+  EXPECT_EQ(pool.prewarm_count(), 1u);
+}
+
 // Property: arbitrary operation sequences keep memory accounting exact.
 class PoolAccounting : public ::testing::TestWithParam<int> {};
 

@@ -98,11 +98,42 @@ TEST(CampaignSpecTest, GroupIndexInvertsTheCellExpansion) {
     const auto cell = spec.cell(i);
     EXPECT_EQ(spec.group_index(cell.scheduler_i, cell.scenario_i,
                                cell.nodes_i, cell.cores_i, cell.memory_i,
-                               cell.override_i),
+                               cell.cluster_i, cell.override_i),
               i / spec.seeds_per_group())
         << "cell " << i;
   }
   EXPECT_DEATH((void)spec.group_index(2), "scheduler coordinate");
+}
+
+TEST(CampaignSpecTest, ClustersAxisExpandsCompactSpecs) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept; scenarios=uniform?intensity=30; seeds=0..1; "
+      "clusters=node:2,big:1?cores=16+small:2|events=drain@5:small/0+"
+      "fail@9:small/1");
+  ASSERT_EQ(spec.clusters.size(), 2u);
+  EXPECT_TRUE(spec.cluster_mode());
+  EXPECT_EQ(spec.size(), 4u);
+  EXPECT_EQ(spec.clusters[0], cluster::ClusterSpec::homogeneous(2));
+  EXPECT_EQ(spec.clusters[1].groups.size(), 2u);
+  EXPECT_EQ(spec.clusters[1].events.size(), 2u);
+  // Expansion: cluster varies faster than the seed-outer axes; cell 0/1
+  // are cluster 0 seeds, cell 2/3 cluster 1 seeds.
+  EXPECT_EQ(spec.cell(0).cluster_i, 0u);
+  EXPECT_EQ(spec.cell(1).cluster_i, 0u);
+  EXPECT_EQ(spec.cell(2).cluster_i, 1u);
+  EXPECT_EQ(spec.cell(2).seed_i, 0u);
+  // Round-trip through the canonical string.
+  EXPECT_EQ(CampaignSpec::parse(spec.to_string()), spec);
+  // Labels identify the swept deployment.
+  EXPECT_NE(spec.label(spec.cell(2)).find("big:1"), std::string::npos);
+}
+
+TEST(CampaignSpecTest, DefaultGridHasNoClusterMode) {
+  const auto spec = CampaignSpec::parse("schedulers=ours/sept; seeds=0");
+  EXPECT_FALSE(spec.cluster_mode());
+  EXPECT_EQ(spec.to_string().find("clusters="), std::string::npos)
+      << "legacy grids round-trip without a clusters axis";
+  EXPECT_FALSE(spec.cell(0).spec.has_explicit_cluster());
 }
 
 TEST(CampaignSpecTest, FirstSeedsArePaperSeeds) {

@@ -198,6 +198,99 @@ TEST_F(CampaignTest, CellsCsvQuotesSpecsWithCommas) {
       << csv;
 }
 
+TEST_F(CampaignTest, ClustersAxisRunsAndIsThreadInvariant) {
+  // The acceptance-criterion grid: a clusters axis whose second entry
+  // drains one node and fails another mid-burst. Output must be invariant
+  // under the thread count and the re-submitted calls fully accounted.
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept/weighted-least-loaded; "
+      "scenarios=fixed-total?total=150&window=10; seeds=0..1; "
+      "clusters=node:2,"
+      "big:1?cores=16+small:2?cores=4|keep-alive=ttl?idle-s=120|"
+      "events=drain@3:small/0+fail@6:small/1");
+  ASSERT_EQ(spec.size(), 4u);
+  ASSERT_TRUE(spec.cluster_mode());
+
+  auto run_at = [&](int threads) {
+    CampaignOptions opts;
+    opts.threads = threads;
+    opts.retain_records = true;
+    std::ostringstream records;
+    metrics::MetricsPipeline pipeline;
+    pipeline.emplace<metrics::CsvSink>(records, cat_);
+    opts.pipeline = &pipeline;
+    const auto result = run_campaign(spec, cat_, opts);
+    return std::make_pair(result,
+                          cells_csv(result) + "\n---\n" +
+                              cells_jsonl(result) + "\n---\n" + records.str());
+  };
+  const auto [result1, text1] = run_at(1);
+  const auto [result2, text2] = run_at(2);
+  EXPECT_EQ(text1, text2);
+
+  // Cells of the churning cluster (group 1) complete every call and log
+  // the failure's re-submissions.
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto cell = spec.cell(i);
+    EXPECT_EQ(result1.cells[i].calls, 150u) << "cell " << i;
+    if (cell.cluster_i == 1) {
+      EXPECT_GT(result1.cells[i].resubmissions, 0u) << "cell " << i;
+      ASSERT_EQ(result1.cells[i].groups.size(), 2u);
+      EXPECT_EQ(result1.cells[i].groups[0].name, "big");
+      EXPECT_EQ(result1.cells[i].groups[1].name, "small");
+    } else {
+      EXPECT_EQ(result1.cells[i].resubmissions, 0u);
+    }
+  }
+
+  // The same cell through the serial runner agrees record for record, and
+  // its collector accounts the re-submissions.
+  const auto churn_cell = spec.cell(spec.group_index(0, 0, 0, 0, 0, 1) *
+                                    spec.seeds_per_group());
+  const auto serial = run_experiment(churn_cell.spec, cat_);
+  EXPECT_EQ(serial.resubmissions, result1.cells[churn_cell.index].resubmissions);
+  std::size_t retried = 0;
+  for (const auto& rec : serial.records) {
+    if (rec.attempts > 1) ++retried;
+  }
+  EXPECT_GT(retried, 0u);
+  EXPECT_EQ(metrics::to_csv(serial.records, cat_),
+            metrics::to_csv(result2.cells[churn_cell.index].records, cat_));
+}
+
+TEST_F(CampaignTest, ClustersAxisRoundTripsThroughToString) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept; scenarios=uniform?intensity=30; seeds=0; "
+      "clusters=node:4,big:2?cores=16+small:4|keep-alive=pool-target?floor=2");
+  const auto reparsed = CampaignSpec::parse(spec.to_string());
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(reparsed.clusters.size(), 2u);
+  EXPECT_EQ(reparsed.clusters[1].keep_alive.name, "pool-target");
+}
+
+TEST_F(CampaignTest, ClusterCellsCarryTheSpecIntoExperimentSpecs) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/fifo; scenarios=fixed-total?total=50; seeds=0; "
+      "clusters=big:1?cores=2+small:1");
+  ASSERT_EQ(spec.size(), 1u);
+  const auto cell = spec.cell(0);
+  EXPECT_TRUE(cell.spec.has_explicit_cluster());
+  EXPECT_EQ(cell.spec.cluster().groups.size(), 2u);
+  EXPECT_EQ(cell.spec.cluster().groups[0].name, "big");
+}
+
+TEST(CampaignSpecClusterDeath, ClustersAndNodesAxesConflict) {
+  EXPECT_DEATH((void)CampaignSpec::parse(
+                   "schedulers=ours/fifo; nodes=2; clusters=node:3"),
+               "clusters axis and a nodes axis");
+  // An explicit clusters axis conflicts even when its value happens to
+  // equal the default one-node deployment — it must never be silently
+  // dropped in favor of nodes=.
+  EXPECT_DEATH((void)CampaignSpec::parse(
+                   "schedulers=ours/fifo; clusters=node:1; nodes=4"),
+               "clusters axis and a nodes axis");
+}
+
 TEST_F(CampaignTest, PooledHelpersNeedRetainedSamples) {
   CampaignSpec spec;
   spec.scenarios = {workload::ScenarioSpec::parse("uniform?intensity=30")};

@@ -81,10 +81,35 @@ std::size_t run_campaign_workload(const whisk::workload::FunctionCatalog& cat,
   return result.cells.size();
 }
 
+// The deployment-layer stress: a heterogeneous two-group fleet with TTL
+// keep-alive and drain/fail/join churn mid-burst, 4 seeds under the
+// capacity-aware balancer. Exercises ClusterSpec expansion, the NodeView
+// rebuilds, keep-alive sweeps and the failure re-submission path end to
+// end. Returns the number of cells run.
+std::size_t run_hetero_workload(const whisk::workload::FunctionCatalog& cat,
+                                int threads) {
+  whisk::experiments::CampaignSpec grid;
+  grid.schedulers = {whisk::experiments::SchedulerSpec::parse(
+      "ours/sept/weighted-least-loaded")};
+  grid.scenarios = {
+      whisk::workload::ScenarioSpec::parse("fixed-total?total=300")};
+  grid.cores = {5};
+  grid.clusters = {whisk::cluster::ClusterSpec::parse(
+      "big:1?cores=16,small:2?cores=4; keep-alive=ttl?idle-s=120; "
+      "events=drain@10:small/0,fail@20:small/1,join@30:small")};
+  grid.seeds = {0, 1, 2, 3};
+  whisk::experiments::CampaignOptions opts;
+  opts.threads = threads;
+  opts.retain_samples = false;
+  const auto result = whisk::experiments::run_campaign(grid, cat, opts);
+  return result.cells.size();
+}
+
 void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
           Measurement seed_churn, Measurement new_drain,
           Measurement seed_drain, Measurement new_hist, Measurement seed_hist,
-          Measurement camp_1t, Measurement camp_mt, int camp_threads) {
+          Measurement camp_1t, Measurement camp_mt, int camp_threads,
+          Measurement hetero) {
   auto block = [out](const char* name, const Measurement& m,
                      const char* trailer) {
     std::fprintf(out,
@@ -120,6 +145,13 @@ void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
                camp_threads);
   std::fprintf(out, "    \"parallel_speedup\": %.2f\n",
                camp_mt.events_per_sec / camp_1t.events_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"hetero_fleet\": {\n");
+  std::fprintf(out,
+               "    \"cells\": %zu, \"cells_per_sec\": %.2f, "
+               "\"description\": \"2-group fleet, ttl keep-alive, "
+               "drain+fail+join churn\"\n",
+               hetero.events, hetero.events_per_sec);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"peak_rss_kb\": %ld\n", peak_rss_kb());
   std::fprintf(out, "}\n");
@@ -176,16 +208,21 @@ int main(int argc, char** argv) {
   const auto camp_mt = measure(
       [&cat, camp_threads] { return run_campaign_workload(cat, camp_threads); },
       1.0);
+  std::fprintf(stderr, "measuring heterogeneous-fleet cells/sec...\n");
+  const auto hetero = measure(
+      [&cat, camp_threads] { return run_hetero_workload(cat, camp_threads); },
+      1.0);
 
   emit(stdout, "engine_hot_path", new_churn, seed_churn, new_drain,
-       seed_drain, new_hist, seed_hist, camp_1t, camp_mt, camp_threads);
+       seed_drain, new_hist, seed_hist, camp_1t, camp_mt, camp_threads,
+       hetero);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
   emit(f, "engine_hot_path", new_churn, seed_churn, new_drain, seed_drain,
-       new_hist, seed_hist, camp_1t, camp_mt, camp_threads);
+       new_hist, seed_hist, camp_1t, camp_mt, camp_threads, hetero);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (churn speedup: %.2fx)\n", path.c_str(),
                new_churn.events_per_sec / seed_churn.events_per_sec);

@@ -14,11 +14,16 @@
 #include <memory>
 #include <string>
 
+#include "cluster/balancer_registry.h"
+#include "container/keep_alive.h"
+#include "core/policy_registry.h"
 #include "experiments/campaign.h"
 #include "metrics/sink.h"
+#include "node/invoker_registry.h"
 #include "util/parse.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "workload/scenario_registry.h"
 
 using namespace whisk;
 
@@ -34,6 +39,9 @@ int usage(const char* argv0) {
       "  scenarios=name[?key=value&...],...\n"
       "  seeds=0..4 | seeds=0,1,7      nodes=1,2   cores=10,20\n"
       "  memory-mb=2048,32768          override:<knob>=v1,v2\n"
+      "  clusters=node:4,big:2?cores=16+small:4|keep-alive=ttl?idle-s=300\n"
+      "    (ClusterSpec compact form: '+' for list ',', '|' for section "
+      "';')\n"
       "\n"
       "options:\n"
       "  --threads N        worker threads (default 1; 0 = all cores)\n"
@@ -43,9 +51,40 @@ int usage(const char* argv0) {
       "  --records-jsonl F  full per-call record JSON Lines (streamed)\n"
       "  --no-samples       bounded memory: streaming summaries only\n"
       "  --reservoir N      quantile reservoir capacity (default 4096)\n"
-      "  --quiet            no progress, no per-cell table\n",
+      "  --quiet            no progress, no per-cell table\n"
+      "  --list             print every registered component name and exit\n",
       argv0);
   return 2;
+}
+
+// One-stop discoverability: every name each registry will accept in a grid
+// (mirrors scenario_catalog, which additionally documents per-scenario
+// parameters).
+int list_registries() {
+  auto section = [](const char* kind, const std::vector<std::string>& names) {
+    std::printf("%s:\n", kind);
+    for (const auto& name : names) std::printf("  %s\n", name.c_str());
+  };
+  section("invokers (schedulers=<invoker>/...)",
+          whisk::node::InvokerRegistry::instance().names());
+  section("policies (schedulers=.../<policy>/...)",
+          whisk::core::PolicyRegistry::instance().names());
+  section("balancers (schedulers=.../.../<balancer>)",
+          whisk::cluster::BalancerRegistry::instance().names());
+  section("scenarios (scenarios=<name>?...)",
+          whisk::workload::ScenarioRegistry::instance().names());
+  std::printf("keep-alive policies (clusters=...|keep-alive=<name>?...):\n");
+  auto& keep_alive = whisk::container::KeepAlivePolicyRegistry::instance();
+  for (const auto& name : keep_alive.names()) {
+    std::printf("  %s\n", name.c_str());
+    const auto policy =
+        keep_alive.create(name, whisk::container::KeepAliveSpec{name, {}});
+    for (const auto& param : policy->params()) {
+      std::printf("    %s (default %s): %s\n", param.name.c_str(),
+                  param.default_value.c_str(), param.help.c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -102,6 +141,8 @@ int main(int argc, char** argv) {
       opts.reservoir_capacity = static_cast<std::size_t>(cap);
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      return list_registries();
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       return usage(argv[0]);
@@ -171,7 +212,7 @@ int main(int argc, char** argv) {
       const auto r = cell.response_summary();
       const auto s = cell.stretch_summary();
       table.add_row({std::to_string(cell.index),
-                     spec.label(spec.cell(cell.index)),
+                     spec.label(spec.coordinates(cell.index)),
                      std::to_string(cell.calls), util::fmt(r.mean),
                      util::fmt(r.p50), util::fmt(r.p95), util::fmt(s.mean, 1),
                      util::fmt(cell.max_completion),
