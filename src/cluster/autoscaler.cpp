@@ -1,0 +1,360 @@
+#include "cluster/autoscaler.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "core/history.h"
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace whisk::cluster {
+namespace {
+
+// Declared parameters per canonical controller name, the driver keys
+// included. Cached so normalized() does not construct a probe instance on
+// every call (registrations are append-only, so a cached entry never goes
+// stale). Mutex-guarded: specs are normalized from campaign worker threads
+// too, and map node addresses are stable, so the returned reference
+// outlives the lock safely.
+const std::vector<AutoscalerParam>& declared_params(const std::string& canon) {
+  static auto* mutex = new std::mutex();
+  static auto* cache =
+      new std::map<std::string, std::vector<AutoscalerParam>>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  auto it = cache->find(canon);
+  if (it == cache->end()) {
+    const auto probe =
+        AutoscalerRegistry::instance().create(canon, AutoscalerSpec{canon, {}});
+    std::vector<AutoscalerParam> all = common_autoscaler_params();
+    for (const auto& p : probe->params()) all.push_back(p);
+    it = cache->emplace(canon, std::move(all)).first;
+  }
+  return it->second;
+}
+
+// Lowercase, duplicate-check and declared-key-validate `params` for the
+// canonical controller `canon` — the shared half of normalized() and
+// make_autoscaler() (parameter *values* are validated by constructing the
+// controller; the driver keys below).
+std::map<std::string, std::string> fold_params(
+    const std::string& canon,
+    const std::map<std::string, std::string>& params) {
+  const auto& valid = declared_params(canon);
+  std::map<std::string, std::string> out;
+  for (const auto& [raw_key, value] : params) {
+    const std::string key = util::ascii_lower(raw_key);
+    WHISK_CHECK(out.count(key) == 0,
+                ("autoscaler \"" + canon + "\" sets parameter \"" + key +
+                 "\" twice")
+                    .c_str());
+    bool known = false;
+    for (const auto& p : valid) {
+      if (p.name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::vector<std::string> names;
+      names.reserve(valid.size());
+      for (const auto& p : valid) names.push_back(p.name);
+      WHISK_CHECK(false, ("autoscaler \"" + canon +
+                          "\" does not take parameter \"" + raw_key +
+                          "\"; valid parameters: " + util::join(names))
+                             .c_str());
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+// The driver keys ride in every spec, so a bad cadence dies at parse time
+// with the other diagnostics, not when the Cluster first reads it.
+void check_driver_params(const AutoscalerSpec& spec) {
+  const double tick = spec.number("tick-s", 5.0);
+  WHISK_CHECK(tick > 0.0, ("autoscaler \"" + spec.name + "\": tick-s = " +
+                           std::to_string(tick) + " must be > 0")
+                              .c_str());
+  const double cooldown = spec.number("cooldown-s", 60.0);
+  WHISK_CHECK(cooldown >= 0.0,
+              ("autoscaler \"" + spec.name + "\": cooldown-s = " +
+               std::to_string(cooldown) + " must be >= 0")
+                  .c_str());
+}
+
+}  // namespace
+
+const std::vector<AutoscalerParam>& common_autoscaler_params() {
+  static const std::vector<AutoscalerParam> kCommon = {
+      {"tick-s", "5", "seconds between controller observations"},
+      {"cooldown-s", "60",
+       "per-group minimum seconds between scaling actions"},
+  };
+  return kCommon;
+}
+
+AutoscalerSpec AutoscalerSpec::parse(std::string_view text) {
+  WHISK_CHECK(!text.empty(),
+              "empty autoscaler spec; expected \"name[?key=value[&...]]\" "
+              "like \"target-util?low=0.3&high=0.85\" (or \"none\")");
+  AutoscalerSpec spec;
+  const std::size_t q = text.find('?');
+  spec.name = std::string(text.substr(0, q));
+  WHISK_CHECK(!spec.name.empty(),
+              ("autoscaler spec \"" + std::string(text) +
+               "\" has an empty name before the '?'")
+                  .c_str());
+  if (q != std::string_view::npos) {
+    util::parse_param_list(text.substr(q + 1),
+                           "autoscaler spec \"" + std::string(text) + "\"",
+                           &spec.params);
+  }
+  return spec.normalized();
+}
+
+std::string AutoscalerSpec::to_string() const {
+  return util::render_params(name, params);
+}
+
+AutoscalerSpec AutoscalerSpec::normalized() const {
+  AutoscalerSpec out;
+  if (util::ascii_lower(name) == "none") {
+    WHISK_CHECK(params.empty(),
+                "autoscaler \"none\" takes no parameters; name a controller "
+                "(target-util, queue-depth, predictive) to configure one");
+    out.name = "none";
+    return out;
+  }
+  auto& registry = AutoscalerRegistry::instance();
+  out.name = registry.resolve(name);
+  out.params = fold_params(out.name, params);
+  // Constructing the controller validates the parameter *values* too, so a
+  // bad value dies at parse time, not mid-sweep.
+  (void)registry.create(out.name, out);
+  check_driver_params(out);
+  return out;
+}
+
+bool AutoscalerSpec::has(std::string_view key) const {
+  return params.count(util::ascii_lower(key)) != 0;
+}
+
+double AutoscalerSpec::number(std::string_view key, double fallback) const {
+  const auto it = params.find(util::ascii_lower(key));
+  if (it == params.end()) return fallback;
+  double value = 0.0;
+  if (!util::parse_finite_double(it->second, &value)) {
+    WHISK_CHECK(false, ("autoscaler \"" + name + "\" parameter " +
+                        std::string(key) + "=\"" + it->second +
+                        "\" is not a finite number")
+                           .c_str());
+  }
+  return value;
+}
+
+std::size_t AutoscalerSpec::count(std::string_view key,
+                                  std::size_t fallback) const {
+  const auto it = params.find(util::ascii_lower(key));
+  if (it == params.end()) return fallback;
+  unsigned long long value = 0;
+  if (!util::parse_whole_number(it->second, &value)) {
+    WHISK_CHECK(false, ("autoscaler \"" + name + "\" parameter " +
+                        std::string(key) + "=\"" + it->second +
+                        "\" is not a whole number >= 0")
+                           .c_str());
+  }
+  return static_cast<std::size_t>(value);
+}
+
+namespace {
+
+// Keep each group's utilization (queued + executing per core) inside a
+// band: above `high` grows the group one node, below `low` shrinks it one
+// node, one step per tick. The classic CPU-utilization target rule.
+class TargetUtilAutoscaler final : public Autoscaler {
+ public:
+  explicit TargetUtilAutoscaler(const AutoscalerSpec& spec)
+      : low_(spec.number("low", 0.3)), high_(spec.number("high", 0.85)) {
+    WHISK_CHECK(low_ >= 0.0, ("autoscaler \"target-util\": low = " +
+                              std::to_string(low_) + " must be >= 0")
+                                 .c_str());
+    WHISK_CHECK(high_ > low_, ("autoscaler \"target-util\": high = " +
+                               std::to_string(high_) +
+                               " must exceed low = " + std::to_string(low_))
+                                  .c_str());
+  }
+
+  std::string_view name() const override { return "target-util"; }
+  std::string help() const override {
+    return "keeps per-group utilization (load per core) inside [low, high]; "
+           "one node step per tick";
+  }
+  std::vector<AutoscalerParam> params() const override {
+    return {{"low", "0.3", "utilization below which the group shrinks"},
+            {"high", "0.85", "utilization above which the group grows"}};
+  }
+  std::size_t desired_nodes(const GroupObservation& group,
+                            const ClusterObservation&) override {
+    if (group.active == 0) return 0;
+    const double util = group.utilization();
+    if (util > high_) return group.active + 1;
+    if (util < low_) return group.active - 1;
+    return group.active;
+  }
+
+ private:
+  double low_;
+  double high_;
+};
+
+// React to the daemon backlog: more than `high` queued calls per active
+// node grows the group, fewer than `low` shrinks it. Blind to executing
+// work on purpose — it models the "queue depth" alarms real deployments
+// scale on.
+class QueueDepthAutoscaler final : public Autoscaler {
+ public:
+  explicit QueueDepthAutoscaler(const AutoscalerSpec& spec)
+      : low_(spec.number("low", 0.5)), high_(spec.number("high", 4.0)) {
+    WHISK_CHECK(low_ >= 0.0, ("autoscaler \"queue-depth\": low = " +
+                              std::to_string(low_) + " must be >= 0")
+                                 .c_str());
+    WHISK_CHECK(high_ > low_, ("autoscaler \"queue-depth\": high = " +
+                               std::to_string(high_) +
+                               " must exceed low = " + std::to_string(low_))
+                                  .c_str());
+  }
+
+  std::string_view name() const override { return "queue-depth"; }
+  std::string help() const override {
+    return "scales on queued calls per active node: above high grows, "
+           "below low shrinks";
+  }
+  std::vector<AutoscalerParam> params() const override {
+    return {{"low", "0.5", "queued calls per node below which it shrinks"},
+            {"high", "4", "queued calls per node above which it grows"}};
+  }
+  std::size_t desired_nodes(const GroupObservation& group,
+                            const ClusterObservation&) override {
+    if (group.active == 0) return 0;
+    const double per_node = static_cast<double>(group.queued) /
+                            static_cast<double>(group.active);
+    if (per_node > high_) return group.active + 1;
+    if (per_node < low_) return group.active - 1;
+    return group.active;
+  }
+
+ private:
+  double low_;
+  double high_;
+};
+
+// Provision for the *estimated* demand instead of the instantaneous load:
+// arrivals over the last window-s seconds times each function's E(p) (the
+// paper's runtime estimate) give the work rate in core-seconds per second;
+// dividing by `target` utilization and the group's capacity share yields
+// the node count to aim at directly, so the fleet can jump several nodes
+// in one tick instead of creeping one step at a time.
+class PredictiveAutoscaler final : public Autoscaler {
+ public:
+  explicit PredictiveAutoscaler(const AutoscalerSpec& spec)
+      : window_s_(spec.number("window-s", 30.0)),
+        target_(spec.number("target", 0.7)) {
+    WHISK_CHECK(window_s_ > 0.0, ("autoscaler \"predictive\": window-s = " +
+                                  std::to_string(window_s_) +
+                                  " must be > 0")
+                                     .c_str());
+    WHISK_CHECK(target_ > 0.0 && target_ <= 1.0,
+                ("autoscaler \"predictive\": target = " +
+                 std::to_string(target_) + " must be in (0, 1]")
+                    .c_str());
+  }
+
+  std::string_view name() const override { return "predictive"; }
+  std::string help() const override {
+    return "sizes each group for the arrival-rate x E(p) demand estimate "
+           "over the last window-s seconds at `target` utilization";
+  }
+  std::vector<AutoscalerParam> params() const override {
+    return {{"window-s", "30", "arrival/completion horizon in seconds"},
+            {"target", "0.7", "utilization the demand is provisioned at"}};
+  }
+  double history_window_s() const override { return window_s_; }
+
+  std::size_t desired_nodes(const GroupObservation& group,
+                            const ClusterObservation& cluster) override {
+    WHISK_CHECK(cluster.history != nullptr,
+                "predictive autoscaler ticked without its controller-side "
+                "history");
+    double arrivals = 0.0;
+    double demand_cores = 0.0;  // core-seconds of work arriving per second
+    for (std::size_t fn = 0; fn < cluster.num_functions; ++fn) {
+      const auto id = static_cast<workload::FunctionId>(fn);
+      const std::size_t a =
+          cluster.history->arrivals_within(id, window_s_, cluster.now);
+      if (a == 0) continue;
+      arrivals += static_cast<double>(a);
+      demand_cores += static_cast<double>(a) / window_s_ *
+                      cluster.history->expected_runtime(id);
+    }
+    if (arrivals == 0.0) {
+      // Nothing arrived in the whole window: shrink one step once this
+      // group's backlog is gone (the driver's min-nodes floor applies).
+      return group.load() == 0.0 && group.active > 0 ? group.active - 1
+                                                     : group.active;
+    }
+    if (demand_cores == 0.0) {
+      // Arrivals but no completed call yet, so every E(p) is still 0
+      // (paper Sec. IV-B); hold until the estimates warm up.
+      return group.active;
+    }
+    const double group_cores =
+        demand_cores / target_ * group.capacity_share;
+    const double nodes =
+        group_cores / static_cast<double>(group.cores_per_node);
+    // ceil with a tolerance so "exactly n nodes of demand" asks for n.
+    return static_cast<std::size_t>(std::ceil(nodes - 1e-9));
+  }
+
+ private:
+  double window_s_;
+  double target_;
+};
+
+void register_builtin_autoscalers(AutoscalerRegistry& registry) {
+  registry.register_factory("target-util", [](const AutoscalerSpec& spec) {
+    return std::make_unique<TargetUtilAutoscaler>(spec);
+  });
+  registry.register_factory("queue-depth", [](const AutoscalerSpec& spec) {
+    return std::make_unique<QueueDepthAutoscaler>(spec);
+  });
+  registry.register_factory("predictive", [](const AutoscalerSpec& spec) {
+    return std::make_unique<PredictiveAutoscaler>(spec);
+  });
+  registry.register_alias("utilization", "target-util");
+}
+
+}  // namespace
+
+AutoscalerRegistry& AutoscalerRegistry::instance() {
+  static AutoscalerRegistry* registry = [] {
+    auto* r = new AutoscalerRegistry();
+    register_builtin_autoscalers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<Autoscaler> make_autoscaler(const AutoscalerSpec& spec) {
+  // Same canonicalization and key validation as normalized(), but without
+  // its throwaway validation instance: the returned construction validates
+  // the parameter values itself. One controller object per Cluster.
+  WHISK_CHECK(spec.enabled(),
+              "make_autoscaler on \"none\": check enabled() first");
+  auto& registry = AutoscalerRegistry::instance();
+  AutoscalerSpec normalized;
+  normalized.name = registry.resolve(spec.name);
+  normalized.params = fold_params(normalized.name, spec.params);
+  return registry.create(normalized.name, normalized);
+}
+
+}  // namespace whisk::cluster

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/registry.h"
+
+namespace whisk::core {
+class RuntimeHistory;
+}  // namespace whisk::core
+
+namespace whisk::cluster {
+
+// A closed-loop scaling controller by registry name plus named parameters —
+// the autoscaling mirror of container::KeepAliveSpec:
+//
+//   auto spec = AutoscalerSpec::parse("target-util?low=0.3&high=0.85");
+//   spec.to_string()  -> "target-util?high=0.85&low=0.3"
+//
+// Grammar: name[?key=value[&key=value]...]. Names and keys are
+// case-insensitive; parameters are stored sorted so to_string() is
+// canonical and parse(to_string()) round-trips exactly. The reserved name
+// "none" (the default) means closed-loop scaling is off and takes no
+// parameters. normalized() resolves every other name against the
+// AutoscalerRegistry and rejects unknown parameter keys with an error that
+// lists the controller's valid keys (the driver keys tick-s / cooldown-s
+// are accepted by every controller).
+struct AutoscalerSpec {
+  std::string name = "none";
+  std::map<std::string, std::string> params;
+
+  [[nodiscard]] static AutoscalerSpec parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  // Abort with a name-listing error if the controller or any parameter key
+  // is unknown; returns a copy with the name canonicalized and keys
+  // lowercased. "none" must carry no parameters.
+  [[nodiscard]] AutoscalerSpec normalized() const;
+
+  // True when the spec names a real controller (not "none").
+  [[nodiscard]] bool enabled() const { return name != "none"; }
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  // Typed parameter access with a fallback for absent keys. Unparsable
+  // values abort, naming the controller, the key, and the offending value.
+  [[nodiscard]] double number(std::string_view key, double fallback) const;
+  [[nodiscard]] std::size_t count(std::string_view key,
+                                  std::size_t fallback) const;
+
+  friend bool operator==(const AutoscalerSpec& a, const AutoscalerSpec& b) {
+    return a.name == b.name && a.params == b.params;
+  }
+  friend bool operator!=(const AutoscalerSpec& a, const AutoscalerSpec& b) {
+    return !(a == b);
+  }
+};
+
+// One declared parameter of a registered autoscaler; surfaced by the
+// unknown-key diagnostics and by `whisk_sweep --list` / autoscaler_catalog.
+struct AutoscalerParam {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+// The driver-level parameters every controller accepts: the observation
+// cadence and the per-group minimum seconds between scaling actions. They
+// ride in the AutoscalerSpec like controller parameters but are consumed
+// by the Cluster driver, not the controller.
+[[nodiscard]] const std::vector<AutoscalerParam>& common_autoscaler_params();
+
+// What a controller observes about one node group at a tick. Draining,
+// drained and failed nodes are excluded — the controller reasons about the
+// routable slice exactly as the load balancer sees it.
+struct GroupObservation {
+  std::size_t group = 0;   // ordinal in the deployment's group list
+  std::size_t active = 0;  // routable nodes right now
+  int cores_per_node = 0;  // the group's effective cores override
+  // This group's share of the deployment's t=0 core capacity, in (0, 1] —
+  // how fleet-wide demand estimates are apportioned across groups.
+  double capacity_share = 1.0;
+  std::size_t queued = 0;     // sum of daemon queue lengths, active nodes
+  std::size_t executing = 0;  // sum of executing calls, active nodes
+
+  [[nodiscard]] double load() const {
+    return static_cast<double>(queued + executing);
+  }
+  [[nodiscard]] double utilization() const {
+    const double capacity =
+        static_cast<double>(active) * static_cast<double>(cores_per_node);
+    return capacity > 0.0 ? load() / capacity : 0.0;
+  }
+};
+
+// Cluster-wide facts shared by every group's decision at one tick.
+struct ClusterObservation {
+  sim::SimTime now = 0.0;
+  std::size_t num_functions = 0;
+  // Controller-side arrival/completion history; non-null exactly when the
+  // controller's history_window_s() is positive.
+  const core::RuntimeHistory* history = nullptr;
+};
+
+// Decides how many active nodes each group should have — the reactive
+// replacement for the pre-scheduled lifecycle events of ClusterSpec. The
+// Cluster drives it on a fixed tick: observe every group, ask for the
+// desired size, clamp to the group's min-nodes/max-nodes bounds, apply the
+// cooldown, and emit add_node (cold joins) or drain (newest active node
+// first) through the same lifecycle machinery scheduled events use.
+//
+// Controllers are constructed per Cluster, so they may keep state.
+class Autoscaler {
+ public:
+  virtual ~Autoscaler() = default;
+
+  // Canonical registry name ("target-util", "queue-depth", "predictive").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string help() const = 0;
+  [[nodiscard]] virtual std::vector<AutoscalerParam> params() const {
+    return {};
+  }
+
+  // Horizon (seconds) of the controller-side RuntimeHistory this controller
+  // wants, or 0 for none. A positive value makes the Cluster feed a
+  // dedicated history with every arrival and completion and hand it to
+  // desired_nodes() via ClusterObservation::history.
+  [[nodiscard]] virtual double history_window_s() const { return 0.0; }
+
+  // Desired active node count for `group`. The driver clamps the answer to
+  // the group's bounds and rate-limits it with the cooldown; returning
+  // group.active means "hold".
+  [[nodiscard]] virtual std::size_t desired_nodes(
+      const GroupObservation& group, const ClusterObservation& cluster) = 0;
+};
+
+// The open set of scaling controllers, keyed by canonical lowercase name.
+// Built-ins ("target-util", "queue-depth", "predictive") are registered on
+// first use; new controllers can be added at runtime:
+//
+//   AutoscalerRegistry::instance().register_factory(
+//       "my-controller", [](const AutoscalerSpec& spec) {
+//         return std::make_unique<MyController>(spec);
+//       });
+//
+// Factory contract: spec validation discovers a controller's declared keys
+// by constructing a probe with an *empty* parameter set, so every parameter
+// must have a usable default (read it with spec.number(key, fallback) /
+// spec.count(key, fallback), never require presence). Out-of-range *values*
+// should still abort loudly — that check runs with the user's actual
+// parameters. "none" is not a registry entry: an AutoscalerSpec that is not
+// enabled() never reaches the registry.
+//
+// Unknown names abort with a message listing every registered name.
+class AutoscalerRegistry final
+    : public util::FactoryRegistry<Autoscaler, const AutoscalerSpec&> {
+ public:
+  static AutoscalerRegistry& instance();
+
+ private:
+  AutoscalerRegistry() : FactoryRegistry("autoscaler") {}
+};
+
+// Validate `spec` against the registry and construct the controller — the
+// one-call surface used by the Cluster. `spec` must be enabled().
+[[nodiscard]] std::unique_ptr<Autoscaler> make_autoscaler(
+    const AutoscalerSpec& spec);
+
+}  // namespace whisk::cluster

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "node/invoker_registry.h"
 #include "util/check.h"
@@ -35,6 +36,38 @@ Cluster::Cluster(sim::Engine& engine,
     engine_->schedule_at(event.time,
                          [this, event] { apply_lifecycle(event); });
   }
+
+  const ClusterSpec& deployment = params_.deployment;
+  if (deployment.autoscaler.enabled()) {
+    autoscaler_ = make_autoscaler(deployment.autoscaler);
+    tick_s_ = deployment.autoscaler.number("tick-s", 5.0);
+    cooldown_s_ = deployment.autoscaler.number("cooldown-s", 60.0);
+    last_scale_.assign(deployment.groups.size(),
+                       -std::numeric_limits<double>::infinity());
+    const double window = autoscaler_->history_window_s();
+    if (window > 0.0) {
+      controller_history_ = std::make_unique<core::RuntimeHistory>();
+      controller_history_->register_arrival_window(window);
+      controller_history_->register_fc_window(window);
+    }
+    // Fix each group's share of the t=0 core capacity; demand-driven
+    // controllers apportion fleet-wide estimates by it, so the split must
+    // not drift as groups scale (that would feed back into itself).
+    capacity_share_.assign(deployment.groups.size(), 0.0);
+    double total_cores = 0.0;
+    for (std::size_t g = 0; g < deployment.groups.size(); ++g) {
+      capacity_share_[g] =
+          static_cast<double>(
+              deployment.node_params(g, params_.node).cores) *
+          std::max(deployment.groups[g].count, 0);
+      total_cores += capacity_share_[g];
+    }
+    for (double& share : capacity_share_) {
+      share = total_cores > 0.0 ? share / total_cores
+                                : 1.0 / static_cast<double>(
+                                            capacity_share_.size());
+    }
+  }
 }
 
 std::size_t Cluster::add_node(std::size_t group) {
@@ -52,13 +85,15 @@ std::size_t Cluster::add_node(std::size_t group) {
           delivery, params_.policy});
   inv->set_node_index(static_cast<int>(index));
   // Per-call in-flight bookkeeping backs fail re-submission and drained
-  // detection; churn-free deployments skip its hot-path cost entirely.
-  if (params_.deployment.has_disruptive_events()) {
+  // detection (scheduled or autoscaled); churn-free deployments skip its
+  // hot-path cost entirely.
+  if (params_.deployment.needs_in_flight_tracking()) {
     inv->enable_in_flight_tracking();
   }
   NodeSlot slot;
   slot.invoker = std::move(inv);
   slot.group = group;
+  slot.joined_at = engine_->now();
   nodes_.push_back(std::move(slot));
   group_members_[group].push_back(index);
   return index;
@@ -103,6 +138,7 @@ void Cluster::apply_lifecycle(const LifecycleEvent& event) {
                    std::to_string(event.node) + ": node is not active")
                       .c_str());
       slot.state = NodeState::kDraining;
+      note_drain_progress(resolve_node(event));  // idle nodes retire now
       break;
     }
     case LifecycleKind::kFail: {
@@ -112,6 +148,8 @@ void Cluster::apply_lifecycle(const LifecycleEvent& event) {
                    std::to_string(event.node) + ": node already failed")
                       .c_str());
       slot.state = NodeState::kFailed;
+      // Billing stops at the failure (unless an earlier drain completed).
+      if (slot.retired_at < 0.0) slot.retired_at = engine_->now();
       // The controller re-routes everything the node had received but not
       // answered, after the failure-detection delay.
       for (const workload::CallRequest& call : slot.invoker->shutdown()) {
@@ -129,13 +167,23 @@ void Cluster::warmup() {
 
 void Cluster::run_scenario(const workload::Scenario& scenario) {
   collector_.reserve(collector_.size() + scenario.size());
+  expected_calls_ += scenario.size();
   for (const auto& call : scenario.calls) {
     engine_->schedule_at(call.release + params_.client_to_controller_s,
                          [this, call] { submit_to_controller(call); });
   }
+  if (autoscaler_ != nullptr && !tick_scheduled_) {
+    tick_scheduled_ = true;
+    engine_->schedule_in(tick_s_, [this] { autoscaler_tick(); });
+  }
 }
 
 void Cluster::submit_to_controller(const workload::CallRequest& call) {
+  // Demand-driven autoscalers watch the controller's own arrival stream
+  // (resubmissions after a failure count again — they are real load).
+  if (controller_history_ != nullptr) {
+    controller_history_->record_arrival(call.function, engine_->now());
+  }
   // The controller routes the invocation to a worker; the invoker pulls it
   // from Kafka one hop later (that pull time is r'(i)).
   WHISK_CHECK(!view_.empty(),
@@ -171,6 +219,19 @@ void Cluster::resubmit(const workload::CallRequest& call) {
 }
 
 void Cluster::deliver(const metrics::CallRecord& record) {
+  if (controller_history_ != nullptr) {
+    controller_history_->record_runtime(
+        record.function, record.exec_end - record.exec_start,
+        engine_->now());
+  }
+  // A completion may have emptied a draining node's backlog — the moment
+  // its metering stops (Invoker::deliver removes the call from its
+  // in-flight set before invoking this callback).
+  if (record.node >= 0 &&
+      nodes_[static_cast<std::size_t>(record.node)].state ==
+          NodeState::kDraining) {
+    note_drain_progress(static_cast<std::size_t>(record.node));
+  }
   // Response travels back to the blocking HTTP client; c(i) is stamped on
   // arrival there.
   metrics::CallRecord rec = record;
@@ -182,6 +243,105 @@ void Cluster::deliver(const metrics::CallRecord& record) {
     rec.completion = engine_->now();
     collector_.add(rec);
   });
+}
+
+void Cluster::autoscaler_tick() {
+  const sim::SimTime now = engine_->now();
+  ClusterObservation cluster_obs;
+  cluster_obs.now = now;
+  cluster_obs.num_functions = catalog_->size();
+  cluster_obs.history = controller_history_.get();
+
+  const ClusterSpec& deployment = params_.deployment;
+  bool changed = false;
+  for (std::size_t g = 0; g < deployment.groups.size(); ++g) {
+    GroupObservation group_obs;
+    group_obs.group = g;
+    group_obs.cores_per_node =
+        deployment.node_params(g, params_.node).cores;
+    group_obs.capacity_share = capacity_share_[g];
+    for (const std::size_t i : group_members_[g]) {
+      if (nodes_[i].state != NodeState::kActive) continue;
+      ++group_obs.active;
+      group_obs.queued += nodes_[i].invoker->queue_length();
+      group_obs.executing += nodes_[i].invoker->executing();
+    }
+    const std::size_t desired =
+        std::clamp(autoscaler_->desired_nodes(group_obs, cluster_obs),
+                   deployment.group_min_nodes(g),
+                   deployment.group_max_nodes(g));
+    if (desired == group_obs.active) continue;
+    if (now - last_scale_[g] < cooldown_s_) continue;  // rate-limited
+    if (desired > group_obs.active) {
+      for (std::size_t n = group_obs.active; n < desired; ++n) {
+        add_node(g);  // scale-up joins are cold, like join events
+        ++scale_ups_;
+      }
+    } else {
+      // Scale down by draining the newest active members first — they hold
+      // the least container warmth, so the fleet keeps its oldest caches.
+      std::size_t to_drain = group_obs.active - desired;
+      const auto& members = group_members_[g];
+      for (auto it = members.rbegin();
+           it != members.rend() && to_drain > 0; ++it) {
+        NodeSlot& slot = nodes_[*it];
+        if (slot.state != NodeState::kActive) continue;
+        slot.state = NodeState::kDraining;
+        ++scale_downs_;
+        --to_drain;
+        note_drain_progress(*it);  // an idle node retires immediately
+      }
+    }
+    last_scale_[g] = now;
+    changed = true;
+  }
+  if (changed) rebuild_view();
+
+  // Keep observing until every scheduled call has come back, then let the
+  // engine's event queue drain (run() ends when it is empty).
+  if (collector_.size() < expected_calls_) {
+    engine_->schedule_in(tick_s_, [this] { autoscaler_tick(); });
+  } else {
+    tick_scheduled_ = false;
+  }
+}
+
+void Cluster::note_drain_progress(std::size_t node) {
+  NodeSlot& slot = nodes_[node];
+  if (slot.state == NodeState::kDraining && slot.retired_at < 0.0 &&
+      slot.invoker->in_flight() == 0 && slot.in_transit == 0) {
+    slot.retired_at = engine_->now();
+  }
+}
+
+double Cluster::node_seconds(std::size_t group) const {
+  WHISK_CHECK(group < group_members_.size(),
+              "cluster group index out of range");
+  const sim::SimTime now = engine_->now();
+  double total = 0.0;
+  for (const std::size_t i : group_members_[group]) {
+    const NodeSlot& slot = nodes_[i];
+    const sim::SimTime end = slot.retired_at >= 0.0 ? slot.retired_at : now;
+    total += std::max(0.0, end - slot.joined_at);
+  }
+  return total;
+}
+
+double Cluster::node_hours() const {
+  double seconds = 0.0;
+  for (std::size_t g = 0; g < group_members_.size(); ++g) {
+    seconds += node_seconds(g);
+  }
+  return seconds / 3600.0;
+}
+
+double Cluster::cost_usd() const {
+  double cost = 0.0;
+  for (std::size_t g = 0; g < group_members_.size(); ++g) {
+    cost += node_seconds(g) / 3600.0 *
+            params_.deployment.group_cost_per_hour(g);
+  }
+  return cost;
 }
 
 node::Invoker& Cluster::invoker(std::size_t i) {

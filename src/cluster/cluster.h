@@ -5,8 +5,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/autoscaler.h"
 #include "cluster/cluster_spec.h"
 #include "cluster/load_balancer.h"
+#include "core/history.h"
 #include "metrics/collector.h"
 #include "node/invoker.h"
 #include "node/params.h"
@@ -88,6 +90,17 @@ struct GroupStats {
 //   * fail@t   — the node dies; calls it had received but not completed
 //     are re-submitted through the controller (counted in resubmissions()
 //     and in each record's attempts).
+//
+// When the deployment names an autoscaler, the cluster additionally runs a
+// closed control loop: every tick-s seconds it observes each group (active
+// nodes, queue depths, executing calls — plus a controller-side
+// RuntimeHistory for controllers that want arrival/completion windows),
+// asks the controller for a desired size, clamps it to the group's
+// min-nodes/max-nodes, rate-limits with cooldown-s, and applies the change
+// through the same join/drain machinery scheduled events use (scale-downs
+// drain the newest active node first). Every node's active seconds are
+// metered — joins and drains pro-rated — so cost_usd() prices the fleet
+// via each group's cost-per-hour.
 class Cluster {
  public:
   Cluster(sim::Engine& engine, const workload::FunctionCatalog& catalog,
@@ -125,6 +138,22 @@ class Cluster {
   // counts twice).
   [[nodiscard]] std::size_t resubmissions() const { return resubmissions_; }
 
+  // True when the deployment runs a closed-loop scaling controller.
+  [[nodiscard]] bool autoscaling() const { return autoscaler_ != nullptr; }
+  // Autoscaler actions so far: nodes added / drains initiated (scheduled
+  // lifecycle events are not counted).
+  [[nodiscard]] std::size_t scale_ups() const { return scale_ups_; }
+  [[nodiscard]] std::size_t scale_downs() const { return scale_downs_; }
+
+  // Metered active node-seconds of one group: for each member, from its
+  // join to its retirement (drain completed or failed) or to now if still
+  // running — joins and drains pro-rate automatically.
+  [[nodiscard]] double node_seconds(std::size_t group) const;
+  // Fleet-wide metered node-hours.
+  [[nodiscard]] double node_hours() const;
+  // Fleet cost: each group's node-hours times its cost-per-hour.
+  [[nodiscard]] double cost_usd() const;
+
  private:
   struct NodeSlot {
     std::unique_ptr<node::Invoker> invoker;
@@ -134,6 +163,10 @@ class Cluster {
     // Keeps node_state() monotone: a draining node does not read as
     // drained while a pre-drain call is about to arrive.
     std::size_t in_transit = 0;
+    // Metering stamps: when the node joined the fleet, and when it stopped
+    // accruing cost (drain completed / failed); -1 while still accruing.
+    sim::SimTime joined_at = 0.0;
+    sim::SimTime retired_at = -1.0;
   };
 
   // Create one node of `group` and append it to the fleet (construction
@@ -150,6 +183,13 @@ class Cluster {
   void resubmit(const workload::CallRequest& call);
   void deliver(const metrics::CallRecord& record);
 
+  // One pass of the closed loop; reschedules itself until every expected
+  // call has been collected.
+  void autoscaler_tick();
+  // Stamp `retired_at` if the node is draining and its backlog just hit
+  // zero (the moment metering stops).
+  void note_drain_progress(std::size_t node);
+
   sim::Engine* engine_;
   const workload::FunctionCatalog* catalog_;
   ClusterParams params_;
@@ -160,6 +200,24 @@ class Cluster {
   std::unique_ptr<LoadBalancer> balancer_;
   metrics::Collector collector_;
   sim::Rng node_seed_root_;
+
+  // Closed-loop scaling state; all null/empty unless the deployment names
+  // an autoscaler (autoscaler-free runs take no new code paths).
+  std::unique_ptr<Autoscaler> autoscaler_;
+  // Controller-side history fed with every submitted arrival and every
+  // completion; only allocated when the controller wants a window.
+  std::unique_ptr<core::RuntimeHistory> controller_history_;
+  double tick_s_ = 5.0;
+  double cooldown_s_ = 60.0;
+  std::vector<sim::SimTime> last_scale_;  // per group; -inf = never
+  std::vector<double> capacity_share_;    // per group, t=0 core fractions
+  bool tick_scheduled_ = false;
+  // Scenario calls scheduled so far; the tick loop stops rescheduling once
+  // the collector has them all, letting the engine drain.
+  std::size_t expected_calls_ = 0;
+  std::size_t scale_ups_ = 0;
+  std::size_t scale_downs_ = 0;
+
   std::size_t resubmissions_ = 0;
   // Re-submission count per interrupted call id; stamped into the record's
   // attempts on delivery. Empty unless a fail event fired.

@@ -27,7 +27,15 @@ bool valid_group_name(std::string_view name) {
   return true;
 }
 
-constexpr const char* kGroupParamNames = "cores, memory-mb";
+constexpr const char* kGroupParamNames =
+    "cores, cost-per-hour, max-nodes, memory-mb, min-nodes";
+
+constexpr const char* kSloMetricNames = "mean, p50, p75, p95, p99, max";
+
+bool valid_slo_metric(const std::string& metric) {
+  return metric == "mean" || metric == "p50" || metric == "p75" ||
+         metric == "p95" || metric == "p99" || metric == "max";
+}
 
 // Parameter values are embedded verbatim in to_string()/to_compact_string(),
 // whose section and list separators include ';', '|', ',' and '+' — a value
@@ -139,23 +147,37 @@ LifecycleEvent parse_event(std::string_view item) {
   return event;
 }
 
-// Shortest %g rendering that parses back to exactly `time`, so
+// Shortest %g rendering that parses back to exactly `value`, so
 // parse(to_string()) round-trips bit-for-bit without printing 17 digits
 // for "0.1". Within the validated [0, 1e9] range %g never switches to e+
-// exponent form (whose '+' would reparse as the event-list separator);
-// tiny fractions may render as e-05, which contains no separator.
-std::string format_event_time(double time) {
+// exponent form (whose '+' would reparse as a list separator); tiny
+// fractions may render as e-05, which contains no separator. Shared by
+// event times and SLO thresholds.
+std::string format_number(double value) {
   char buffer[40];
   for (int precision = 10; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, time);
-    if (std::strtod(buffer, nullptr) == time) break;
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
   }
   return buffer;
 }
 
+// Shared by SloSpec::parse and ClusterSpec::normalized (hand-built specs
+// skip parse, so the checks must not live only there).
+void check_slo(const SloSpec& slo) {
+  WHISK_CHECK(valid_slo_metric(slo.metric),
+              ("cluster slo metric \"" + slo.metric +
+               "\" is unknown; metrics: " + kSloMetricNames)
+                  .c_str());
+  WHISK_CHECK(slo.threshold_s > 0.0 && slo.threshold_s <= 1e9,
+              ("cluster slo threshold " + std::to_string(slo.threshold_s) +
+               " must be in (0, 1e9] seconds")
+                  .c_str());
+}
+
 std::string event_to_string(const LifecycleEvent& e) {
   std::string out = std::string(to_string(e.kind)) + "@" +
-                    format_event_time(e.time) + ":" + e.group;
+                    format_number(e.time) + ":" + e.group;
   if (e.kind != LifecycleKind::kJoin) {
     out += "/" + std::to_string(e.node);
   }
@@ -175,6 +197,16 @@ std::string render(const ClusterSpec& spec, char section_sep,
     if (section_sep == ';') out += ' ';
     out += "keep-alive=" + spec.keep_alive.to_string();
   }
+  if (spec.autoscaler_set || spec.autoscaler.enabled()) {
+    out += section_sep;
+    if (section_sep == ';') out += ' ';
+    out += "autoscaler=" + spec.autoscaler.to_string();
+  }
+  if (spec.slo_set) {
+    out += section_sep;
+    if (section_sep == ';') out += ' ';
+    out += "slo=" + spec.slo.to_string();
+  }
   if (!spec.events.empty()) {
     out += section_sep;
     if (section_sep == ';') out += ' ';
@@ -189,6 +221,32 @@ std::string render(const ClusterSpec& spec, char section_sep,
 
 }  // namespace
 
+SloSpec SloSpec::parse(std::string_view text) {
+  const auto fail = [&text](const std::string& why) {
+    WHISK_CHECK(false, ("cluster slo \"" + std::string(text) + "\" " + why +
+                        "; expected metric<threshold-s like \"p99<2.5\" "
+                        "with metric in " + kSloMetricNames)
+                           .c_str());
+  };
+  const std::size_t lt = text.find('<');
+  if (lt == std::string_view::npos) fail("has no '<'");
+  SloSpec slo;
+  slo.metric = util::ascii_lower(trim_ws(text.substr(0, lt)));
+  if (!valid_slo_metric(slo.metric)) {
+    fail("has unknown metric \"" + slo.metric + "\"");
+  }
+  const std::string_view threshold = trim_ws(text.substr(lt + 1));
+  if (!util::parse_finite_double(threshold, &slo.threshold_s)) {
+    fail("has a bad threshold \"" + std::string(threshold) + "\"");
+  }
+  check_slo(slo);
+  return slo;
+}
+
+std::string SloSpec::to_string() const {
+  return metric + "<" + format_number(threshold_s);
+}
+
 ClusterSpec ClusterSpec::parse(std::string_view text) {
   WHISK_CHECK(!trim_ws(text).empty(),
               "empty cluster spec; expected group[,group...][; "
@@ -197,13 +255,32 @@ ClusterSpec ClusterSpec::parse(std::string_view text) {
   ClusterSpec spec;
   bool groups_seen = false;
   bool keep_alive_seen = false;
+  bool autoscaler_seen = false;
+  bool slo_seen = false;
   bool events_seen = false;
   for (std::string_view raw_section : split_any(text, ";|")) {
     const std::string_view section = trim_ws(raw_section);
     if (section.empty()) continue;  // tolerate trailing separators
     const std::string lowered = util::ascii_lower(section);
-    if (lowered.rfind("keep-alive=", 0) == 0 ||
-        lowered.rfind("keep_alive=", 0) == 0) {
+    if (lowered.rfind("autoscaler=", 0) == 0) {
+      WHISK_CHECK(!autoscaler_seen,
+                  ("cluster spec \"" + std::string(text) +
+                   "\" sets autoscaler twice")
+                      .c_str());
+      autoscaler_seen = true;
+      spec.autoscaler_set = true;
+      spec.autoscaler = AutoscalerSpec::parse(
+          trim_ws(section.substr(section.find('=') + 1)));
+    } else if (lowered.rfind("slo=", 0) == 0) {
+      WHISK_CHECK(!slo_seen, ("cluster spec \"" + std::string(text) +
+                              "\" sets slo twice")
+                                 .c_str());
+      slo_seen = true;
+      spec.slo_set = true;
+      spec.slo =
+          SloSpec::parse(trim_ws(section.substr(section.find('=') + 1)));
+    } else if (lowered.rfind("keep-alive=", 0) == 0 ||
+               lowered.rfind("keep_alive=", 0) == 0) {
       WHISK_CHECK(!keep_alive_seen,
                   ("cluster spec \"" + std::string(text) +
                    "\" sets keep-alive twice")
@@ -259,6 +336,10 @@ std::string ClusterSpec::to_compact_string() const {
 }
 
 ClusterSpec ClusterSpec::normalized() const {
+  // Already validated-and-canonicalized specs pass through untouched —
+  // campaigns normalize the `clusters=` axis once and every cell, every
+  // ExperimentSpec and every Cluster built from it skips the re-walk.
+  if (canonical) return *this;
   ClusterSpec out = *this;
   WHISK_CHECK(!out.groups.empty(), "cluster spec has no node groups");
 
@@ -285,6 +366,9 @@ ClusterSpec ClusterSpec::normalized() const {
     for (const auto& [raw_key, value] : group.params) {
       std::string key = util::ascii_lower(raw_key);
       if (key == "memory_mb") key = "memory-mb";
+      if (key == "cost_per_hour") key = "cost-per-hour";
+      if (key == "min_nodes") key = "min-nodes";
+      if (key == "max_nodes") key = "max-nodes";
       check_value_has_no_separators("cluster group \"" + group.name + "\"",
                                     key, value);
       if (key == "cores") {
@@ -301,6 +385,21 @@ ClusterSpec ClusterSpec::normalized() const {
                     ("cluster group \"" + group.name + "\": memory-mb=\"" +
                      value + "\" is not a positive number")
                         .c_str());
+      } else if (key == "cost-per-hour") {
+        double cost = 0.0;
+        WHISK_CHECK(util::parse_finite_double(value, &cost) && cost >= 0.0,
+                    ("cluster group \"" + group.name +
+                     "\": cost-per-hour=\"" + value +
+                     "\" is not a number >= 0")
+                        .c_str());
+      } else if (key == "min-nodes" || key == "max-nodes") {
+        unsigned long long bound = 0;
+        WHISK_CHECK(util::parse_whole_number(value, &bound) &&
+                        bound <= 1000000,
+                    ("cluster group \"" + group.name + "\": " + key +
+                     "=\"" + value +
+                     "\" is not a whole number (0..1000000)")
+                        .c_str());
       } else {
         WHISK_CHECK(false, ("cluster group \"" + group.name +
                             "\" does not take parameter \"" + raw_key +
@@ -314,6 +413,27 @@ ClusterSpec ClusterSpec::normalized() const {
       params[key] = value;
     }
     group.params = std::move(params);
+  }
+  // Scaling bounds must bracket each other and the initial deployment:
+  // a fleet born outside its own band would scale on the first tick for a
+  // reason the user never asked for.
+  for (std::size_t g = 0; g < out.groups.size(); ++g) {
+    const std::size_t lo = out.group_min_nodes(g);
+    const std::size_t hi = out.group_max_nodes(g);
+    const auto& group = out.groups[g];
+    WHISK_CHECK(lo <= hi, ("cluster group \"" + group.name +
+                           "\": min-nodes=" + std::to_string(lo) +
+                           " exceeds max-nodes=" + std::to_string(hi))
+                              .c_str());
+    const auto count = static_cast<std::size_t>(group.count);
+    const bool bounded = group.params.count("min-nodes") != 0 ||
+                         group.params.count("max-nodes") != 0;
+    WHISK_CHECK(!bounded || (count >= lo && count <= hi),
+                ("cluster group \"" + group.name + "\": count " +
+                 std::to_string(group.count) + " is outside [min-nodes=" +
+                 std::to_string(lo) + ", max-nodes=" + std::to_string(hi) +
+                 "]")
+                    .c_str());
   }
   WHISK_CHECK(initial > 0,
               "cluster spec deploys zero nodes at t=0; give at least one "
@@ -329,6 +449,14 @@ ClusterSpec ClusterSpec::normalized() const {
     check_value_has_no_separators(
         "cluster keep-alive \"" + out.keep_alive.name + "\"", key, value);
   }
+
+  out.autoscaler = out.autoscaler.normalized();
+  out.autoscaler_set = autoscaler_set || out.autoscaler.enabled();
+  for (const auto& [key, value] : out.autoscaler.params) {
+    check_value_has_no_separators(
+        "cluster autoscaler \"" + out.autoscaler.name + "\"", key, value);
+  }
+  if (out.slo_set) check_slo(out.slo);
 
   // Validate the event schedule exactly as the cluster will execute it:
   // walk the events in firing order with a running per-group node count
@@ -387,6 +515,7 @@ ClusterSpec ClusterSpec::normalized() const {
     }
     consumed[key] = event.kind;
   }
+  out.canonical = true;
   return out;
 }
 
@@ -395,6 +524,44 @@ bool ClusterSpec::has_disruptive_events() const {
     if (event.kind != LifecycleKind::kJoin) return true;
   }
   return false;
+}
+
+bool ClusterSpec::needs_in_flight_tracking() const {
+  return has_disruptive_events() || autoscaler.enabled();
+}
+
+double ClusterSpec::group_cost_per_hour(std::size_t group) const {
+  WHISK_CHECK(group < groups.size(), "cluster group index out of range");
+  const auto it = groups[group].params.find("cost-per-hour");
+  if (it == groups[group].params.end()) return 0.0;
+  double cost = 0.0;
+  WHISK_CHECK(util::parse_finite_double(it->second, &cost),
+              "cost-per-hour validated in normalized()");
+  return cost;
+}
+
+std::size_t ClusterSpec::group_min_nodes(std::size_t group) const {
+  WHISK_CHECK(group < groups.size(), "cluster group index out of range");
+  const auto it = groups[group].params.find("min-nodes");
+  if (it == groups[group].params.end()) {
+    // Groups deployed empty (join-only) default to an empty floor; every
+    // other group keeps at least one node unless min-nodes=0 is explicit.
+    return groups[group].count > 0 ? 1 : 0;
+  }
+  unsigned long long bound = 0;
+  WHISK_CHECK(util::parse_whole_number(it->second, &bound),
+              "min-nodes validated in normalized()");
+  return static_cast<std::size_t>(bound);
+}
+
+std::size_t ClusterSpec::group_max_nodes(std::size_t group) const {
+  WHISK_CHECK(group < groups.size(), "cluster group index out of range");
+  const auto it = groups[group].params.find("max-nodes");
+  if (it == groups[group].params.end()) return 1000000;
+  unsigned long long bound = 0;
+  WHISK_CHECK(util::parse_whole_number(it->second, &bound),
+              "max-nodes validated in normalized()");
+  return static_cast<std::size_t>(bound);
 }
 
 std::size_t ClusterSpec::initial_nodes() const {

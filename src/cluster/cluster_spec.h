@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/autoscaler.h"
 #include "container/keep_alive.h"
 #include "node/params.h"
 
@@ -49,6 +50,26 @@ enum class LifecycleKind {
   return "?";
 }
 
+// A response-time service-level objective: `metric<threshold-s`, e.g.
+// "p99<2.5". The metric names the statistic the objective is stated on
+// (mean, p50, p75, p95, p99 or max response time); the per-call violation
+// count reported by the runner counts every response above the threshold,
+// which is what any of those statistics is computed from.
+struct SloSpec {
+  std::string metric = "p99";
+  double threshold_s = 0.0;
+
+  [[nodiscard]] static SloSpec parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SloSpec& a, const SloSpec& b) {
+    return a.metric == b.metric && a.threshold_s == b.threshold_s;
+  }
+  friend bool operator!=(const SloSpec& a, const SloSpec& b) {
+    return !(a == b);
+  }
+};
+
 struct LifecycleEvent {
   LifecycleKind kind = LifecycleKind::kJoin;
   double time = 0.0;
@@ -70,17 +91,23 @@ struct LifecycleEvent {
 // SchedulerSpec / ScenarioSpec / CampaignSpec:
 //
 //   auto spec = ClusterSpec::parse(
-//       "big:4?cores=16&memory-mb=65536,small:8?cores=4; "
+//       "big:4?cores=16&memory-mb=65536,small:8?cores=4&cost-per-hour=0.2; "
 //       "keep-alive=ttl?idle-s=600; "
+//       "autoscaler=target-util?low=0.3&high=0.85; "
+//       "slo=p99<2.5; "
 //       "events=drain@120:big/0,join@300:small");
 //
 // Grammar: semicolon-separated sections. The first (unkeyed) section lists
-// node groups `name[:count][?key=value&...]`; `keep-alive=` names a
-// container::KeepAlivePolicyRegistry spec; `events=` lists scheduled
-// lifecycle events `kind@time:group[/node]` (drain/fail require the /node
-// index, join takes just the group). Group/policy names are
-// case-insensitive; unknown groups, policies and parameter keys abort with
-// diagnostics that echo the input and list the valid names.
+// node groups `name[:count][?key=value&...]` (params: cores, memory-mb,
+// cost-per-hour, min-nodes, max-nodes); `keep-alive=` names a
+// container::KeepAlivePolicyRegistry spec; `autoscaler=` names an
+// AutoscalerRegistry controller that scales groups at runtime within their
+// min-nodes/max-nodes bounds; `slo=` states the response-time objective
+// runs are scored against; `events=` lists scheduled lifecycle events
+// `kind@time:group[/node]` (drain/fail require the /node index, join takes
+// just the group). Group/policy names are case-insensitive; unknown
+// groups, policies and parameter keys abort with diagnostics that echo the
+// input and list the valid names.
 //
 // Because campaign grids split their axes on ';' and ',', ClusterSpec also
 // accepts '|' wherever ';' appears and '+' wherever a list ',' appears, so
@@ -98,7 +125,21 @@ struct ClusterSpec {
   // explicit "keep-alive=lru" still overrides (and conflicts with) a
   // policy stamped on the base NodeParams, instead of reading as unset.
   bool keep_alive_set = false;
+  // Closed-loop scaling controller; default "none" (fixed fleet or
+  // pre-scheduled events only). `autoscaler_set` mirrors keep_alive_set:
+  // an explicit "autoscaler=none" still reads as a deliberate choice.
+  AutoscalerSpec autoscaler;
+  bool autoscaler_set = false;
+  // Response-time objective; meaningful only when slo_set.
+  SloSpec slo;
+  bool slo_set = false;
   std::vector<LifecycleEvent> events;
+  // True once normalized() has validated this exact value; lets the
+  // campaign runner normalize a spec once and reuse it per cell without
+  // re-validating (normalized() early-outs). Not part of equality, and
+  // parse() always returns canonical specs. Any hand-mutation after
+  // normalization is on the caller.
+  bool canonical = false;
 
   [[nodiscard]] static ClusterSpec parse(std::string_view text);
   // The legacy deployment: `nodes` identical workers, LRU keep-alive, no
@@ -122,6 +163,18 @@ struct ClusterSpec {
   // True when any drain/fail event is scheduled — the churn that needs
   // per-call in-flight bookkeeping (joins alone do not).
   [[nodiscard]] bool has_disruptive_events() const;
+  // Per-call in-flight bookkeeping is needed for disruptive events AND for
+  // any autoscaler (its drains must detect backlog completion).
+  [[nodiscard]] bool needs_in_flight_tracking() const;
+
+  // Typed group-parameter reads (values validated by normalized()):
+  // cost-per-hour defaults to 0 (free), min-nodes to 1 (a group never
+  // autoscales away entirely unless min-nodes=0 is explicit) and max-nodes
+  // to 1000000. Bounds apply to autoscaler decisions only; scheduled
+  // events may exceed them.
+  [[nodiscard]] double group_cost_per_hour(std::size_t group) const;
+  [[nodiscard]] std::size_t group_min_nodes(std::size_t group) const;
+  [[nodiscard]] std::size_t group_max_nodes(std::size_t group) const;
 
   // Ordinal of `name` among groups, or abort listing the group names.
   [[nodiscard]] std::size_t group_index(std::string_view name) const;
@@ -133,7 +186,10 @@ struct ClusterSpec {
 
   friend bool operator==(const ClusterSpec& a, const ClusterSpec& b) {
     return a.groups == b.groups && a.keep_alive == b.keep_alive &&
-           a.keep_alive_set == b.keep_alive_set && a.events == b.events;
+           a.keep_alive_set == b.keep_alive_set &&
+           a.autoscaler == b.autoscaler &&
+           a.autoscaler_set == b.autoscaler_set && a.slo == b.slo &&
+           a.slo_set == b.slo_set && a.events == b.events;
   }
   friend bool operator!=(const ClusterSpec& a, const ClusterSpec& b) {
     return !(a == b);

@@ -15,6 +15,11 @@ void RuntimeHistory::register_fc_window(sim::SimTime window_t) {
   prune_horizon_ = std::max(prune_horizon_, window_t);
 }
 
+void RuntimeHistory::register_arrival_window(sim::SimTime window_t) {
+  WHISK_CHECK(window_t >= 0.0, "negative arrival window");
+  arrival_horizon_ = std::max(arrival_horizon_, window_t);
+}
+
 RuntimeHistory::FnRecord& RuntimeHistory::record_for(
     workload::FunctionId fn) {
   WHISK_CHECK(fn >= 0, "invalid function id");
@@ -55,7 +60,16 @@ void RuntimeHistory::record_runtime(workload::FunctionId fn,
 
 void RuntimeHistory::record_arrival(workload::FunctionId fn,
                                     sim::SimTime time) {
-  record_for(fn).last_arrival = time;
+  FnRecord& rec = record_for(fn);
+  rec.last_arrival = time;
+  if (arrival_horizon_ < 0.0) return;  // hot path: timestamps not wanted
+  WHISK_CHECK(rec.arrivals.empty() || rec.arrivals.back() <= time,
+              "arrival times must be recorded in order");
+  rec.arrivals.push_back(time);
+  const sim::SimTime cutoff = time - arrival_horizon_;
+  while (!rec.arrivals.empty() && rec.arrivals.front() < cutoff) {
+    rec.arrivals.pop_front();
+  }
 }
 
 double RuntimeHistory::expected_runtime(workload::FunctionId fn) const {
@@ -84,6 +98,22 @@ std::size_t RuntimeHistory::completions_within(workload::FunctionId fn,
   return static_cast<std::size_t>(completions.end() - first);
 }
 
+std::size_t RuntimeHistory::arrivals_within(workload::FunctionId fn,
+                                            sim::SimTime window_t,
+                                            sim::SimTime now) const {
+  // Arrival timestamps are only retained inside the registered horizon;
+  // answering without one (or past it) would silently undercount.
+  WHISK_CHECK(arrival_horizon_ >= 0.0 && window_t <= arrival_horizon_,
+              "arrivals_within window exceeds the registered arrival "
+              "horizon (register_arrival_window first)");
+  const FnRecord* rec = find(fn);
+  if (rec == nullptr) return 0;
+  const auto& arrivals = rec->arrivals;
+  const auto first =
+      std::lower_bound(arrivals.begin(), arrivals.end(), now - window_t);
+  return static_cast<std::size_t>(arrivals.end() - first);
+}
+
 std::size_t RuntimeHistory::samples(workload::FunctionId fn) const {
   const FnRecord* rec = find(fn);
   return rec == nullptr ? 0 : rec->runtimes.size();
@@ -93,6 +123,11 @@ std::size_t RuntimeHistory::completions_stored(
     workload::FunctionId fn) const {
   const FnRecord* rec = find(fn);
   return rec == nullptr ? 0 : rec->completions.size();
+}
+
+std::size_t RuntimeHistory::arrivals_stored(workload::FunctionId fn) const {
+  const FnRecord* rec = find(fn);
+  return rec == nullptr ? 0 : rec->arrivals.size();
 }
 
 }  // namespace whisk::core

@@ -36,6 +36,14 @@ class RuntimeHistory {
   // timestamp is kept (safe for arbitrary queries, unbounded).
   void register_fc_window(sim::SimTime window_t);
 
+  // Declare that arrivals_within() will be queried with windows of at most
+  // `window_t` seconds. Unlike completions, arrival *timestamps* are not
+  // stored at all unless a window is registered — record_arrival() sits on
+  // the node hot path, and only controller-side histories (autoscalers) pay
+  // for the deque. Stored timestamps are pruned past the largest registered
+  // window, so memory stays bounded.
+  void register_arrival_window(sim::SimTime window_t);
+
   // Record the measured processing time of a finished call of `fn` that
   // completed at `completion_time`.
   void record_runtime(workload::FunctionId fn, sim::SimTime runtime,
@@ -62,11 +70,21 @@ class RuntimeHistory {
                                                sim::SimTime window_t,
                                                sim::SimTime now) const;
 
+  // Number of calls of `fn` received during the last `window_t` seconds
+  // before `now`. Requires a registered arrival window of at least
+  // `window_t` (timestamps outside it are not retained).
+  [[nodiscard]] std::size_t arrivals_within(workload::FunctionId fn,
+                                            sim::SimTime window_t,
+                                            sim::SimTime now) const;
+
   [[nodiscard]] std::size_t samples(workload::FunctionId fn) const;
   [[nodiscard]] std::size_t window() const { return window_; }
 
   // Completion timestamps currently retained for `fn` (telemetry/tests).
   [[nodiscard]] std::size_t completions_stored(workload::FunctionId fn) const;
+  // Arrival timestamps currently retained for `fn` (telemetry/tests);
+  // always 0 unless an arrival window is registered.
+  [[nodiscard]] std::size_t arrivals_stored(workload::FunctionId fn) const;
 
  private:
   struct FnRecord {
@@ -78,6 +96,9 @@ class RuntimeHistory {
     // simulation-time order per function, so each deque stays sorted and
     // queries can binary-search). Pruned past the registered FC horizon.
     std::deque<sim::SimTime> completions;
+    // Arrival timestamps, oldest first; empty unless an arrival window is
+    // registered. Pruned past the registered arrival horizon.
+    std::deque<sim::SimTime> arrivals;
   };
 
   // Grow-on-demand dense access for recording.
@@ -87,6 +108,9 @@ class RuntimeHistory {
 
   std::size_t window_;
   sim::SimTime prune_horizon_ = sim::kNever;  // kNever: keep everything
+  // Negative: arrival timestamps are not stored (the default — the node
+  // hot path records only last_arrival).
+  sim::SimTime arrival_horizon_ = -1.0;
   std::vector<FnRecord> records_;
 };
 

@@ -57,6 +57,20 @@ std::string effective_cluster(const CampaignSpec& spec,
                    .to_compact_string();
 }
 
+// The cell's effective autoscaler as a spec string ("none" when the cell
+// runs a static fleet). The axis owns the dimension when present;
+// otherwise a cluster item may carry its own autoscaler= section.
+std::string effective_autoscaler(const CampaignSpec& spec,
+                                 const CampaignCell& cell) {
+  if (spec.autoscaler_mode()) {
+    return spec.autoscalers[cell.autoscaler_i].to_string();
+  }
+  if (spec.cluster_mode()) {
+    return spec.clusters[cell.cluster_i].autoscaler.to_string();
+  }
+  return cluster::AutoscalerSpec{}.to_string();
+}
+
 // Per-group telemetry as one CSV-friendly field:
 // "big:nodes_ever=2:calls=120:cold=3|small:nodes_ever=4:calls=310:cold=0".
 // nodes_ever counts every node the group ever had (joins included) — a
@@ -104,7 +118,8 @@ std::string CampaignResult::group_label(std::size_t g) const {
 }
 
 metrics::RunContext cell_context(const CampaignSpec& spec,
-                                 const CampaignCell& cell) {
+                                 const CampaignCell& cell,
+                                 const CellResult* result) {
   metrics::RunContext ctx;
   ctx.fields.push_back(
       {"cell", std::to_string(cell.index), /*numeric=*/true});
@@ -122,11 +137,26 @@ metrics::RunContext cell_context(const CampaignSpec& spec,
                         util::fmt_g(spec.memories_mb[cell.memory_i]),
                         /*numeric=*/true});
   ctx.fields.push_back({"cluster", effective_cluster(spec, cell)});
+  ctx.fields.push_back({"autoscaler", effective_autoscaler(spec, cell)});
   for (std::size_t k = 0; k < spec.overrides.size(); ++k) {
     ctx.fields.push_back(
         {"override:" + spec.overrides[k].first,
          util::fmt_g(spec.overrides[k].second[cell.override_i[k]]),
          /*numeric=*/true});
+  }
+  if (result != nullptr) {
+    ctx.fields.push_back(
+        {"cost_usd", util::fmt_g(result->cost_usd), /*numeric=*/true});
+    ctx.fields.push_back(
+        {"node_hours", util::fmt_g(result->node_hours), /*numeric=*/true});
+    ctx.fields.push_back({"slo_violations",
+                          std::to_string(result->slo_violations),
+                          /*numeric=*/true});
+    ctx.fields.push_back(
+        {"scale_ups", std::to_string(result->scale_ups), /*numeric=*/true});
+    ctx.fields.push_back({"scale_downs",
+                          std::to_string(result->scale_downs),
+                          /*numeric=*/true});
   }
   return ctx;
 }
@@ -166,6 +196,11 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
     res.stats = run.stats;
     res.groups = std::move(run.groups);
     res.resubmissions = run.resubmissions;
+    res.node_hours = run.node_hours;
+    res.cost_usd = run.cost_usd;
+    res.slo_violations = run.slo_violations;
+    res.scale_ups = run.scale_ups;
+    res.scale_downs = run.scale_downs;
     if (options.retain_samples) {
       res.responses = std::move(run.responses);
       res.stretches = std::move(run.stretches);
@@ -192,7 +227,7 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
         lock.unlock();
         CellResult& ready = out.cells[idx];  // finished: no other writer
         options.pipeline->begin_run(
-            cell_context(spec, spec.coordinates(idx)));
+            cell_context(spec, spec.coordinates(idx), &ready));
         for (const auto& rec : ready.records) {
           options.pipeline->consume(rec);
         }
@@ -299,11 +334,13 @@ node::InvokerStats total_stats(std::span<const CellResult> cells) {
 std::string cells_csv(const CampaignResult& result) {
   std::ostringstream out;
   out << "cell,scheduler,scenario,seed,nodes,cores,memory_mb,cluster,"
-         "overrides,"
+         "autoscaler,overrides,"
          "calls,r_mean,r_p50,r_p75,r_p95,r_p99,r_max,"
          "s_mean,s_p50,s_p75,s_p95,s_p99,s_max,"
          "max_completion,cold_starts,prewarm_starts,warm_starts,"
-         "resubmissions,daemon_wait_s,daemon_wait_max_s,groups\n";
+         "resubmissions,daemon_wait_s,daemon_wait_max_s,"
+         "cost_usd,node_hours,slo_violations,scale_ups,scale_downs,"
+         "groups\n";
   for (const auto& res : result.cells) {
     const CampaignCell cell = result.spec.coordinates(res.index);
     out << res.index << ','
@@ -317,6 +354,7 @@ std::string cells_csv(const CampaignResult& result) {
         << result.spec.cores[cell.cores_i] << ','
         << util::fmt_g(result.spec.memories_mb[cell.memory_i]) << ','
         << metrics::csv_field(effective_cluster(result.spec, cell)) << ','
+        << metrics::csv_field(effective_autoscaler(result.spec, cell)) << ','
         << metrics::csv_field(overrides_field(result.spec, cell))
         << ',' << res.calls;
     append_summary_csv(out, res.response_summary());
@@ -326,6 +364,9 @@ std::string cells_csv(const CampaignResult& result) {
         << res.resubmissions << ','
         << res.stats.daemon_queue_wait_seconds << ','
         << res.stats.daemon_max_queue_wait_seconds << ','
+        << util::fmt_g(res.cost_usd) << ',' << util::fmt_g(res.node_hours)
+        << ',' << res.slo_violations << ',' << res.scale_ups << ','
+        << res.scale_downs << ','
         << metrics::csv_field(groups_field(res.groups)) << '\n';
   }
   return out.str();
@@ -348,6 +389,8 @@ std::string cells_jsonl(const CampaignResult& result) {
         << util::fmt_g(result.spec.memories_mb[cell.memory_i])
         << ",\"cluster\":\""
         << metrics::json_escape(effective_cluster(result.spec, cell))
+        << "\",\"autoscaler\":\""
+        << metrics::json_escape(effective_autoscaler(result.spec, cell))
         << "\",\"overrides\":{";
     for (std::size_t k = 0; k < result.spec.overrides.size(); ++k) {
       if (k > 0) out << ',';
@@ -367,7 +410,12 @@ std::string cells_jsonl(const CampaignResult& result) {
         << ",\"resubmissions\":" << res.resubmissions
         << ",\"daemon_wait_s\":" << res.stats.daemon_queue_wait_seconds
         << ",\"daemon_wait_max_s\":"
-        << res.stats.daemon_max_queue_wait_seconds << ",\"groups\":[";
+        << res.stats.daemon_max_queue_wait_seconds
+        << ",\"cost_usd\":" << util::fmt_g(res.cost_usd)
+        << ",\"node_hours\":" << util::fmt_g(res.node_hours)
+        << ",\"slo_violations\":" << res.slo_violations
+        << ",\"scale_ups\":" << res.scale_ups
+        << ",\"scale_downs\":" << res.scale_downs << ",\"groups\":[";
     for (std::size_t g = 0; g < res.groups.size(); ++g) {
       if (g > 0) out << ',';
       const auto& group = res.groups[g];

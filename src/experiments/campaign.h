@@ -29,6 +29,14 @@ struct CellResult {
   // Extra submissions caused by node failures (a call surviving two
   // failures counts twice; 0 without fail events).
   std::size_t resubmissions = 0;
+  // Fleet economics and autoscaler activity (see RunResult): node-hours
+  // pro-rated over joins/drains, cost at the groups' cost-per-hour rates,
+  // responses above the slo= threshold, and scale decisions taken.
+  double node_hours = 0.0;
+  double cost_usd = 0.0;
+  std::size_t slo_violations = 0;
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
 
   // Populated only when samples are NOT retained (with samples present the
   // exact vectors already answer everything and the streams would be
@@ -120,8 +128,11 @@ class CampaignResult {
 [[nodiscard]] std::string cells_jsonl(const CampaignResult& result);
 
 // The RunContext handed to pipeline sinks for one cell: cell index plus one
-// field per grid axis (and one per override axis).
-[[nodiscard]] metrics::RunContext cell_context(const CampaignSpec& spec,
-                                               const CampaignCell& cell);
+// field per grid axis (and one per override axis). When the cell's result
+// is available, pass it to add the economics fields (cost_usd, node_hours,
+// slo_violations, scale_ups, scale_downs) to the context.
+[[nodiscard]] metrics::RunContext cell_context(
+    const CampaignSpec& spec, const CampaignCell& cell,
+    const CellResult* result = nullptr);
 
 }  // namespace whisk::experiments

@@ -13,7 +13,7 @@ namespace {
 
 constexpr const char* kAxisNames =
     "schedulers, scenarios, seeds, nodes, cores, memory-mb, clusters, "
-    "override:<name>";
+    "autoscalers, override:<name>";
 
 using util::trim_ws;
 
@@ -118,6 +118,7 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
                     .c_str());
     std::string key = util::ascii_lower(trim_ws(axis.substr(0, eq)));
     if (key == "memory_mb") key = "memory-mb";  // alias; one axis identity
+    if (key == "autoscaler") key = "autoscalers";
     const std::string_view value = trim_ws(axis.substr(eq + 1));
     WHISK_CHECK(std::find(seen_axes.begin(), seen_axes.end(), key) ==
                     seen_axes.end(),
@@ -161,6 +162,13 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
         // Items arrive in the ClusterSpec compact form ('+'/'|'), since ','
         // and ';' are grid separators.
         spec.clusters.push_back(cluster::ClusterSpec::parse(trim_ws(item)));
+      }
+    } else if (key == "autoscalers") {
+      spec.autoscalers_set = true;
+      spec.autoscalers.clear();
+      for (std::string_view item : split(value, ',')) {
+        spec.autoscalers.push_back(
+            cluster::AutoscalerSpec::parse(trim_ws(item)));
       }
     } else if (key.rfind("override:", 0) == 0) {
       const std::string name = std::string(trim_ws(key).substr(9));
@@ -206,6 +214,11 @@ std::string CampaignSpec::to_string() const {
       return c.to_compact_string();
     });
   }
+  if (autoscaler_mode()) {
+    out += "; autoscalers=" + join_items(autoscalers, [](const auto& a) {
+      return a.to_string();
+    });
+  }
   for (const auto& [name, values] : overrides) {
     out += "; override:" + name + "=" +
            join_items(values, [](double v) { return util::fmt_g(v); });
@@ -222,17 +235,33 @@ CampaignSpec CampaignSpec::normalized() const {
   WHISK_CHECK(!out.cores.empty(), "campaign has no core counts");
   WHISK_CHECK(!out.memories_mb.empty(), "campaign has no memory sizes");
   WHISK_CHECK(!out.clusters.empty(), "campaign has no cluster specs");
+  WHISK_CHECK(!out.autoscalers.empty(), "campaign has no autoscaler specs");
   for (auto& s : out.schedulers) s = s.normalized();
   for (auto& s : out.scenarios) s = s.normalized();
   for (auto& c : out.clusters) c = c.normalized();
+  for (auto& a : out.autoscalers) a = a.normalized();
   // Canonicalize: non-default cluster entries behave exactly like an
   // explicit clusters= axis, so equality and round-trips see one
   // representation.
   out.clusters_set = out.cluster_mode();
+  out.autoscalers_set = out.autoscaler_mode();
   if (out.cluster_mode()) {
     WHISK_CHECK(out.nodes.size() == 1 && out.nodes[0] == 1,
                 "campaign sets both a clusters axis and a nodes axis; the "
                 "cluster specs already size the fleet — drop nodes=");
+  }
+  if (out.autoscaler_mode()) {
+    // The axis owns the autoscaling dimension; a cluster item carrying its
+    // own autoscaler= section would silently shadow (or be shadowed by)
+    // the axis value for some cells.
+    for (const auto& c : out.clusters) {
+      WHISK_CHECK(!c.autoscaler_set && !c.autoscaler.enabled(),
+                  ("campaign sets an autoscalers axis, but cluster \"" +
+                   c.to_compact_string() +
+                   "\" carries its own autoscaler= section; set it in one "
+                   "place")
+                      .c_str());
+    }
   }
   for (int n : out.nodes) WHISK_CHECK(n > 0, "nodes must be positive");
   for (int n : out.cores) WHISK_CHECK(n > 0, "cores must be positive");
@@ -266,10 +295,15 @@ bool CampaignSpec::cluster_mode() const {
   return !clusters.empty() && clusters[0] != cluster::ClusterSpec{};
 }
 
+bool CampaignSpec::autoscaler_mode() const {
+  if (autoscalers_set || autoscalers.size() > 1) return true;
+  return !autoscalers.empty() && autoscalers[0].enabled();
+}
+
 std::size_t CampaignSpec::size() const {
   std::size_t total = schedulers.size() * scenarios.size() * nodes.size() *
                       cores.size() * memories_mb.size() * clusters.size() *
-                      seeds.size();
+                      autoscalers.size() * seeds.size();
   for (const auto& [name, values] : overrides) total *= values.size();
   return total;
 }
@@ -286,6 +320,8 @@ CampaignCell CampaignSpec::coordinates(std::size_t index) const {
     c.override_i[k] = rem % overrides[k].second.size();
     rem /= overrides[k].second.size();
   }
+  c.autoscaler_i = rem % autoscalers.size();
+  rem /= autoscalers.size();
   c.cluster_i = rem % clusters.size();
   rem /= clusters.size();
   c.memory_i = rem % memories_mb.size();
@@ -314,6 +350,9 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
   } else {
     c.spec.nodes(nodes[c.nodes_i]);
   }
+  if (autoscaler_mode()) {
+    c.spec.autoscaler(autoscalers[c.autoscaler_i]);
+  }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     c.spec.with_override(overrides[k].first,
                          overrides[k].second[c.override_i[k]]);
@@ -324,6 +363,7 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
 std::size_t CampaignSpec::group_index(
     std::size_t scheduler_i, std::size_t scenario_i, std::size_t nodes_i,
     std::size_t cores_i, std::size_t memory_i, std::size_t cluster_i,
+    std::size_t autoscaler_i,
     const std::vector<std::size_t>& override_i) const {
   WHISK_CHECK(scheduler_i < schedulers.size(),
               "group_index: scheduler coordinate out of range");
@@ -337,6 +377,8 @@ std::size_t CampaignSpec::group_index(
               "group_index: memory coordinate out of range");
   WHISK_CHECK(cluster_i < clusters.size(),
               "group_index: cluster coordinate out of range");
+  WHISK_CHECK(autoscaler_i < autoscalers.size(),
+              "group_index: autoscaler coordinate out of range");
   WHISK_CHECK(override_i.empty() || override_i.size() == overrides.size(),
               "group_index: give one coordinate per override axis (or none)");
   std::size_t index = scheduler_i;
@@ -345,6 +387,7 @@ std::size_t CampaignSpec::group_index(
   index = index * cores.size() + cores_i;
   index = index * memories_mb.size() + memory_i;
   index = index * clusters.size() + cluster_i;
+  index = index * autoscalers.size() + autoscaler_i;
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     const std::size_t coord = override_i.empty() ? 0 : override_i[k];
     WHISK_CHECK(coord < overrides[k].second.size(),
@@ -384,6 +427,10 @@ std::string CampaignSpec::label(const CampaignCell& cell,
   }
   if (clusters.size() > 1) {
     parts.push_back(clusters[cell.cluster_i].to_compact_string());
+  }
+  if (autoscalers.size() > 1) {
+    parts.push_back("autoscaler=" +
+                    autoscalers[cell.autoscaler_i].to_string());
   }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     if (overrides[k].second.size() > 1) {

@@ -24,6 +24,7 @@ struct CampaignCell {
   std::size_t cores_i = 0;
   std::size_t memory_i = 0;
   std::size_t cluster_i = 0;
+  std::size_t autoscaler_i = 0;
   std::vector<std::size_t> override_i;  // one per override axis
   std::size_t seed_i = 0;
   ExperimentSpec spec;
@@ -56,6 +57,11 @@ struct CampaignCell {
 // sweeps a homogeneous 4-node fleet against a heterogeneous TTL one. The
 // clusters axis supersedes `nodes` (setting both non-default aborts);
 // cores/memory-mb still sweep the *base* NodeParams each group inherits.
+// `autoscalers` (alias `autoscaler`) sweeps closed-loop scaling
+// controllers (AutoscalerSpec grammar, "none" included) across every
+// deployment — the cost/SLO frontier is a `clusters=` x `autoscalers=`
+// grid. An autoscaler axis owns that dimension: cluster items must not
+// also carry an autoscaler= section.
 //
 // The workload's load knob travels inside the scenario item
 // ("uniform?intensity=60"), never through ExperimentSpec::intensity(): one
@@ -66,8 +72,8 @@ struct CampaignCell {
 // axes sorted by name), so parse(to_string()) round-trips exactly.
 //
 // Cell expansion order is seed-innermost:
-//   scheduler > scenario > nodes > cores > memory > clusters > overrides
-//   > seed
+//   scheduler > scenario > nodes > cores > memory > clusters > autoscalers
+//   > overrides > seed
 // so the cells of one "group" (every axis fixed except the seed) are
 // contiguous and seed-ordered — pooling a group's cells reproduces the
 // serial run_repetitions pooling byte for byte.
@@ -85,6 +91,13 @@ struct CampaignSpec {
   // Set by parse() when the grid names the axis, so an explicit
   // `clusters=node:1` still supersedes (and conflicts with) `nodes=`.
   bool clusters_set = false;
+  // Closed-loop scaling axis, crossed with the deployments; the default
+  // single "none" entry means no autoscaling dimension.
+  std::vector<cluster::AutoscalerSpec> autoscalers = {
+      cluster::AutoscalerSpec{}};
+  // Set by parse() when the grid names the axis (an explicit
+  // `autoscalers=none` is a deliberate one-entry axis).
+  bool autoscalers_set = false;
   // Ablation axes, crossed like every other axis; kept sorted by name.
   std::vector<std::pair<std::string, std::vector<double>>> overrides;
   std::vector<std::uint64_t> seeds = {0, 1, 2, 3, 4};
@@ -123,10 +136,13 @@ struct CampaignSpec {
       std::size_t scheduler_i, std::size_t scenario_i = 0,
       std::size_t nodes_i = 0, std::size_t cores_i = 0,
       std::size_t memory_i = 0, std::size_t cluster_i = 0,
+      std::size_t autoscaler_i = 0,
       const std::vector<std::size_t>& override_i = {}) const;
 
   // True when the clusters axis is in play (any non-default entry).
   [[nodiscard]] bool cluster_mode() const;
+  // True when the autoscalers axis is in play (any non-"none" entry).
+  [[nodiscard]] bool autoscaler_mode() const;
 
   // The paper's seed convention: 0..n-1.
   [[nodiscard]] static std::vector<std::uint64_t> first_seeds(int n);
@@ -141,8 +157,10 @@ struct CampaignSpec {
     return a.schedulers == b.schedulers && a.scenarios == b.scenarios &&
            a.nodes == b.nodes && a.cores == b.cores &&
            a.memories_mb == b.memories_mb && a.clusters == b.clusters &&
-           a.clusters_set == b.clusters_set && a.overrides == b.overrides &&
-           a.seeds == b.seeds;
+           a.clusters_set == b.clusters_set &&
+           a.autoscalers == b.autoscalers &&
+           a.autoscalers_set == b.autoscalers_set &&
+           a.overrides == b.overrides && a.seeds == b.seeds;
   }
   friend bool operator!=(const CampaignSpec& a, const CampaignSpec& b) {
     return !(a == b);

@@ -98,8 +98,34 @@ ExperimentSpec& ExperimentSpec::cluster(std::string_view text) {
   return cluster(cluster::ClusterSpec::parse(text));
 }
 
+ExperimentSpec& ExperimentSpec::autoscaler(cluster::AutoscalerSpec spec) {
+  autoscaler_ = spec.normalized();
+  autoscaler_set_ = true;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::autoscaler(std::string_view text) {
+  return autoscaler(cluster::AutoscalerSpec::parse(text));
+}
+
 cluster::ClusterSpec ExperimentSpec::cluster() const {
-  return cluster_set_ ? cluster_ : cluster::ClusterSpec::homogeneous(nodes_);
+  cluster::ClusterSpec spec =
+      cluster_set_ ? cluster_ : cluster::ClusterSpec::homogeneous(nodes_);
+  if (autoscaler_set_) {
+    // The spec-level autoscaler rides on top of the deployment, but a
+    // contradictory pair is a loud error, not a silent win.
+    WHISK_CHECK(!spec.autoscaler_set || spec.autoscaler == autoscaler_,
+                ("the experiment sets autoscaler \"" +
+                 autoscaler_.to_string() +
+                 "\" but the cluster spec already carries \"" +
+                 spec.autoscaler.to_string() + "\"; set it in one place")
+                    .c_str());
+    spec.autoscaler = autoscaler_;
+    spec.autoscaler_set = true;
+    // Both halves were normalized independently and the autoscaler section
+    // interacts with no other, so the fold stays canonical.
+  }
+  return spec;
 }
 
 ExperimentSpec& ExperimentSpec::memory_mb(double value) {

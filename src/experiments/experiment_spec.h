@@ -55,6 +55,20 @@ class ExperimentSpec {
   [[nodiscard]] cluster::ClusterSpec cluster() const;
   [[nodiscard]] bool has_explicit_cluster() const { return cluster_set_; }
 
+  // Closed-loop scaling controller (cluster::AutoscalerSpec grammar, e.g.
+  // "target-util?low=0.3&high=0.85"). Sugar for setting the deployment's
+  // autoscaler section: cluster() folds it into the effective ClusterSpec.
+  // Setting it both here and inside an explicit cluster() to different
+  // values is rejected.
+  ExperimentSpec& autoscaler(cluster::AutoscalerSpec spec);
+  ExperimentSpec& autoscaler(std::string_view text);
+  [[nodiscard]] const cluster::AutoscalerSpec& autoscaler() const {
+    return autoscaler_;
+  }
+  [[nodiscard]] bool has_explicit_autoscaler() const {
+    return autoscaler_set_;
+  }
+
   ExperimentSpec& cores(int value);
   [[nodiscard]] int cores() const { return cores_; }
   ExperimentSpec& nodes(int value);
@@ -103,6 +117,8 @@ class ExperimentSpec {
   bool nodes_set_ = false;
   cluster::ClusterSpec cluster_;
   bool cluster_set_ = false;
+  cluster::AutoscalerSpec autoscaler_;
+  bool autoscaler_set_ = false;
   double memory_mb_ = 32.0 * 1024.0;
   workload::ScenarioSpec scenario_;  // defaults to "uniform"
   int intensity_ = 30;

@@ -51,6 +51,15 @@ RunResult run_experiment(const ExperimentSpec& spec,
   out.stats = cluster.total_stats();
   out.groups = cluster.group_stats();
   out.resubmissions = cluster.resubmissions();
+  out.node_hours = cluster.node_hours();
+  out.cost_usd = cluster.cost_usd();
+  out.scale_ups = cluster.scale_ups();
+  out.scale_downs = cluster.scale_downs();
+  if (cp.deployment.slo_set) {
+    for (double r : out.responses) {
+      if (r > cp.deployment.slo.threshold_s) ++out.slo_violations;
+    }
+  }
   return out;
 }
 

@@ -26,6 +26,17 @@ struct RunResult {
   // Extra submissions caused by node failures (a call surviving two
   // failures counts twice; 0 without fail events).
   std::size_t resubmissions = 0;
+  // Fleet economics: node-hours metered per member (pro-rated over joins
+  // and drains) and the cost at each group's cost-per-hour rate. Static
+  // fleets with the default rate report node_hours > 0 but cost_usd 0.
+  double node_hours = 0.0;
+  double cost_usd = 0.0;
+  // Responses above the deployment's `slo=` threshold (0 when no SLO set).
+  std::size_t slo_violations = 0;
+  // Autoscaler activity: scale-up / scale-down decisions taken (0 without
+  // an autoscaler= section).
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
 };
 
 // Run one seeded experiment end to end (warm-up, 60 s burst, drain).

@@ -128,7 +128,8 @@ TEST(ClusterSpecTest, GroupNodeParamsApplyOverrides) {
 
 TEST(ClusterSpecDeath, DiagnosticsEchoTheInputAndListValidNames) {
   EXPECT_DEATH((void)ClusterSpec::parse("big:2?cpus=4"),
-               "\"big\" does not take parameter \"cpus\".*cores, memory-mb");
+               "\"big\" does not take parameter \"cpus\".*cores, "
+               "cost-per-hour, max-nodes, memory-mb, min-nodes");
   EXPECT_DEATH((void)ClusterSpec::parse("node:2; keep-alive=mru"),
                "unknown keep-alive policy \"mru\".*lru.*ttl.*pool-target");
   EXPECT_DEATH(
@@ -190,6 +191,66 @@ TEST(ClusterSpecTest, ExplicitLruKeepAliveStillOverridesTheBase) {
   // Without the explicit section the base policy is honored.
   const auto unset = ClusterSpec::parse("node:2");
   EXPECT_EQ(unset.node_params(0, base).keep_alive.name, "ttl");
+}
+
+TEST(ClusterSpecTest, AutoscalerAndSloSectionsRoundTrip) {
+  const char* text =
+      "big:2?cores=16&cost-per-hour=0.5&max-nodes=6,small:4?cost-per-hour="
+      "0.1&min-nodes=2; autoscaler=target-util?high=0.8&low=0.2; "
+      "slo=p99<2.5";
+  const auto spec = ClusterSpec::parse(text);
+  EXPECT_EQ(spec.to_string(), text);
+  EXPECT_EQ(ClusterSpec::parse(spec.to_string()), spec);
+  EXPECT_EQ(ClusterSpec::parse(spec.to_compact_string()), spec);
+  EXPECT_TRUE(spec.autoscaler_set);
+  EXPECT_EQ(spec.autoscaler.name, "target-util");
+  EXPECT_TRUE(spec.slo_set);
+  EXPECT_EQ(spec.slo.metric, "p99");
+  EXPECT_DOUBLE_EQ(spec.slo.threshold_s, 2.5);
+  EXPECT_DOUBLE_EQ(spec.group_cost_per_hour(0), 0.5);
+  EXPECT_DOUBLE_EQ(spec.group_cost_per_hour(1), 0.1);
+  EXPECT_EQ(spec.group_max_nodes(0), 6u);
+  EXPECT_EQ(spec.group_min_nodes(1), 2u);
+  EXPECT_TRUE(spec.needs_in_flight_tracking());
+}
+
+TEST(ClusterSpecTest, ScalingBoundsDefaultToOneAndUnbounded) {
+  const auto spec = ClusterSpec::parse("node:3,burst:0");
+  EXPECT_EQ(spec.group_min_nodes(0), 1u)
+      << "populated groups never autoscale to zero";
+  EXPECT_EQ(spec.group_min_nodes(1), 0u)
+      << "an initially-empty join-only group may stay empty";
+  EXPECT_EQ(spec.group_max_nodes(0), 1000000u);
+  EXPECT_DOUBLE_EQ(spec.group_cost_per_hour(0), 0.0);
+  EXPECT_FALSE(spec.needs_in_flight_tracking());
+}
+
+TEST(ClusterSpecTest, UnderscoreAliasesNormalizeToCanonicalKeys) {
+  const auto spec = ClusterSpec::parse(
+      "node:2?cost_per_hour=0.3&min_nodes=1&max_nodes=4");
+  EXPECT_DOUBLE_EQ(spec.group_cost_per_hour(0), 0.3);
+  EXPECT_EQ(spec.group_min_nodes(0), 1u);
+  EXPECT_EQ(spec.group_max_nodes(0), 4u);
+  EXPECT_NE(spec.to_string().find("cost-per-hour=0.3"), std::string::npos);
+}
+
+TEST(ClusterSpecDeath, AutoscalerAndSloSectionsAreValidated) {
+  EXPECT_DEATH((void)ClusterSpec::parse("node:2; autoscaler=warp-scaler"),
+               "unknown autoscaler \"warp-scaler\"");
+  EXPECT_DEATH(
+      (void)ClusterSpec::parse("node:2; autoscaler=target-util?warp=1"),
+      "does not take parameter \"warp\"");
+  EXPECT_DEATH((void)ClusterSpec::parse(
+                   "node:2; autoscaler=none; autoscaler=target-util"),
+               "twice");
+  EXPECT_DEATH((void)ClusterSpec::parse("node:2; slo=p42<1"),
+               "mean, p50, p75, p95, p99, max");
+  EXPECT_DEATH((void)ClusterSpec::parse("node:2; slo=p99<0"), "");
+  EXPECT_DEATH((void)ClusterSpec::parse("node:2; slo=p99"), "");
+  EXPECT_DEATH((void)ClusterSpec::parse("node:2?min-nodes=3&max-nodes=2"),
+               "");
+  EXPECT_DEATH((void)ClusterSpec::parse("node:5?max-nodes=3"), "");
+  EXPECT_DEATH((void)ClusterSpec::parse("node:2?cost-per-hour=-1"), "");
 }
 
 TEST(ClusterSpecTest, ZeroCountGroupIsValidWithOtherNodes) {

@@ -155,6 +155,67 @@ TEST(History, LargestRegisteredWindowWins) {
   EXPECT_EQ(h.completions_within(1, 60.0, 199.0), 61u);
 }
 
+TEST(History, ArrivalsNotStoredWithoutRegisteredWindow) {
+  // The node hot path records arrivals into unregistered histories; the
+  // timestamps must not pile up there (only the autoscaler's dedicated
+  // controller history registers an arrival window).
+  RuntimeHistory h(10);
+  for (int i = 0; i < 1000; ++i) {
+    h.record_arrival(1, static_cast<double>(i));
+  }
+  EXPECT_EQ(h.arrivals_stored(1), 0u);
+  EXPECT_DOUBLE_EQ(h.previous_arrival(1), 999.0)
+      << "the SEPT inter-arrival estimate still sees the last arrival";
+}
+
+TEST(History, ArrivalsWithinCountsTheSlidingWindow) {
+  RuntimeHistory h(10);
+  h.register_arrival_window(30.0);
+  for (int i = 0; i < 20; ++i) {
+    h.record_arrival(1, static_cast<double>(i));
+  }
+  // Arrivals 0..19; the window is inclusive at its left edge, so [9, 19]
+  // holds 11 and a window reaching past the first arrival holds all 20.
+  EXPECT_EQ(h.arrivals_within(1, 10.0, 19.0), 11u);
+  EXPECT_EQ(h.arrivals_within(1, 30.0, 19.0), 20u);
+  EXPECT_EQ(h.arrivals_within(2, 10.0, 19.0), 0u);
+}
+
+TEST(History, ArrivalWindowBoundsArrivalMemory) {
+  RuntimeHistory h(10);
+  h.register_arrival_window(30.0);
+  for (int i = 0; i < 10000; ++i) {
+    h.record_arrival(1, static_cast<double>(i));
+  }
+  EXPECT_LE(h.arrivals_stored(1), 32u);
+  EXPECT_EQ(h.arrivals_within(1, 30.0, 10000.0), 30u);
+}
+
+TEST(History, LargestArrivalWindowWins) {
+  RuntimeHistory h(10);
+  h.register_arrival_window(5.0);
+  h.register_arrival_window(40.0);
+  h.register_arrival_window(10.0);  // smaller than the current max: no-op
+  for (int i = 0; i < 100; ++i) {
+    h.record_arrival(1, static_cast<double>(i));
+  }
+  EXPECT_EQ(h.arrivals_within(1, 40.0, 100.0), 40u);
+}
+
+TEST(HistoryDeath, ArrivalQueryWithoutRegisteredWindowAborts) {
+  RuntimeHistory h(10);
+  h.record_arrival(1, 5.0);
+  // Nothing was stored, so any windowed count would silently be 0.
+  EXPECT_DEATH((void)h.arrivals_within(1, 10.0, 5.0), "");
+}
+
+TEST(HistoryDeath, ArrivalQueryWiderThanHorizonAborts) {
+  RuntimeHistory h(10);
+  h.register_arrival_window(30.0);
+  h.record_arrival(1, 100.0);
+  EXPECT_DEATH((void)h.arrivals_within(1, 60.0, 100.0), "");
+}
+
 TEST(HistoryDeath, QueryWiderThanRegisteredHorizonAborts) {
   RuntimeHistory h(10);
   h.register_fc_window(60.0);

@@ -291,6 +291,118 @@ TEST(CampaignSpecClusterDeath, ClustersAndNodesAxesConflict) {
                "clusters axis and a nodes axis");
 }
 
+TEST_F(CampaignTest, AutoscalerAxisRunsAndIsThreadInvariant) {
+  // The PR acceptance grid: an autoscaler axis crossed with a deployment
+  // that also drains and fails nodes mid-burst. Output must be invariant
+  // under the thread count, and the new economics columns must be real.
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept/weighted-least-loaded; "
+      "scenarios=fixed-total?total=150&window=10; seeds=0..1; "
+      // min-nodes=3 keeps the controller's scale-downs off the three seed
+      // members the scripted events target (the events abort if their node
+      // was already drained).
+      "clusters=node:3?cost-per-hour=1&min-nodes=3&max-nodes=6|slo=p99<5|"
+      "events=drain@3:node/2+fail@6:node/1; "
+      "autoscalers=none,target-util?high=0.6&tick-s=1&cooldown-s=1");
+  ASSERT_EQ(spec.size(), 4u);
+  ASSERT_TRUE(spec.autoscaler_mode());
+
+  auto run_at = [&](int threads) {
+    CampaignOptions opts;
+    opts.threads = threads;
+    std::ostringstream records;
+    metrics::MetricsPipeline pipeline;
+    pipeline.emplace<metrics::CsvSink>(records, cat_);
+    opts.pipeline = &pipeline;
+    const auto result = run_campaign(spec, cat_, opts);
+    return std::make_pair(result,
+                          cells_csv(result) + "\n---\n" +
+                              cells_jsonl(result) + "\n---\n" + records.str());
+  };
+  const auto [result1, text1] = run_at(1);
+  const auto [result2, text2] = run_at(2);
+  EXPECT_EQ(text1, text2);
+  const int hw = util::ThreadPool::hardware_threads();
+  if (hw > 2) {
+    EXPECT_EQ(text1, run_at(hw).second);
+  }
+
+  // Every cell completes the burst, meters the fleet and counts SLO
+  // violations; only the autoscaled cells scale.
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto cell = spec.cell(i);
+    const auto& res = result1.cells[i];
+    EXPECT_EQ(res.calls, 150u) << "cell " << i;
+    EXPECT_GT(res.cost_usd, 0.0) << "cell " << i;
+    EXPECT_GT(res.node_hours, 0.0) << "cell " << i;
+    std::size_t above = 0;
+    for (double r : res.responses) {
+      if (r > 5.0) ++above;
+    }
+    EXPECT_EQ(res.slo_violations, above) << "cell " << i;
+    if (cell.autoscaler_i == 1) {
+      EXPECT_GT(res.scale_ups, 0u) << "cell " << i;
+    } else {
+      EXPECT_EQ(res.scale_ups, 0u) << "cell " << i;
+      EXPECT_EQ(res.scale_downs, 0u) << "cell " << i;
+    }
+  }
+
+  // The new columns ride in the header and the autoscaler spec in the rows.
+  const std::string csv = cells_csv(result1);
+  EXPECT_NE(csv.find(",autoscaler,"), std::string::npos);
+  EXPECT_NE(csv.find("cost_usd,node_hours,slo_violations,scale_ups,"
+                     "scale_downs"),
+            std::string::npos);
+  EXPECT_NE(csv.find("target-util?cooldown-s=1&high=0.6&tick-s=1"),
+            std::string::npos);
+}
+
+TEST_F(CampaignTest, AutoscalerAxisRoundTripsThroughToString) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept; scenarios=uniform?intensity=30; seeds=0; "
+      "clusters=node:2?max-nodes=4; "
+      "autoscalers=none,queue-depth?high=6,predictive");
+  const auto reparsed = CampaignSpec::parse(spec.to_string());
+  EXPECT_EQ(reparsed, spec);
+  ASSERT_EQ(reparsed.autoscalers.size(), 3u);
+  EXPECT_FALSE(reparsed.autoscalers[0].enabled());
+  EXPECT_EQ(reparsed.autoscalers[1].name, "queue-depth");
+  EXPECT_EQ(spec.size(), 3u);
+  // The axis shows up in multi-valued labels.
+  EXPECT_NE(spec.label(spec.cell(2)).find("autoscaler=predictive"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecAutoscalerDeath, AxisConflictsWithClusterSection) {
+  EXPECT_DEATH(
+      (void)CampaignSpec::parse(
+          "schedulers=ours/fifo; "
+          "clusters=node:2|autoscaler=target-util; "
+          "autoscalers=queue-depth"),
+      "set it in one place");
+}
+
+TEST_F(CampaignTest, AutoscalerFreeGridsKeepTheLegacyColumnsStable) {
+  // A grid with no autoscaler anywhere reports autoscaler=none and zeroed
+  // scaling columns — and its cells run the exact pre-autoscaler code path
+  // (no in-flight tracking, no controller history).
+  CampaignSpec spec;
+  spec.scenarios = {workload::ScenarioSpec::parse("fixed-total?total=50")};
+  spec.cores = {5};
+  spec.seeds = {0};
+  const auto result = run_campaign(spec, cat_, {});
+  EXPECT_FALSE(spec.autoscaler_mode());
+  const auto& res = result.cells[0];
+  EXPECT_EQ(res.scale_ups, 0u);
+  EXPECT_EQ(res.scale_downs, 0u);
+  EXPECT_EQ(res.slo_violations, 0u) << "no slo= section: nothing to violate";
+  EXPECT_GT(res.node_hours, 0.0) << "metering covers static fleets too";
+  EXPECT_EQ(res.cost_usd, 0.0) << "default cost-per-hour is 0";
+  const std::string csv = cells_csv(result);
+  EXPECT_NE(csv.find(",none,"), std::string::npos);
+}
+
 TEST_F(CampaignTest, PooledHelpersNeedRetainedSamples) {
   CampaignSpec spec;
   spec.scenarios = {workload::ScenarioSpec::parse("uniform?intensity=30")};

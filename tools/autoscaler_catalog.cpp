@@ -1,0 +1,89 @@
+// Prints every registered autoscaler: its help line, the driver-level
+// parameters every controller accepts (tick-s, cooldown-s), its own
+// declared parameters with defaults, and — for controllers that decide
+// from the current observation alone — a small decision table showing the
+// desired node count across load levels on a 4-node, 10-core group.
+// History-driven controllers (predictive) skip the table: their answer
+// depends on the arrival record, not a single snapshot.
+//
+// Usage: autoscaler_catalog [nodes] [cores]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/autoscaler.h"
+
+using namespace whisk;
+
+namespace {
+
+void print_params(const std::vector<cluster::AutoscalerParam>& params,
+                  const char* origin) {
+  std::size_t width = 0;
+  for (const auto& param : params) {
+    width = std::max(width, param.name.size());
+  }
+  for (const auto& param : params) {
+    std::printf("  %-*s  %s  [default: %s, %s]\n", static_cast<int>(width),
+                param.name.c_str(), param.help.c_str(),
+                param.default_value.c_str(), origin);
+  }
+}
+
+void print_decision_table(cluster::Autoscaler& controller,
+                          std::size_t nodes, int cores) {
+  cluster::GroupObservation group;
+  group.active = nodes;
+  group.cores_per_node = cores;
+  cluster::ClusterObservation obs;
+  obs.num_functions = 1;
+
+  const double capacity =
+      static_cast<double>(nodes) * static_cast<double>(cores);
+  std::printf("  decisions (%zu nodes x %d cores, defaults):\n", nodes,
+              cores);
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+    group.executing = static_cast<std::size_t>(
+        std::min(capacity, frac * capacity));
+    group.queued = static_cast<std::size_t>(
+        frac > 1.0 ? (frac - 1.0) * capacity : 0.0);
+    const std::size_t desired = controller.desired_nodes(group, obs);
+    std::printf("    load %5.1f (util %.2f, queue %3zu) -> %zu node%s%s\n",
+                group.load(), group.utilization(), group.queued, desired,
+                desired == 1 ? "" : "s",
+                desired > nodes   ? "  (scale up)"
+                : desired < nodes ? "  (scale down)"
+                                  : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  auto& registry = cluster::AutoscalerRegistry::instance();
+  std::printf(
+      "Registered autoscalers (spec grammar \"name?key=value&key=value\"; "
+      "\"none\" disables closed-loop scaling):\n\n");
+
+  for (const auto& name : registry.names()) {
+    const auto controller =
+        registry.create(name, cluster::AutoscalerSpec{name, {}});
+    std::printf("%s\n  %s\n", name.c_str(), controller->help().c_str());
+    print_params(cluster::common_autoscaler_params(), "driver");
+    print_params(controller->params(), "controller");
+    if (controller->history_window_s() > 0.0) {
+      std::printf(
+          "  decisions: (skipped: scales from the %g s arrival history, "
+          "not a single snapshot)\n",
+          controller->history_window_s());
+    } else {
+      print_decision_table(*controller, nodes, cores);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

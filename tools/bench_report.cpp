@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "../bench/engine_churn.h"
 #include "../bench/reference_engine.h"
@@ -81,6 +82,31 @@ std::size_t run_campaign_workload(const whisk::workload::FunctionCatalog& cat,
   return result.cells.size();
 }
 
+// The autoscaling stress: a min/max-bounded fleet under a fast-ticking
+// target-util controller with cost metering and an SLO, 4 seeds. Exercises
+// the controller tick loop, mid-run add_node/drain through the lifecycle
+// machinery, node-seconds metering and the SLO accounting end to end.
+// Returns the number of cells run.
+std::size_t run_autoscaled_workload(const whisk::workload::FunctionCatalog& cat,
+                                    int threads) {
+  whisk::experiments::CampaignSpec grid;
+  grid.schedulers = {
+      whisk::experiments::SchedulerSpec::parse("ours/sept")};
+  grid.scenarios = {
+      whisk::workload::ScenarioSpec::parse("fixed-total?total=300")};
+  grid.cores = {5};
+  grid.clusters = {whisk::cluster::ClusterSpec::parse(
+      "node:2?cost-per-hour=0.48&min-nodes=1&max-nodes=6; "
+      "autoscaler=target-util?low=0.25&high=0.7&tick-s=1&cooldown-s=1; "
+      "slo=p99<15")};
+  grid.seeds = {0, 1, 2, 3};
+  whisk::experiments::CampaignOptions opts;
+  opts.threads = threads;
+  opts.retain_samples = false;
+  const auto result = whisk::experiments::run_campaign(grid, cat, opts);
+  return result.cells.size();
+}
+
 // The deployment-layer stress: a heterogeneous two-group fleet with TTL
 // keep-alive and drain/fail/join churn mid-burst, 4 seeds under the
 // capacity-aware balancer. Exercises ClusterSpec expansion, the NodeView
@@ -105,11 +131,17 @@ std::size_t run_hetero_workload(const whisk::workload::FunctionCatalog& cat,
   return result.cells.size();
 }
 
+// One campaign throughput sample at a fixed pool size.
+struct ScalePoint {
+  int threads = 1;
+  Measurement m;
+};
+
 void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
           Measurement seed_churn, Measurement new_drain,
           Measurement seed_drain, Measurement new_hist, Measurement seed_hist,
-          Measurement camp_1t, Measurement camp_mt, int camp_threads,
-          Measurement hetero) {
+          const std::vector<ScalePoint>& scaling, Measurement hetero,
+          Measurement autoscaled) {
   auto block = [out](const char* name, const Measurement& m,
                      const char* trailer) {
     std::fprintf(out,
@@ -138,13 +170,18 @@ void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
                new_hist.events_per_sec / seed_hist.events_per_sec);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"campaign\": {\n");
-  std::fprintf(out,
-               "    \"cells\": %zu, \"cells_per_sec_1t\": %.2f, "
-               "\"cells_per_sec_mt\": %.2f, \"threads\": %d,\n",
-               camp_1t.events, camp_1t.events_per_sec, camp_mt.events_per_sec,
-               camp_threads);
+  std::fprintf(out, "    \"cells\": %zu,\n", scaling.front().m.events);
+  std::fprintf(out, "    \"scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::fprintf(out,
+                 "      {\"threads\": %d, \"cells_per_sec\": %.2f}%s\n",
+                 scaling[i].threads, scaling[i].m.events_per_sec,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
   std::fprintf(out, "    \"parallel_speedup\": %.2f\n",
-               camp_mt.events_per_sec / camp_1t.events_per_sec);
+               scaling.back().m.events_per_sec /
+                   scaling.front().m.events_per_sec);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"hetero_fleet\": {\n");
   std::fprintf(out,
@@ -152,6 +189,13 @@ void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
                "\"description\": \"2-group fleet, ttl keep-alive, "
                "drain+fail+join churn\"\n",
                hetero.events, hetero.events_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"autoscaled_fleet\": {\n");
+  std::fprintf(out,
+               "    \"cells\": %zu, \"cells_per_sec\": %.2f, "
+               "\"description\": \"target-util controller, bounded 1..6 "
+               "fleet, cost metering + slo accounting\"\n",
+               autoscaled.events, autoscaled.events_per_sec);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"peak_rss_kb\": %ld\n", peak_rss_kb());
   std::fprintf(out, "}\n");
@@ -199,30 +243,37 @@ int main(int argc, char** argv) {
   });
 
   const auto cat = whisk::workload::sebs_catalog();
-  const int camp_threads = whisk::util::ThreadPool::hardware_threads();
-  std::fprintf(stderr, "measuring campaign cells/sec (1 thread)...\n");
-  const auto camp_1t =
-      measure([&cat] { return run_campaign_workload(cat, 1); }, 1.0);
-  std::fprintf(stderr, "measuring campaign cells/sec (%d threads)...\n",
-               camp_threads);
-  const auto camp_mt = measure(
-      [&cat, camp_threads] { return run_campaign_workload(cat, camp_threads); },
-      1.0);
+  const int hw_threads = whisk::util::ThreadPool::hardware_threads();
+  // Campaign throughput at 1, 2 and all hardware threads — the scaling
+  // curve, not just its endpoints (deduplicated when the box is small).
+  std::vector<ScalePoint> scaling;
+  for (int threads : {1, 2, hw_threads}) {
+    if (!scaling.empty() && scaling.back().threads >= threads) continue;
+    std::fprintf(stderr, "measuring campaign cells/sec (%d thread%s)...\n",
+                 threads, threads == 1 ? "" : "s");
+    scaling.push_back(
+        {threads, measure([&cat, threads] {
+           return run_campaign_workload(cat, threads);
+         }, 1.0)});
+  }
   std::fprintf(stderr, "measuring heterogeneous-fleet cells/sec...\n");
   const auto hetero = measure(
-      [&cat, camp_threads] { return run_hetero_workload(cat, camp_threads); },
+      [&cat, hw_threads] { return run_hetero_workload(cat, hw_threads); },
+      1.0);
+  std::fprintf(stderr, "measuring autoscaled-fleet cells/sec...\n");
+  const auto autoscaled = measure(
+      [&cat, hw_threads] { return run_autoscaled_workload(cat, hw_threads); },
       1.0);
 
   emit(stdout, "engine_hot_path", new_churn, seed_churn, new_drain,
-       seed_drain, new_hist, seed_hist, camp_1t, camp_mt, camp_threads,
-       hetero);
+       seed_drain, new_hist, seed_hist, scaling, hetero, autoscaled);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
   emit(f, "engine_hot_path", new_churn, seed_churn, new_drain, seed_drain,
-       new_hist, seed_hist, camp_1t, camp_mt, camp_threads, hetero);
+       new_hist, seed_hist, scaling, hetero, autoscaled);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (churn speedup: %.2fx)\n", path.c_str(),
                new_churn.events_per_sec / seed_churn.events_per_sec);

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "cluster/autoscaler.h"
 #include "cluster/balancer_registry.h"
 #include "container/keep_alive.h"
 #include "core/policy_registry.h"
@@ -42,6 +43,8 @@ int usage(const char* argv0) {
       "  clusters=node:4,big:2?cores=16+small:4|keep-alive=ttl?idle-s=300\n"
       "    (ClusterSpec compact form: '+' for list ',', '|' for section "
       "';')\n"
+      "  autoscalers=none,target-util?low=0.3&high=0.85,queue-depth\n"
+      "    (closed-loop scaling, crossed with every deployment)\n"
       "\n"
       "options:\n"
       "  --threads N        worker threads (default 1; 0 = all cores)\n"
@@ -80,6 +83,21 @@ int list_registries() {
     const auto policy =
         keep_alive.create(name, whisk::container::KeepAliveSpec{name, {}});
     for (const auto& param : policy->params()) {
+      std::printf("    %s (default %s): %s\n", param.name.c_str(),
+                  param.default_value.c_str(), param.help.c_str());
+    }
+  }
+  std::printf("autoscalers (autoscalers=<name>?...):\n");
+  auto& autoscalers = whisk::cluster::AutoscalerRegistry::instance();
+  for (const auto& name : autoscalers.names()) {
+    const auto controller = autoscalers.create(
+        name, whisk::cluster::AutoscalerSpec{name, {}});
+    std::printf("  %s: %s\n", name.c_str(), controller->help().c_str());
+    for (const auto& param : whisk::cluster::common_autoscaler_params()) {
+      std::printf("    %s (default %s): %s\n", param.name.c_str(),
+                  param.default_value.c_str(), param.help.c_str());
+    }
+    for (const auto& param : controller->params()) {
       std::printf("    %s (default %s): %s\n", param.name.c_str(),
                   param.default_value.c_str(), param.help.c_str());
     }
