@@ -1,12 +1,22 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "node/invoker_registry.h"
 #include "util/check.h"
 
 namespace whisk::cluster {
+namespace {
+
+// Recent controller-observed latencies retained for the hedge quantile.
+// Big enough for a stable tail estimate, small enough that the copy in
+// hedge_delay() stays off any profile.
+constexpr std::size_t kLatencyRingCapacity = 256;
+
+}  // namespace
 
 Cluster::Cluster(sim::Engine& engine,
                  const workload::FunctionCatalog& catalog,
@@ -68,14 +78,55 @@ Cluster::Cluster(sim::Engine& engine,
                                             capacity_share_.size());
     }
   }
+
+  if (deployment.resilience.enabled()) {
+    const ResilienceSpec& r = deployment.resilience;
+    resilience_ = std::make_unique<ResilienceConfig>();
+    resilience_->timeout_s = r.number("timeout-s", 0.0);
+    resilience_->max_attempts =
+        static_cast<int>(r.count("max-attempts", 4));
+    resilience_->retry_budget = r.number("retry-budget", 0.2);
+    resilience_->hedge_p = r.number("hedge-p", 0.0);
+    resilience_->hedge_min_samples = r.count("hedge-min-samples", 32);
+    resilience_->breaker_failures = r.count("breaker-failures", 0);
+    resilience_->breaker_cooldown_s = r.number("breaker-cooldown-s", 30.0);
+    resilience_->max_queue = r.count("max-queue", 0);
+    // Only timeouts and hedges need the per-call Outstanding map; shedding
+    // and attempt bounds decide from state the cluster already keeps.
+    track_calls_ =
+        resilience_->timeout_s > 0.0 || resilience_->hedge_p > 0.0;
+    if (resilience_->breaker_failures > 0) breakers_.resize(nodes_.size());
+    if (resilience_->hedge_p > 0.0) {
+      latency_ring_.reserve(kLatencyRingCapacity);
+    }
+  }
+
+  if (!deployment.faults.empty()) {
+    // Each process gets a private stream forked from the cell seed by list
+    // position — independent of node streams, the balancer stream and each
+    // other, so a campaign stays byte-identical for any thread count.
+    const sim::Rng fault_root = node_seed_root_.fork(sim::hash_tag("fault"));
+    for (const FaultSpec& spec : deployment.faults) {
+      auto process = make_fault(spec);
+      if (process->drops_completions()) droppers_.push_back(process.get());
+      fault_processes_.push_back(std::move(process));
+    }
+    for (std::size_t i = 0; i < fault_processes_.size(); ++i) {
+      fault_processes_[i]->start(*this, fault_root.fork(i + 1));
+    }
+  }
 }
 
-std::size_t Cluster::add_node(std::size_t group) {
-  const std::size_t index = nodes_.size();
+std::unique_ptr<node::Invoker> Cluster::make_invoker(
+    std::size_t group, std::size_t index, std::size_t incarnation) {
   // Per-node streams are tagged by the *global* node index, so the initial
   // fleet forks exactly as the homogeneous pre-ClusterSpec cluster did and
-  // joined nodes draw fresh independent streams.
+  // joined nodes draw fresh independent streams. A restarted incarnation
+  // forks once more so it never replays its predecessor's draws.
   sim::Rng node_rng = node_seed_root_.fork(sim::hash_tag("node") + index);
+  if (incarnation > 0) {
+    node_rng = node_rng.fork(sim::hash_tag("restart") + incarnation);
+  }
   auto delivery = [this](const metrics::CallRecord& rec) { deliver(rec); };
   auto inv = node::InvokerRegistry::instance().create(
       params_.invoker,
@@ -85,29 +136,57 @@ std::size_t Cluster::add_node(std::size_t group) {
           delivery, params_.policy});
   inv->set_node_index(static_cast<int>(index));
   // Per-call in-flight bookkeeping backs fail re-submission and drained
-  // detection (scheduled or autoscaled); churn-free deployments skip its
-  // hot-path cost entirely.
+  // detection (scheduled, autoscaled or fault-driven); churn-free
+  // deployments skip its hot-path cost entirely.
   if (params_.deployment.needs_in_flight_tracking()) {
     inv->enable_in_flight_tracking();
   }
+  return inv;
+}
+
+std::size_t Cluster::add_node(std::size_t group) {
+  const std::size_t index = nodes_.size();
   NodeSlot slot;
-  slot.invoker = std::move(inv);
+  slot.invoker = make_invoker(group, index, 0);
   slot.group = group;
   slot.joined_at = engine_->now();
   nodes_.push_back(std::move(slot));
   group_members_[group].push_back(index);
+  if (resilience_ != nullptr && resilience_->breaker_failures > 0) {
+    breakers_.resize(nodes_.size());  // late joins get a fresh breaker
+  }
   return index;
 }
 
 void Cluster::rebuild_view() {
   std::vector<NodeRef> refs;
   refs.reserve(nodes_.size());
+  std::vector<NodeRef> ejected;
+  const bool breakers = !breakers_.empty();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const NodeSlot& slot = nodes_[i];
     if (slot.state != NodeState::kActive) continue;
-    refs.push_back(NodeRef{slot.invoker.get(), i, slot.group});
+    const NodeRef ref{slot.invoker.get(), i, slot.group};
+    if (breakers && breakers_[i].state == Breaker::State::kOpen) {
+      ejected.push_back(ref);
+      continue;
+    }
+    refs.push_back(ref);
   }
+  // Fail open: when every active node's breaker is open the fleet routes
+  // to all of them anyway — serving through suspect nodes beats serving
+  // through none.
+  if (refs.empty() && !ejected.empty()) refs = std::move(ejected);
   view_ = NodeView(std::move(refs));
+  // A restart after a total outage re-admits the calls that arrived while
+  // no node was routable, in arrival order.
+  if (!view_.empty() && !parked_calls_.empty()) {
+    std::vector<workload::CallRequest> parked;
+    parked.swap(parked_calls_);
+    for (const workload::CallRequest& call : parked) {
+      submit_to_controller(call);
+    }
+  }
 }
 
 std::size_t Cluster::resolve_node(const LifecycleEvent& event) const {
@@ -148,6 +227,7 @@ void Cluster::apply_lifecycle(const LifecycleEvent& event) {
                    std::to_string(event.node) + ": node already failed")
                       .c_str());
       slot.state = NodeState::kFailed;
+      slot.failed_at = engine_->now();
       // Billing stops at the failure (unless an earlier drain completed).
       if (slot.retired_at < 0.0) slot.retired_at = engine_->now();
       // The controller re-routes everything the node had received but not
@@ -179,6 +259,17 @@ void Cluster::run_scenario(const workload::Scenario& scenario) {
 }
 
 void Cluster::submit_to_controller(const workload::CallRequest& call) {
+  // A retry or failure re-submission scheduled before the call resolved
+  // (hedge won, attempts exhausted) must not resurrect it.
+  if (track_calls_ && resolved_.count(call.id) != 0) return;
+  // Total outage under a disruptive fault regime: every node is down at
+  // once, but a crashed node restarts, so the call parks until
+  // rebuild_view() sees capacity again. Without such faults an empty view
+  // is a configuration error and aborts below.
+  if (view_.empty() && params_.deployment.has_disruptive_faults()) {
+    parked_calls_.push_back(call);
+    return;
+  }
   // Demand-driven autoscalers watch the controller's own arrival stream
   // (resubmissions after a failure count again — they are real load).
   if (controller_history_ != nullptr) {
@@ -189,9 +280,58 @@ void Cluster::submit_to_controller(const workload::CallRequest& call) {
   WHISK_CHECK(!view_.empty(),
               "no routable nodes: every node is draining, drained or "
               "failed while calls are still arriving");
+  // Admission control: a *fresh* call is shed when every routable node is
+  // already at max-queue — refusing loudly beats collapsing quietly.
+  // Retries and re-submissions represent work the cluster already
+  // admitted, so they always pass.
+  if (resilience_ != nullptr && resilience_->max_queue > 0 &&
+      outstanding_.count(call.id) == 0 &&
+      resubmitted_.count(call.id) == 0) {
+    bool saturated = true;
+    for (const NodeRef& ref : view_) {
+      if (ref.load() + nodes_[ref.node_index].in_transit <
+          resilience_->max_queue) {
+        saturated = false;
+        break;
+      }
+    }
+    if (saturated) {
+      metrics::CallRecord rec;
+      rec.id = call.id;
+      rec.function = call.function;
+      rec.node = -1;
+      rec.release = call.release;
+      rec.completion = engine_->now();
+      rec.disposition = metrics::Disposition::kShed;
+      collect_record(rec);
+      return;
+    }
+  }
   const std::size_t pick = balancer_->pick(call, view_);
   WHISK_CHECK(pick < view_.size(), "balancer picked a bad index");
   const std::size_t target = view_[pick].node_index;
+  if (track_calls_) {
+    const auto [it, fresh] = outstanding_.try_emplace(call.id);
+    Outstanding& entry = it->second;
+    if (fresh) entry.first_submit = engine_->now();
+    entry.primary = target;
+    if (resilience_->timeout_s > 0.0) {
+      // Re-arm per attempt; the previous timer is stale whether it fired
+      // (retry path) or still pends (failure re-submission path).
+      if (entry.timeout_ev != sim::kInvalidEvent) {
+        engine_->cancel(entry.timeout_ev);
+      }
+      entry.timeout_ev = engine_->schedule_in(
+          resilience_->timeout_s, [this, call] { on_timeout(call); });
+    }
+    if (resilience_->hedge_p > 0.0 && entry.hedge == FaultHost::npos &&
+        entry.hedge_ev == sim::kInvalidEvent &&
+        latencies_observed_ >= resilience_->hedge_min_samples &&
+        view_.size() >= 2) {
+      entry.hedge_ev = engine_->schedule_in(hedge_delay(),
+                                            [this, call] { on_hedge(call); });
+    }
+  }
   ++nodes_[target].in_transit;
   engine_->schedule_in(params_.controller_to_invoker_s,
                        [this, call, target] { arrive_at_node(call, target); });
@@ -212,6 +352,28 @@ void Cluster::arrive_at_node(const workload::CallRequest& call,
 }
 
 void Cluster::resubmit(const workload::CallRequest& call) {
+  if (track_calls_) {
+    const auto it = outstanding_.find(call.id);
+    // No entry means the call already resolved (a timeout dropped it, or
+    // its hedge won) — nothing left to recover.
+    if (it == outstanding_.end()) return;
+    if (it->second.attempts >= resilience_->max_attempts) {
+      drop_call(call, it->second.attempts);
+      return;
+    }
+    ++it->second.attempts;
+    ++resubmissions_;
+    // The armed timeout stays: it covers the call, not the lost attempt.
+    engine_->schedule_in(params_.resubmit_delay_s,
+                         [this, call] { submit_to_controller(call); });
+    return;
+  }
+  const auto it = resubmitted_.find(call.id);
+  const int attempts_so_far = 1 + (it == resubmitted_.end() ? 0 : it->second);
+  if (attempts_so_far >= params_.max_attempts) {
+    drop_call(call, attempts_so_far);
+    return;
+  }
   ++resubmissions_;
   ++resubmitted_[call.id];
   engine_->schedule_in(params_.resubmit_delay_s,
@@ -219,30 +381,342 @@ void Cluster::resubmit(const workload::CallRequest& call) {
 }
 
 void Cluster::deliver(const metrics::CallRecord& record) {
-  if (controller_history_ != nullptr) {
-    controller_history_->record_runtime(
-        record.function, record.exec_end - record.exec_start,
-        engine_->now());
-  }
-  // A completion may have emptied a draining node's backlog — the moment
-  // its metering stops (Invoker::deliver removes the call from its
-  // in-flight set before invoking this callback).
+  // Node-side truth first: the completion may have emptied a draining
+  // node's backlog — the moment its metering stops (Invoker::deliver
+  // removes the call from its in-flight set before invoking this
+  // callback) — no matter what becomes of the message below.
   if (record.node >= 0 &&
       nodes_[static_cast<std::size_t>(record.node)].state ==
           NodeState::kDraining) {
     note_drain_progress(static_cast<std::size_t>(record.node));
   }
-  // Response travels back to the blocking HTTP client; c(i) is stamped on
-  // arrival there.
+  // Fault hook: the node finished the work but the completion is lost on
+  // the return path — the controller (history included) never sees it, and
+  // only a resilience timeout re-drives the call.
+  for (FaultProcess* dropper : droppers_) {
+    if (dropper->drop_completion(record)) return;
+  }
+  if (controller_history_ != nullptr) {
+    controller_history_->record_runtime(
+        record.function, record.exec_end - record.exec_start,
+        engine_->now());
+  }
   metrics::CallRecord rec = record;
-  if (!resubmitted_.empty()) {
+  if (track_calls_) {
+    const auto it = outstanding_.find(rec.id);
+    // No entry: a hedge loser or a late duplicate of an already-resolved
+    // call. First completion won; this one is discarded.
+    if (it == outstanding_.end()) return;
+    Outstanding& entry = it->second;
+    if (entry.timeout_ev != sim::kInvalidEvent) {
+      engine_->cancel(entry.timeout_ev);
+    }
+    if (entry.hedge_ev != sim::kInvalidEvent) {
+      engine_->cancel(entry.hedge_ev);
+    }
+    if (entry.hedge != FaultHost::npos && rec.node >= 0 &&
+        static_cast<std::size_t>(rec.node) == entry.hedge &&
+        entry.hedge != entry.primary) {
+      ++hedges_won_;
+    }
+    if (!breakers_.empty() && rec.node >= 0) {
+      breaker_note_success(static_cast<std::size_t>(rec.node));
+    }
+    if (resilience_->hedge_p > 0.0) {
+      const double sample = engine_->now() - entry.first_submit;
+      if (latency_ring_.size() < kLatencyRingCapacity) {
+        latency_ring_.push_back(sample);
+      } else {
+        latency_ring_[latency_ring_next_] = sample;
+        latency_ring_next_ = (latency_ring_next_ + 1) % kLatencyRingCapacity;
+      }
+      ++latencies_observed_;
+    }
+    rec.attempts = entry.attempts;
+    resolved_.insert(rec.id);
+    outstanding_.erase(it);
+  } else if (!resubmitted_.empty()) {
     const auto it = resubmitted_.find(rec.id);
     if (it != resubmitted_.end()) rec.attempts = 1 + it->second;
   }
+  // Response travels back to the blocking HTTP client; c(i) is stamped on
+  // arrival there.
   engine_->schedule_in(params_.response_return_s, [this, rec]() mutable {
     rec.completion = engine_->now();
-    collector_.add(rec);
+    collect_record(rec);
   });
+}
+
+void Cluster::on_timeout(const workload::CallRequest& call) {
+  const auto it = outstanding_.find(call.id);
+  if (it == outstanding_.end()) return;  // resolved at the same timestamp
+  Outstanding& entry = it->second;
+  entry.timeout_ev = sim::kInvalidEvent;
+  ++timeouts_;
+  if (!breakers_.empty() && entry.primary != FaultHost::npos) {
+    breaker_note_timeout(entry.primary);
+  }
+  const auto budget = static_cast<std::size_t>(
+      std::ceil(resilience_->retry_budget *
+                static_cast<double>(expected_calls_)));
+  if (entry.attempts >= resilience_->max_attempts ||
+      retries_spent_ >= budget) {
+    drop_call(call, entry.attempts);
+    return;
+  }
+  ++retries_spent_;
+  ++retries_;
+  ++entry.retries;
+  ++entry.attempts;
+  // Deterministic exponential backoff on the failure re-route base:
+  // resubmit_delay_s, 2x it, 4x it, ... The pending retry rides in
+  // timeout_ev so drop_call can cancel it.
+  const double delay =
+      params_.resubmit_delay_s *
+      static_cast<double>(1ULL << std::min(entry.retries - 1, 30));
+  entry.timeout_ev = engine_->schedule_in(
+      delay, [this, call] { submit_to_controller(call); });
+}
+
+void Cluster::on_hedge(const workload::CallRequest& call) {
+  const auto it = outstanding_.find(call.id);
+  if (it == outstanding_.end()) return;
+  Outstanding& entry = it->second;
+  entry.hedge_ev = sim::kInvalidEvent;
+  if (entry.hedge != FaultHost::npos || view_.size() < 2) return;
+  // The duplicate goes to the least-loaded node other than the primary
+  // (lowest index on ties — deterministic, and it cooperates with the
+  // balancer instead of re-asking it and maybe getting the primary again).
+  std::size_t best = FaultHost::npos;
+  std::size_t best_load = 0;
+  for (const NodeRef& ref : view_) {
+    if (ref.node_index == entry.primary) continue;
+    const std::size_t load =
+        ref.load() + nodes_[ref.node_index].in_transit;
+    if (best == FaultHost::npos || load < best_load) {
+      best = ref.node_index;
+      best_load = load;
+    }
+  }
+  if (best == FaultHost::npos) return;  // view is just the primary
+  entry.hedge = best;
+  ++entry.attempts;
+  ++hedges_;
+  ++nodes_[best].in_transit;
+  engine_->schedule_in(params_.controller_to_invoker_s,
+                       [this, call, best] { arrive_at_node(call, best); });
+}
+
+void Cluster::drop_call(const workload::CallRequest& call, int attempts) {
+  const auto it = outstanding_.find(call.id);
+  if (it != outstanding_.end()) {
+    if (it->second.timeout_ev != sim::kInvalidEvent) {
+      engine_->cancel(it->second.timeout_ev);
+    }
+    if (it->second.hedge_ev != sim::kInvalidEvent) {
+      engine_->cancel(it->second.hedge_ev);
+    }
+    outstanding_.erase(it);
+  }
+  if (track_calls_) resolved_.insert(call.id);
+  metrics::CallRecord rec;
+  rec.id = call.id;
+  rec.function = call.function;
+  rec.node = -1;
+  rec.release = call.release;
+  rec.completion = engine_->now();
+  rec.attempts = attempts;
+  rec.disposition = metrics::Disposition::kDropped;
+  collect_record(rec);
+}
+
+void Cluster::breaker_note_timeout(std::size_t node) {
+  if (node >= breakers_.size()) return;
+  Breaker& b = breakers_[node];
+  if (b.state == Breaker::State::kOpen) return;
+  // Half-open means the node was serving a probe; a timeout fails it and
+  // re-opens immediately.
+  if (b.state == Breaker::State::kHalfOpen ||
+      ++b.consecutive_timeouts >= resilience_->breaker_failures) {
+    b.state = Breaker::State::kOpen;
+    b.consecutive_timeouts = 0;
+    ++breaker_opens_;
+    rebuild_view();
+    schedule_cancellable(resilience_->breaker_cooldown_s, [this, node] {
+      Breaker& cooled = breakers_[node];
+      if (cooled.state != Breaker::State::kOpen) return;
+      // Half-open: the node rejoins the view; its next outcome (success
+      // closes, timeout re-opens) decides.
+      cooled.state = Breaker::State::kHalfOpen;
+      rebuild_view();
+    });
+  }
+}
+
+void Cluster::breaker_note_success(std::size_t node) {
+  if (node >= breakers_.size()) return;
+  Breaker& b = breakers_[node];
+  b.consecutive_timeouts = 0;
+  if (b.state == Breaker::State::kHalfOpen) {
+    b.state = Breaker::State::kClosed;
+  }
+}
+
+double Cluster::hedge_delay() const {
+  std::vector<double> sorted = latency_ring_;
+  const auto k = static_cast<std::size_t>(
+      resilience_->hedge_p * static_cast<double>(sorted.size() - 1));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                   sorted.end());
+  return sorted[k];
+}
+
+void Cluster::collect_record(const metrics::CallRecord& record) {
+  collector_.add(record);
+  // The last expected call just resolved: cancel every pending fault draw
+  // and breaker cooldown so a far-future timer cannot keep the engine
+  // ticking past the workload.
+  if (!pending_timers_.empty() && expected_calls_ > 0 &&
+      collector_.size() >= expected_calls_) {
+    cancel_pending_timers();
+  }
+}
+
+void Cluster::schedule_cancellable(double delay_s,
+                                   std::function<void()> fn) {
+  const std::uint64_t key = next_timer_key_++;
+  const sim::EventId id = engine_->schedule_in(
+      delay_s, [this, key, fn = std::move(fn)] {
+        pending_timers_.erase(key);
+        fn();
+      });
+  pending_timers_.emplace(key, id);
+}
+
+void Cluster::cancel_pending_timers() {
+  for (const auto& [key, id] : pending_timers_) engine_->cancel(id);
+  pending_timers_.clear();
+}
+
+sim::SimTime Cluster::fault_now() const { return engine_->now(); }
+
+void Cluster::fault_schedule(double delay_s, std::function<void()> fn) {
+  schedule_cancellable(delay_s, std::move(fn));
+}
+
+std::size_t Cluster::fault_group_index(std::string_view name) const {
+  return params_.deployment.group_index(name);
+}
+
+std::size_t Cluster::fault_active_count(std::size_t group) const {
+  std::size_t count = 0;
+  if (group == FaultHost::npos) {
+    for (const NodeSlot& slot : nodes_) {
+      count += slot.state == NodeState::kActive ? 1 : 0;
+    }
+    return count;
+  }
+  WHISK_CHECK(group < group_members_.size(), "fault group out of range");
+  for (const std::size_t i : group_members_[group]) {
+    count += nodes_[i].state == NodeState::kActive ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t Cluster::fault_active_at(std::size_t group, std::size_t k) const {
+  if (group == FaultHost::npos) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].state != NodeState::kActive) continue;
+      if (k == 0) return i;
+      --k;
+    }
+  } else {
+    WHISK_CHECK(group < group_members_.size(), "fault group out of range");
+    for (const std::size_t i : group_members_[group]) {
+      if (nodes_[i].state != NodeState::kActive) continue;
+      if (k == 0) return i;
+      --k;
+    }
+  }
+  WHISK_CHECK(false, "fault_active_at: index past the active nodes");
+  return FaultHost::npos;
+}
+
+std::size_t Cluster::fault_member(std::size_t group,
+                                  std::size_t member) const {
+  WHISK_CHECK(group < group_members_.size(), "fault group out of range");
+  const auto& members = group_members_[group];
+  return member < members.size() ? members[member] : FaultHost::npos;
+}
+
+bool Cluster::fault_node_active(std::size_t node) const {
+  WHISK_CHECK(node < nodes_.size(), "fault node out of range");
+  return nodes_[node].state == NodeState::kActive;
+}
+
+bool Cluster::fault_node_failed(std::size_t node) const {
+  WHISK_CHECK(node < nodes_.size(), "fault node out of range");
+  return nodes_[node].state == NodeState::kFailed;
+}
+
+bool Cluster::fault_fail(std::size_t node) {
+  WHISK_CHECK(node < nodes_.size(), "fault node out of range");
+  NodeSlot& slot = nodes_[node];
+  // Only active nodes crash stochastically; draining/failed ones are
+  // already out of service and retired ones hold no work.
+  if (slot.state != NodeState::kActive) return false;
+  slot.state = NodeState::kFailed;
+  slot.failed_at = engine_->now();
+  if (slot.retired_at < 0.0) slot.retired_at = engine_->now();
+  for (const workload::CallRequest& call : slot.invoker->shutdown()) {
+    resubmit(call);
+  }
+  rebuild_view();
+  return true;
+}
+
+bool Cluster::fault_restart(std::size_t node) {
+  WHISK_CHECK(node < nodes_.size(), "fault node out of range");
+  NodeSlot& slot = nodes_[node];
+  if (slot.state != NodeState::kFailed) return false;
+  // Close the dead incarnation's metering interval and downtime window,
+  // then seat a fresh cold invoker in the same slot.
+  slot.accrued_s += std::max(0.0, slot.retired_at - slot.joined_at);
+  if (slot.failed_at >= 0.0) {
+    unavailability_accrued_s_ += engine_->now() - slot.failed_at;
+    slot.failed_at = -1.0;
+  }
+  ++slot.incarnation;
+  retired_invokers_.push_back(std::move(slot.invoker));
+  slot.invoker = make_invoker(slot.group, node, slot.incarnation);
+  slot.state = NodeState::kActive;
+  slot.joined_at = engine_->now();
+  slot.retired_at = -1.0;
+  if (node < breakers_.size()) breakers_[node] = Breaker{};
+  rebuild_view();
+  return true;
+}
+
+void Cluster::fault_set_speed(std::size_t node, double factor) {
+  WHISK_CHECK(node < nodes_.size(), "fault node out of range");
+  NodeSlot& slot = nodes_[node];
+  if (slot.state == NodeState::kFailed) return;
+  slot.invoker->set_speed_factor(factor);
+}
+
+bool Cluster::fault_workload_done() const {
+  return expected_calls_ > 0 && collector_.size() >= expected_calls_;
+}
+
+void Cluster::fault_note_injected() { ++faults_injected_; }
+
+double Cluster::unavailability_s() const {
+  double total = unavailability_accrued_s_;
+  for (const NodeSlot& slot : nodes_) {
+    if (slot.failed_at >= 0.0) total += engine_->now() - slot.failed_at;
+  }
+  return total;
 }
 
 void Cluster::autoscaler_tick() {
@@ -322,7 +796,9 @@ double Cluster::node_seconds(std::size_t group) const {
   for (const std::size_t i : group_members_[group]) {
     const NodeSlot& slot = nodes_[i];
     const sim::SimTime end = slot.retired_at >= 0.0 ? slot.retired_at : now;
-    total += std::max(0.0, end - slot.joined_at);
+    // accrued_s holds the uptime of earlier incarnations (closed at each
+    // crash); the live interval starts at the latest restart.
+    total += slot.accrued_s + std::max(0.0, end - slot.joined_at);
   }
   return total;
 }

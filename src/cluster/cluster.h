@@ -3,11 +3,14 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/autoscaler.h"
 #include "cluster/cluster_spec.h"
+#include "cluster/fault.h"
 #include "cluster/load_balancer.h"
+#include "cluster/resilience.h"
 #include "core/history.h"
 #include "metrics/collector.h"
 #include "node/invoker.h"
@@ -45,8 +48,15 @@ struct ClusterParams {
   double controller_to_invoker_s = 0.003;  // Kafka hop, r'(i) stamp
   double response_return_s = 0.004;        // node -> end client
   // Controller-side detect-and-reroute latency for a call interrupted by a
-  // node failure (re-submission enters at submit_to_controller again).
+  // node failure (re-submission enters at submit_to_controller again). Also
+  // the base of the resilience layer's exponential retry backoff
+  // (resubmit_delay_s * 2^retry).
   double resubmit_delay_s = 0.010;
+  // Total submissions allowed per call through the failure re-submission
+  // loop before the controller gives up and records the call with a
+  // `dropped` disposition (the loop used to retry forever). A resilience=
+  // section's max-attempts takes over for calls it tracks.
+  int max_attempts = 16;
 };
 
 // Where a node is in its life. kDrained is derived: a draining node whose
@@ -101,7 +111,23 @@ struct GroupStats {
 // drain the newest active node first). Every node's active seconds are
 // metered — joins and drains pro-rated — so cost_usd() prices the fleet
 // via each group's cost-per-hour.
-class Cluster {
+//
+// When the deployment carries `faults=`, the cluster additionally runs each
+// named FaultProcess against itself (it is the FaultHost): crashes reuse
+// the fail machinery, crashed nodes restart *in place* with a fresh cold
+// invoker (metering accrues across incarnations; downtime accumulates in
+// unavailability_s()), stragglers stretch a node's sampled durations, and
+// lost completions are swallowed before the controller. A `resilience=`
+// section arms the controller-side counter-measures: per-attempt timeouts
+// with budgeted exponential-backoff retries, hedged duplicates after the
+// observed latency quantile (first completion wins, the loser's timers are
+// cancelled in O(log n)), per-node circuit breakers that eject repeatedly
+// timing-out nodes from the NodeView until a post-cooldown probe succeeds,
+// and queue-depth admission control that sheds fresh calls when every
+// routable node is saturated. All of it is pay-for-what-you-use: with no
+// faults and no resilience the request path takes the exact pre-PR7 code
+// path, byte for byte.
+class Cluster : public FaultHost {
  public:
   Cluster(sim::Engine& engine, const workload::FunctionCatalog& catalog,
           ClusterParams params, std::uint64_t seed);
@@ -147,12 +173,46 @@ class Cluster {
 
   // Metered active node-seconds of one group: for each member, from its
   // join to its retirement (drain completed or failed) or to now if still
-  // running — joins and drains pro-rate automatically.
+  // running — joins, drains and crash/restart gaps pro-rate automatically.
   [[nodiscard]] double node_seconds(std::size_t group) const;
   // Fleet-wide metered node-hours.
   [[nodiscard]] double node_hours() const;
   // Fleet cost: each group's node-hours times its cost-per-hour.
   [[nodiscard]] double cost_usd() const;
+
+  // Robustness telemetry (the per-cell economics-of-failure columns).
+  [[nodiscard]] std::size_t faults_injected() const {
+    return faults_injected_;
+  }
+  // Timeout expirations, and how many of them were answered with a retry.
+  [[nodiscard]] std::size_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+  // Hedged duplicates sent, and how many the hedge node won.
+  [[nodiscard]] std::size_t hedges() const { return hedges_; }
+  [[nodiscard]] std::size_t hedges_won() const { return hedges_won_; }
+  [[nodiscard]] std::size_t breaker_opens() const { return breaker_opens_; }
+  // Accumulated node-down seconds (failure to restart, or to now for nodes
+  // still down) across the whole fleet.
+  [[nodiscard]] double unavailability_s() const;
+
+  // FaultHost — the surface fault processes mutate the cluster through.
+  [[nodiscard]] sim::SimTime fault_now() const override;
+  void fault_schedule(double delay_s, std::function<void()> fn) override;
+  [[nodiscard]] std::size_t fault_group_index(
+      std::string_view name) const override;
+  [[nodiscard]] std::size_t fault_active_count(
+      std::size_t group) const override;
+  [[nodiscard]] std::size_t fault_active_at(std::size_t group,
+                                            std::size_t k) const override;
+  [[nodiscard]] std::size_t fault_member(std::size_t group,
+                                         std::size_t member) const override;
+  [[nodiscard]] bool fault_node_active(std::size_t node) const override;
+  [[nodiscard]] bool fault_node_failed(std::size_t node) const override;
+  bool fault_fail(std::size_t node) override;
+  bool fault_restart(std::size_t node) override;
+  void fault_set_speed(std::size_t node, double factor) override;
+  [[nodiscard]] bool fault_workload_done() const override;
+  void fault_note_injected() override;
 
  private:
   struct NodeSlot {
@@ -163,10 +223,19 @@ class Cluster {
     // Keeps node_state() monotone: a draining node does not read as
     // drained while a pre-drain call is about to arrive.
     std::size_t in_transit = 0;
-    // Metering stamps: when the node joined the fleet, and when it stopped
-    // accruing cost (drain completed / failed); -1 while still accruing.
+    // Metering stamps: when the current incarnation joined the fleet, and
+    // when it stopped accruing cost (drain completed / failed); -1 while
+    // still accruing. Restart-in-place folds the closed interval into
+    // accrued_s and opens a new one.
     sim::SimTime joined_at = 0.0;
     sim::SimTime retired_at = -1.0;
+    double accrued_s = 0.0;
+    // When the node (fault- or event-) failed; -1 while up. Folded into
+    // the cluster's unavailability total at restart or query time.
+    sim::SimTime failed_at = -1.0;
+    // Restart count; tags the replacement invoker's RNG stream so every
+    // incarnation draws an independent deterministic stream.
+    std::size_t incarnation = 0;
   };
 
   // Create one node of `group` and append it to the fleet (construction
@@ -178,10 +247,60 @@ class Cluster {
   // the event context when the node does not exist (yet).
   [[nodiscard]] std::size_t resolve_node(const LifecycleEvent& event) const;
 
+  // Fresh invoker for one slot, stream-tagged by global node index and
+  // incarnation (shared by add_node and restart-in-place).
+  [[nodiscard]] std::unique_ptr<node::Invoker> make_invoker(
+      std::size_t group, std::size_t index, std::size_t incarnation);
+
   void submit_to_controller(const workload::CallRequest& call);
   void arrive_at_node(const workload::CallRequest& call, std::size_t target);
   void resubmit(const workload::CallRequest& call);
   void deliver(const metrics::CallRecord& record);
+
+  // Resilience internals (no-ops unless the deployment arms them).
+  struct Outstanding {
+    int attempts = 1;  // submissions so far: first + retries + hedges
+    int retries = 0;   // timeout retries only (drives the backoff exponent)
+    sim::EventId timeout_ev = sim::kInvalidEvent;
+    sim::EventId hedge_ev = sim::kInvalidEvent;
+    std::size_t primary = FaultHost::npos;  // latest primary target
+    std::size_t hedge = FaultHost::npos;    // hedge target, npos until sent
+    sim::SimTime first_submit = 0.0;
+  };
+  struct ResilienceConfig {
+    double timeout_s = 0.0;
+    int max_attempts = 4;
+    double retry_budget = 0.2;
+    double hedge_p = 0.0;
+    std::size_t hedge_min_samples = 32;
+    std::size_t breaker_failures = 0;
+    double breaker_cooldown_s = 30.0;
+    std::size_t max_queue = 0;
+  };
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    std::size_t consecutive_timeouts = 0;
+  };
+
+  void on_timeout(const workload::CallRequest& call);
+  void on_hedge(const workload::CallRequest& call);
+  // Write the terminal `dropped` record for a call that exhausted its
+  // attempts and forget its resilience state.
+  void drop_call(const workload::CallRequest& call, int attempts);
+  // Breaker transitions fed by per-node timeout/success signals.
+  void breaker_note_timeout(std::size_t node);
+  void breaker_note_success(std::size_t node);
+  // Latency quantile the hedge delay is drawn from (ring of recent
+  // controller-observed latencies).
+  [[nodiscard]] double hedge_delay() const;
+  // Terminal-record funnel: feeds the collector and, once every expected
+  // call has resolved, cancels all pending fault/breaker timers so the
+  // engine can drain.
+  void collect_record(const metrics::CallRecord& record);
+  // Cancellable timer shared by fault processes and breaker cooldowns.
+  void schedule_cancellable(double delay_s, std::function<void()> fn);
+  void cancel_pending_timers();
 
   // One pass of the closed loop; reschedules itself until every expected
   // call has been collected.
@@ -195,6 +314,13 @@ class Cluster {
   ClusterParams params_;
 
   std::vector<NodeSlot> nodes_;
+  // Dead incarnations parked until the run ends: a restarted slot's old
+  // invoker still owns engine callbacks that no-op through its failed flag,
+  // so destroying it mid-run would leave those events dangling.
+  std::vector<std::unique_ptr<node::Invoker>> retired_invokers_;
+  // Calls that arrived while every node was failed (disruptive fault
+  // regimes only); rebuild_view() re-admits them once capacity returns.
+  std::vector<workload::CallRequest> parked_calls_;
   std::vector<std::vector<std::size_t>> group_members_;
   NodeView view_;
   std::unique_ptr<LoadBalancer> balancer_;
@@ -220,8 +346,44 @@ class Cluster {
 
   std::size_t resubmissions_ = 0;
   // Re-submission count per interrupted call id; stamped into the record's
-  // attempts on delivery. Empty unless a fail event fired.
+  // attempts on delivery. Empty unless a fail event fired. Unused for
+  // calls the resilience layer tracks (Outstanding::attempts wins).
   std::unordered_map<workload::CallId, int> resubmitted_;
+
+  // Fault subsystem; all empty/null on fault-free deployments.
+  std::vector<std::unique_ptr<FaultProcess>> fault_processes_;
+  // The drops_completions() subset, consulted per delivery.
+  std::vector<FaultProcess*> droppers_;
+  // Pending cancellable timers (fault self-schedules, breaker cooldowns),
+  // keyed by an issue counter; cancelled en masse once the workload is
+  // fully collected so far-future draws cannot extend the run.
+  std::unordered_map<std::uint64_t, sim::EventId> pending_timers_;
+  std::uint64_t next_timer_key_ = 0;
+  std::size_t faults_injected_ = 0;
+  double unavailability_accrued_s_ = 0.0;
+
+  // Resilience subsystem; null unless the deployment has a resilience=
+  // section. track_calls_ adds the per-call Outstanding bookkeeping, which
+  // only timeouts and hedges need — shedding and attempt bounds are free.
+  std::unique_ptr<ResilienceConfig> resilience_;
+  bool track_calls_ = false;
+  std::unordered_map<workload::CallId, Outstanding> outstanding_;
+  // Ids of tracked calls that already resolved (completed or dropped) —
+  // the guard that keeps a stale retry or failure re-submission scheduled
+  // before resolution from resurrecting the call afterwards.
+  std::unordered_set<workload::CallId> resolved_;
+  std::vector<Breaker> breakers_;  // per node; empty unless breaker armed
+  // Ring of recent controller-observed latencies feeding the hedge
+  // quantile, plus the total observed count gating hedge arming.
+  std::vector<double> latency_ring_;
+  std::size_t latency_ring_next_ = 0;
+  std::size_t latencies_observed_ = 0;
+  std::size_t retries_spent_ = 0;  // against the retry budget
+  std::size_t timeouts_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t hedges_ = 0;
+  std::size_t hedges_won_ = 0;
+  std::size_t breaker_opens_ = 0;
 };
 
 }  // namespace whisk::cluster

@@ -202,6 +202,16 @@ std::string render(const ClusterSpec& spec, char section_sep,
     if (section_sep == ';') out += ' ';
     out += "autoscaler=" + spec.autoscaler.to_string();
   }
+  if (spec.faults_set || !spec.faults.empty()) {
+    out += section_sep;
+    if (section_sep == ';') out += ' ';
+    out += "faults=" + fault_list_to_string(spec.faults, list_sep);
+  }
+  if (spec.resilience_set || spec.resilience.enabled()) {
+    out += section_sep;
+    if (section_sep == ';') out += ' ';
+    out += "resilience=" + spec.resilience.to_string();
+  }
   if (spec.slo_set) {
     out += section_sep;
     if (section_sep == ';') out += ' ';
@@ -256,6 +266,8 @@ ClusterSpec ClusterSpec::parse(std::string_view text) {
   bool groups_seen = false;
   bool keep_alive_seen = false;
   bool autoscaler_seen = false;
+  bool faults_seen = false;
+  bool resilience_seen = false;
   bool slo_seen = false;
   bool events_seen = false;
   for (std::string_view raw_section : split_any(text, ";|")) {
@@ -270,6 +282,23 @@ ClusterSpec ClusterSpec::parse(std::string_view text) {
       autoscaler_seen = true;
       spec.autoscaler_set = true;
       spec.autoscaler = AutoscalerSpec::parse(
+          trim_ws(section.substr(section.find('=') + 1)));
+    } else if (lowered.rfind("faults=", 0) == 0) {
+      WHISK_CHECK(!faults_seen, ("cluster spec \"" + std::string(text) +
+                                 "\" sets faults twice")
+                                    .c_str());
+      faults_seen = true;
+      spec.faults_set = true;
+      spec.faults =
+          parse_fault_list(trim_ws(section.substr(section.find('=') + 1)));
+    } else if (lowered.rfind("resilience=", 0) == 0) {
+      WHISK_CHECK(!resilience_seen,
+                  ("cluster spec \"" + std::string(text) +
+                   "\" sets resilience twice")
+                      .c_str());
+      resilience_seen = true;
+      spec.resilience_set = true;
+      spec.resilience = ResilienceSpec::parse(
           trim_ws(section.substr(section.find('=') + 1)));
     } else if (lowered.rfind("slo=", 0) == 0) {
       WHISK_CHECK(!slo_seen, ("cluster spec \"" + std::string(text) +
@@ -456,6 +485,48 @@ ClusterSpec ClusterSpec::normalized() const {
     check_value_has_no_separators(
         "cluster autoscaler \"" + out.autoscaler.name + "\"", key, value);
   }
+
+  bool drops_completions = false;
+  for (auto& fault : out.faults) {
+    fault = fault.normalized();
+    WHISK_CHECK(fault.enabled(),
+                "cluster faults list contains \"none\" — parse_fault_list "
+                "drops it; hand-built specs must too");
+    for (const auto& [key, value] : fault.params) {
+      check_value_has_no_separators("cluster fault \"" + fault.name + "\"",
+                                    key, value);
+    }
+    // A scoped fault must name a real group, checked here so a typo dies
+    // at parse time, not when the process first fires mid-sweep.
+    const std::string scope = util::ascii_lower(fault.text("group"));
+    if (!scope.empty()) {
+      WHISK_CHECK(std::find(group_names.begin(), group_names.end(), scope) !=
+                      group_names.end(),
+                  ("cluster fault \"" + fault.name +
+                   "\" targets unknown group \"" + scope +
+                   "\"; groups: " + util::join(group_names))
+                      .c_str());
+    }
+    drops_completions =
+        drops_completions || fault_drops_completions(fault.name);
+  }
+  out.faults_set = faults_set || !out.faults.empty();
+
+  out.resilience = out.resilience.normalized();
+  out.resilience_set = resilience_set || out.resilience.enabled();
+  for (const auto& [key, value] : out.resilience.params) {
+    check_value_has_no_separators("cluster resilience", key, value);
+  }
+  // A lost completion leaves the call permanently in flight unless a
+  // timeout can re-drive it — without one the run would deadlock, so
+  // reject the combination up front.
+  if (drops_completions) {
+    WHISK_CHECK(out.resilience.number("timeout-s", 0.0) > 0.0,
+                "cluster faults include a completion-dropping process "
+                "(lost-completion) but resilience sets no timeout-s; the "
+                "run would never finish — add resilience=timeout-s=...");
+  }
+
   if (out.slo_set) check_slo(out.slo);
 
   // Validate the event schedule exactly as the cluster will execute it:
@@ -526,8 +597,16 @@ bool ClusterSpec::has_disruptive_events() const {
   return false;
 }
 
+bool ClusterSpec::has_disruptive_faults() const {
+  for (const auto& fault : faults) {
+    if (fault.enabled() && fault_is_disruptive(fault.name)) return true;
+  }
+  return false;
+}
+
 bool ClusterSpec::needs_in_flight_tracking() const {
-  return has_disruptive_events() || autoscaler.enabled();
+  return has_disruptive_events() || has_disruptive_faults() ||
+         autoscaler.enabled();
 }
 
 double ClusterSpec::group_cost_per_hour(std::size_t group) const {

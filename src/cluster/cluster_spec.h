@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cluster/autoscaler.h"
+#include "cluster/fault.h"
+#include "cluster/resilience.h"
 #include "container/keep_alive.h"
 #include "node/params.h"
 
@@ -94,6 +96,8 @@ struct LifecycleEvent {
 //       "big:4?cores=16&memory-mb=65536,small:8?cores=4&cost-per-hour=0.2; "
 //       "keep-alive=ttl?idle-s=600; "
 //       "autoscaler=target-util?low=0.3&high=0.85; "
+//       "faults=crash-restart?mtbf-s=120&mttr-s=15,slow-node?factor=4; "
+//       "resilience=timeout-s=2&max-attempts=3&hedge-p=0.95; "
 //       "slo=p99<2.5; "
 //       "events=drain@120:big/0,join@300:small");
 //
@@ -102,8 +106,11 @@ struct LifecycleEvent {
 // cost-per-hour, min-nodes, max-nodes); `keep-alive=` names a
 // container::KeepAlivePolicyRegistry spec; `autoscaler=` names an
 // AutoscalerRegistry controller that scales groups at runtime within their
-// min-nodes/max-nodes bounds; `slo=` states the response-time objective
-// runs are scored against; `events=` lists scheduled lifecycle events
+// min-nodes/max-nodes bounds; `faults=` lists FaultRegistry processes the
+// cluster runs under (seeded stochastic churn — see fault.h); `resilience=`
+// sets the controller's recovery policy (timeouts/retries, hedging,
+// breakers, shedding — see resilience.h); `slo=` states the response-time
+// objective runs are scored against; `events=` lists scheduled lifecycle events
 // `kind@time:group[/node]` (drain/fail require the /node index, join takes
 // just the group). Group/policy names are case-insensitive; unknown
 // groups, policies and parameter keys abort with diagnostics that echo the
@@ -130,6 +137,15 @@ struct ClusterSpec {
   // an explicit "autoscaler=none" still reads as a deliberate choice.
   AutoscalerSpec autoscaler;
   bool autoscaler_set = false;
+  // Stochastic fault processes active for the whole run; empty = no faults
+  // (the default, byte-identical to the pre-fault simulator). `faults_set`
+  // mirrors autoscaler_set: an explicit "faults=none" is a deliberate
+  // choice that conflicts with a `faults=` campaign axis.
+  std::vector<FaultSpec> faults;
+  bool faults_set = false;
+  // Controller-side recovery policy; empty = none (legacy behavior).
+  ResilienceSpec resilience;
+  bool resilience_set = false;
   // Response-time objective; meaningful only when slo_set.
   SloSpec slo;
   bool slo_set = false;
@@ -163,8 +179,10 @@ struct ClusterSpec {
   // True when any drain/fail event is scheduled — the churn that needs
   // per-call in-flight bookkeeping (joins alone do not).
   [[nodiscard]] bool has_disruptive_events() const;
-  // Per-call in-flight bookkeeping is needed for disruptive events AND for
-  // any autoscaler (its drains must detect backlog completion).
+  // True when any fault process can fail nodes (crash-restart, flap).
+  [[nodiscard]] bool has_disruptive_faults() const;
+  // Per-call in-flight bookkeeping is needed for disruptive events/faults
+  // AND for any autoscaler (its drains must detect backlog completion).
   [[nodiscard]] bool needs_in_flight_tracking() const;
 
   // Typed group-parameter reads (values validated by normalized()):
@@ -188,7 +206,9 @@ struct ClusterSpec {
     return a.groups == b.groups && a.keep_alive == b.keep_alive &&
            a.keep_alive_set == b.keep_alive_set &&
            a.autoscaler == b.autoscaler &&
-           a.autoscaler_set == b.autoscaler_set && a.slo == b.slo &&
+           a.autoscaler_set == b.autoscaler_set && a.faults == b.faults &&
+           a.faults_set == b.faults_set && a.resilience == b.resilience &&
+           a.resilience_set == b.resilience_set && a.slo == b.slo &&
            a.slo_set == b.slo_set && a.events == b.events;
   }
   friend bool operator!=(const ClusterSpec& a, const ClusterSpec& b) {

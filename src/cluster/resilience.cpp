@@ -1,0 +1,137 @@
+#include "cluster/resilience.h"
+
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace whisk::cluster {
+
+const std::vector<ResilienceParam>& resilience_params() {
+  static const auto* params = new std::vector<ResilienceParam>{
+      {"timeout-s", "0",
+       "per-attempt controller timeout in seconds (0 = disabled)"},
+      {"max-attempts", "4",
+       "total attempts per call across timeout retries (>= 1)"},
+      {"retry-budget", "0.2",
+       "fraction of the workload's calls that may be retried"},
+      {"hedge-p", "0",
+       "latency quantile that arms a hedged duplicate (0 = disabled, < 1)"},
+      {"hedge-min-samples", "32",
+       "observed completions required before hedging arms"},
+      {"breaker-failures", "0",
+       "consecutive per-node timeouts that open the circuit breaker "
+       "(0 = disabled; requires timeout-s > 0)"},
+      {"breaker-cooldown-s", "30",
+       "seconds an open breaker waits before a half-open probe"},
+      {"max-queue", "0",
+       "per-node depth above which saturated fleets shed (0 = disabled)"},
+  };
+  return *params;
+}
+
+namespace {
+
+void check_known_key(const std::string& key, const std::string& raw) {
+  for (const auto& p : resilience_params()) {
+    if (p.name == key) return;
+  }
+  std::vector<std::string> names;
+  names.reserve(resilience_params().size());
+  for (const auto& p : resilience_params()) names.push_back(p.name);
+  WHISK_CHECK(false, ("resilience spec does not take parameter \"" + raw +
+                      "\"; valid parameters: " + util::join(names))
+                         .c_str());
+}
+
+}  // namespace
+
+ResilienceSpec ResilienceSpec::parse(std::string_view text) {
+  ResilienceSpec spec;
+  const std::string_view trimmed = util::trim_ws(text);
+  if (trimmed.empty() || util::ascii_lower(trimmed) == "none") {
+    return spec;
+  }
+  util::parse_param_list(trimmed,
+                         "resilience spec \"" + std::string(text) + "\"",
+                         &spec.params);
+  return spec.normalized();
+}
+
+std::string ResilienceSpec::to_string() const {
+  if (params.empty()) return "none";
+  std::string out;
+  char sep = 0;
+  for (const auto& [key, value] : params) {
+    if (sep) out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = '&';
+  }
+  return out;
+}
+
+ResilienceSpec ResilienceSpec::normalized() const {
+  ResilienceSpec out;
+  for (const auto& [raw_key, value] : params) {
+    const std::string key = util::ascii_lower(raw_key);
+    WHISK_CHECK(out.params.count(key) == 0,
+                ("resilience spec sets parameter \"" + key + "\" twice")
+                    .c_str());
+    check_known_key(key, raw_key);
+    out.params[key] = value;
+  }
+  // Range checks go through the typed getters so a non-numeric value dies
+  // with the standard diagnostic before the range text.
+  const double timeout = out.number("timeout-s", 0.0);
+  WHISK_CHECK(timeout >= 0.0, "resilience: timeout-s must be >= 0");
+  const std::size_t attempts = out.count("max-attempts", 4);
+  WHISK_CHECK(attempts >= 1, "resilience: max-attempts must be >= 1");
+  const double budget = out.number("retry-budget", 0.2);
+  WHISK_CHECK(budget >= 0.0, "resilience: retry-budget must be >= 0");
+  const double hedge_p = out.number("hedge-p", 0.0);
+  WHISK_CHECK(hedge_p >= 0.0 && hedge_p < 1.0,
+              "resilience: hedge-p must be in [0, 1) — it is a latency "
+              "quantile, 0 disables hedging");
+  WHISK_CHECK(out.count("hedge-min-samples", 32) >= 2,
+              "resilience: hedge-min-samples must be >= 2");
+  const std::size_t breaker = out.count("breaker-failures", 0);
+  if (breaker > 0) {
+    WHISK_CHECK(timeout > 0.0,
+                "resilience: breaker-failures needs timeout-s > 0 — "
+                "timeouts are the breaker's failure signal");
+  }
+  WHISK_CHECK(out.number("breaker-cooldown-s", 30.0) > 0.0,
+              "resilience: breaker-cooldown-s must be > 0");
+  return out;
+}
+
+bool ResilienceSpec::has(std::string_view key) const {
+  return params.count(util::ascii_lower(key)) != 0;
+}
+
+double ResilienceSpec::number(std::string_view key, double fallback) const {
+  const auto it = params.find(util::ascii_lower(key));
+  if (it == params.end()) return fallback;
+  double value = 0.0;
+  if (!util::parse_finite_double(it->second, &value)) {
+    WHISK_CHECK(false, ("resilience parameter " + std::string(key) + "=\"" +
+                        it->second + "\" is not a finite number")
+                           .c_str());
+  }
+  return value;
+}
+
+std::size_t ResilienceSpec::count(std::string_view key,
+                                  std::size_t fallback) const {
+  const auto it = params.find(util::ascii_lower(key));
+  if (it == params.end()) return fallback;
+  unsigned long long value = 0;
+  if (!util::parse_whole_number(it->second, &value)) {
+    WHISK_CHECK(false, ("resilience parameter " + std::string(key) + "=\"" +
+                        it->second + "\" is not a whole number >= 0")
+                           .c_str());
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace whisk::cluster

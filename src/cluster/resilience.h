@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whisk::cluster {
+
+// One declared resilience knob; surfaced by `whisk_sweep --list` and
+// tools/fault_catalog next to the fault registry.
+struct ResilienceParam {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+// Every knob the controller-side resilience layer understands, with its
+// default and the value that disables it. A knob left at its default is
+// off, so an empty spec is exactly the pre-resilience controller.
+[[nodiscard]] const std::vector<ResilienceParam>& resilience_params();
+
+// The controller-side recovery policy of a deployment — the defensive
+// mirror of the `faults=` section, carried as `resilience=` in ClusterSpec:
+//
+//   auto spec = ResilienceSpec::parse("timeout-s=2&max-attempts=3&hedge-p=0.95");
+//   spec.to_string()  -> "hedge-p=0.95&max-attempts=3&timeout-s=2"
+//
+// Grammar: "none" (or empty) for no policy, else key=value[&key=value]...
+// with case-insensitive keys stored sorted, so to_string() is canonical and
+// parse(to_string()) round-trips. Unlike faults there is no registry of
+// named policies: the mechanisms (timeout+retry, hedging, breaker,
+// shedding) compose, so the spec is one flat parameter set and each
+// mechanism arms only when its gating knob moves off the default.
+//
+// Knobs (see resilience_params() for the authoritative list):
+//   timeout-s          per-attempt controller timeout; 0 disables. Expired
+//                      attempts retry with deterministic exponential backoff
+//                      (base = ClusterParams::resubmit_delay_s, doubling per
+//                      retry) until max-attempts or the retry budget runs out,
+//                      then the call is recorded with a `dropped` disposition.
+//   max-attempts       total attempts per call across timeout retries (>= 1).
+//   retry-budget       fraction of the workload's calls that may be retried;
+//                      once ceil(budget * calls) retries are spent, further
+//                      expiries drop instead of retrying.
+//   hedge-p            latency quantile that arms a hedge: when an attempt
+//                      outlives the observed p-quantile of controller
+//                      latencies, a duplicate goes to a second node and the
+//                      first completion wins. 0 disables; must be < 1.
+//   hedge-min-samples  observed completions required before hedging arms.
+//   breaker-failures   consecutive per-node timeouts that open the node's
+//                      circuit breaker (ejects it from the NodeView until a
+//                      half-open probe succeeds). 0 disables; requires
+//                      timeout-s > 0, since timeouts are the failure signal.
+//   breaker-cooldown-s seconds an open breaker waits before half-open.
+//   max-queue          per-node queue depth (queued + in transit) above which
+//                      a fresh call is shed with a `shed` disposition when
+//                      every routable node is saturated. 0 disables.
+struct ResilienceSpec {
+  std::map<std::string, std::string> params;
+
+  [[nodiscard]] static ResilienceSpec parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  // Abort with a knob-listing error on an unknown key or an out-of-range
+  // value; returns a copy with keys lowercased.
+  [[nodiscard]] ResilienceSpec normalized() const;
+
+  [[nodiscard]] bool enabled() const { return !params.empty(); }
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  // Typed access with the declared default as fallback; unparsable values
+  // abort naming the key and offending text.
+  [[nodiscard]] double number(std::string_view key, double fallback) const;
+  [[nodiscard]] std::size_t count(std::string_view key,
+                                  std::size_t fallback) const;
+
+  friend bool operator==(const ResilienceSpec& a, const ResilienceSpec& b) {
+    return a.params == b.params;
+  }
+  friend bool operator!=(const ResilienceSpec& a, const ResilienceSpec& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace whisk::cluster

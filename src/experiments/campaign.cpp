@@ -71,6 +71,20 @@ std::string effective_autoscaler(const CampaignSpec& spec,
   return cluster::AutoscalerSpec{}.to_string();
 }
 
+// The cell's effective fault regime as a '+'-joined list ("none" for
+// fault-free cells) — same ownership rules as the autoscaler.
+std::string effective_faults(const CampaignSpec& spec,
+                             const CampaignCell& cell) {
+  if (spec.fault_mode()) {
+    return cluster::fault_list_to_string(spec.faults[cell.faults_i], '+');
+  }
+  if (spec.cluster_mode()) {
+    return cluster::fault_list_to_string(spec.clusters[cell.cluster_i].faults,
+                                         '+');
+  }
+  return cluster::fault_list_to_string({}, '+');
+}
+
 // Per-group telemetry as one CSV-friendly field:
 // "big:nodes_ever=2:calls=120:cold=3|small:nodes_ever=4:calls=310:cold=0".
 // nodes_ever counts every node the group ever had (joins included) — a
@@ -90,12 +104,12 @@ std::string groups_field(const std::vector<cluster::GroupStats>& groups) {
 }  // namespace
 
 util::Summary CellResult::response_summary() const {
-  if (responses.size() == calls) return util::summarize(responses);
+  if (responses.size() == ok_calls) return util::summarize(responses);
   return response_stream.summary();
 }
 
 util::Summary CellResult::stretch_summary() const {
-  if (stretches.size() == calls) return util::summarize(stretches);
+  if (stretches.size() == ok_calls) return util::summarize(stretches);
   return stretch_stream.summary();
 }
 
@@ -138,6 +152,7 @@ metrics::RunContext cell_context(const CampaignSpec& spec,
                         /*numeric=*/true});
   ctx.fields.push_back({"cluster", effective_cluster(spec, cell)});
   ctx.fields.push_back({"autoscaler", effective_autoscaler(spec, cell)});
+  ctx.fields.push_back({"faults", effective_faults(spec, cell)});
   for (std::size_t k = 0; k < spec.overrides.size(); ++k) {
     ctx.fields.push_back(
         {"override:" + spec.overrides[k].first,
@@ -157,6 +172,25 @@ metrics::RunContext cell_context(const CampaignSpec& spec,
     ctx.fields.push_back({"scale_downs",
                           std::to_string(result->scale_downs),
                           /*numeric=*/true});
+    ctx.fields.push_back({"faults_injected",
+                          std::to_string(result->faults_injected),
+                          /*numeric=*/true});
+    ctx.fields.push_back(
+        {"retries", std::to_string(result->retries), /*numeric=*/true});
+    ctx.fields.push_back(
+        {"timeouts", std::to_string(result->timeouts), /*numeric=*/true});
+    ctx.fields.push_back({"hedges_won", std::to_string(result->hedges_won),
+                          /*numeric=*/true});
+    ctx.fields.push_back({"shed_calls", std::to_string(result->shed_calls),
+                          /*numeric=*/true});
+    ctx.fields.push_back({"breaker_opens",
+                          std::to_string(result->breaker_opens),
+                          /*numeric=*/true});
+    ctx.fields.push_back({"unavailability_s",
+                          util::fmt_g(result->unavailability_s),
+                          /*numeric=*/true});
+    ctx.fields.push_back(
+        {"goodput", util::fmt_g(result->goodput), /*numeric=*/true});
   }
   return ctx;
 }
@@ -192,6 +226,7 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
     CellResult& res = out.cells[i];
     res.index = i;
     res.calls = run.records.size();
+    res.ok_calls = run.responses.size();
     res.max_completion = run.max_completion;
     res.stats = run.stats;
     res.groups = std::move(run.groups);
@@ -201,6 +236,15 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
     res.slo_violations = run.slo_violations;
     res.scale_ups = run.scale_ups;
     res.scale_downs = run.scale_downs;
+    res.faults_injected = run.faults_injected;
+    res.retries = run.retries;
+    res.timeouts = run.timeouts;
+    res.hedges_won = run.hedges_won;
+    res.shed_calls = run.shed_calls;
+    res.dropped_calls = run.dropped_calls;
+    res.breaker_opens = run.breaker_opens;
+    res.unavailability_s = run.unavailability_s;
+    res.goodput = run.goodput;
     if (options.retain_samples) {
       res.responses = std::move(run.responses);
       res.stretches = std::move(run.stretches);
@@ -257,7 +301,7 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
 std::vector<double> pooled_responses(std::span<const CellResult> cells) {
   std::vector<double> out;
   for (const auto& cell : cells) {
-    WHISK_CHECK(cell.responses.size() == cell.calls,
+    WHISK_CHECK(cell.responses.size() == cell.ok_calls,
                 "pooled_responses needs a campaign run with retain_samples");
     out.insert(out.end(), cell.responses.begin(), cell.responses.end());
   }
@@ -267,7 +311,7 @@ std::vector<double> pooled_responses(std::span<const CellResult> cells) {
 std::vector<double> pooled_stretches(std::span<const CellResult> cells) {
   std::vector<double> out;
   for (const auto& cell : cells) {
-    WHISK_CHECK(cell.stretches.size() == cell.calls,
+    WHISK_CHECK(cell.stretches.size() == cell.ok_calls,
                 "pooled_stretches needs a campaign run with retain_samples");
     out.insert(out.end(), cell.stretches.begin(), cell.stretches.end());
   }
@@ -286,7 +330,7 @@ metrics::StreamingSummary aggregate_cells(std::span<const CellResult> cells,
       cells.empty() ? 0 : stream(cells.front()).reservoir.capacity());
   for (const auto& cell : cells) {
     const std::vector<double>& exact = samples(cell);
-    if (exact.size() == cell.calls && cell.calls > 0) {
+    if (exact.size() == cell.ok_calls && cell.ok_calls > 0) {
       for (double x : exact) agg.add(x);
     } else {
       agg.merge(stream(cell));
@@ -334,12 +378,14 @@ node::InvokerStats total_stats(std::span<const CellResult> cells) {
 std::string cells_csv(const CampaignResult& result) {
   std::ostringstream out;
   out << "cell,scheduler,scenario,seed,nodes,cores,memory_mb,cluster,"
-         "autoscaler,overrides,"
+         "autoscaler,faults,overrides,"
          "calls,r_mean,r_p50,r_p75,r_p95,r_p99,r_max,"
          "s_mean,s_p50,s_p75,s_p95,s_p99,s_max,"
          "max_completion,cold_starts,prewarm_starts,warm_starts,"
          "resubmissions,daemon_wait_s,daemon_wait_max_s,"
          "cost_usd,node_hours,slo_violations,scale_ups,scale_downs,"
+         "faults_injected,retries,timeouts,hedges_won,shed_calls,"
+         "dropped_calls,breaker_opens,unavailability_s,goodput,"
          "groups\n";
   for (const auto& res : result.cells) {
     const CampaignCell cell = result.spec.coordinates(res.index);
@@ -355,6 +401,7 @@ std::string cells_csv(const CampaignResult& result) {
         << util::fmt_g(result.spec.memories_mb[cell.memory_i]) << ','
         << metrics::csv_field(effective_cluster(result.spec, cell)) << ','
         << metrics::csv_field(effective_autoscaler(result.spec, cell)) << ','
+        << metrics::csv_field(effective_faults(result.spec, cell)) << ','
         << metrics::csv_field(overrides_field(result.spec, cell))
         << ',' << res.calls;
     append_summary_csv(out, res.response_summary());
@@ -366,7 +413,11 @@ std::string cells_csv(const CampaignResult& result) {
         << res.stats.daemon_max_queue_wait_seconds << ','
         << util::fmt_g(res.cost_usd) << ',' << util::fmt_g(res.node_hours)
         << ',' << res.slo_violations << ',' << res.scale_ups << ','
-        << res.scale_downs << ','
+        << res.scale_downs << ',' << res.faults_injected << ','
+        << res.retries << ',' << res.timeouts << ',' << res.hedges_won
+        << ',' << res.shed_calls << ',' << res.dropped_calls << ','
+        << res.breaker_opens << ',' << util::fmt_g(res.unavailability_s)
+        << ',' << util::fmt_g(res.goodput) << ','
         << metrics::csv_field(groups_field(res.groups)) << '\n';
   }
   return out.str();
@@ -391,6 +442,8 @@ std::string cells_jsonl(const CampaignResult& result) {
         << metrics::json_escape(effective_cluster(result.spec, cell))
         << "\",\"autoscaler\":\""
         << metrics::json_escape(effective_autoscaler(result.spec, cell))
+        << "\",\"faults\":\""
+        << metrics::json_escape(effective_faults(result.spec, cell))
         << "\",\"overrides\":{";
     for (std::size_t k = 0; k < result.spec.overrides.size(); ++k) {
       if (k > 0) out << ',';
@@ -415,7 +468,16 @@ std::string cells_jsonl(const CampaignResult& result) {
         << ",\"node_hours\":" << util::fmt_g(res.node_hours)
         << ",\"slo_violations\":" << res.slo_violations
         << ",\"scale_ups\":" << res.scale_ups
-        << ",\"scale_downs\":" << res.scale_downs << ",\"groups\":[";
+        << ",\"scale_downs\":" << res.scale_downs
+        << ",\"faults_injected\":" << res.faults_injected
+        << ",\"retries\":" << res.retries
+        << ",\"timeouts\":" << res.timeouts
+        << ",\"hedges_won\":" << res.hedges_won
+        << ",\"shed_calls\":" << res.shed_calls
+        << ",\"dropped_calls\":" << res.dropped_calls
+        << ",\"breaker_opens\":" << res.breaker_opens
+        << ",\"unavailability_s\":" << util::fmt_g(res.unavailability_s)
+        << ",\"goodput\":" << util::fmt_g(res.goodput) << ",\"groups\":[";
     for (std::size_t g = 0; g < res.groups.size(); ++g) {
       if (g > 0) out << ',';
       const auto& group = res.groups[g];

@@ -20,7 +20,12 @@ namespace whisk::experiments {
 // with default options never holds more than the in-flight cells' records.
 struct CellResult {
   std::size_t index = 0;
+  // Terminal records in the cell (ok + shed + dropped = one per call).
   std::size_t calls = 0;
+  // Calls that actually completed — the population the response/stretch
+  // samples and summaries are drawn from (== calls unless a resilience
+  // policy shed or dropped some).
+  std::size_t ok_calls = 0;
   double max_completion = 0.0;  // max c(i), seconds
   node::InvokerStats stats;
   // Per node group, in the deployment's group order (one entry for
@@ -37,6 +42,18 @@ struct CellResult {
   std::size_t slo_violations = 0;
   std::size_t scale_ups = 0;
   std::size_t scale_downs = 0;
+  // Robustness telemetry (see RunResult): fault events fired, resilience
+  // retries/timeouts/hedge wins, shed and dropped calls, breaker trips,
+  // failed node-seconds, and successful completions per makespan second.
+  std::size_t faults_injected = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t hedges_won = 0;
+  std::size_t shed_calls = 0;
+  std::size_t dropped_calls = 0;
+  std::size_t breaker_opens = 0;
+  double unavailability_s = 0.0;
+  double goodput = 0.0;
 
   // Populated only when samples are NOT retained (with samples present the
   // exact vectors already answer everything and the streams would be

@@ -13,7 +13,7 @@ namespace {
 
 constexpr const char* kAxisNames =
     "schedulers, scenarios, seeds, nodes, cores, memory-mb, clusters, "
-    "autoscalers, override:<name>";
+    "autoscalers, faults, override:<name>";
 
 using util::trim_ws;
 
@@ -119,6 +119,7 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
     std::string key = util::ascii_lower(trim_ws(axis.substr(0, eq)));
     if (key == "memory_mb") key = "memory-mb";  // alias; one axis identity
     if (key == "autoscaler") key = "autoscalers";
+    if (key == "fault") key = "faults";
     const std::string_view value = trim_ws(axis.substr(eq + 1));
     WHISK_CHECK(std::find(seen_axes.begin(), seen_axes.end(), key) ==
                     seen_axes.end(),
@@ -170,6 +171,14 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
         spec.autoscalers.push_back(
             cluster::AutoscalerSpec::parse(trim_ws(item)));
       }
+    } else if (key == "faults") {
+      spec.faults_set = true;
+      spec.faults.clear();
+      for (std::string_view item : split(value, ',')) {
+        // Items arrive '+'-joined ("crash-restart?mtbf-s=120+flap"); "none"
+        // parses to the empty (fault-free) regime.
+        spec.faults.push_back(cluster::parse_fault_list(trim_ws(item)));
+      }
     } else if (key.rfind("override:", 0) == 0) {
       const std::string name = std::string(trim_ws(key).substr(9));
       WHISK_CHECK(!name.empty(), "campaign override axis has no name");
@@ -219,6 +228,11 @@ std::string CampaignSpec::to_string() const {
       return a.to_string();
     });
   }
+  if (fault_mode()) {
+    out += "; faults=" + join_items(faults, [](const auto& f) {
+      return cluster::fault_list_to_string(f, '+');
+    });
+  }
   for (const auto& [name, values] : overrides) {
     out += "; override:" + name + "=" +
            join_items(values, [](double v) { return util::fmt_g(v); });
@@ -236,15 +250,20 @@ CampaignSpec CampaignSpec::normalized() const {
   WHISK_CHECK(!out.memories_mb.empty(), "campaign has no memory sizes");
   WHISK_CHECK(!out.clusters.empty(), "campaign has no cluster specs");
   WHISK_CHECK(!out.autoscalers.empty(), "campaign has no autoscaler specs");
+  WHISK_CHECK(!out.faults.empty(), "campaign has no fault regimes");
   for (auto& s : out.schedulers) s = s.normalized();
   for (auto& s : out.scenarios) s = s.normalized();
   for (auto& c : out.clusters) c = c.normalized();
   for (auto& a : out.autoscalers) a = a.normalized();
+  for (auto& regime : out.faults) {
+    for (auto& f : regime) f = f.normalized();
+  }
   // Canonicalize: non-default cluster entries behave exactly like an
   // explicit clusters= axis, so equality and round-trips see one
   // representation.
   out.clusters_set = out.cluster_mode();
   out.autoscalers_set = out.autoscaler_mode();
+  out.faults_set = out.fault_mode();
   if (out.cluster_mode()) {
     WHISK_CHECK(out.nodes.size() == 1 && out.nodes[0] == 1,
                 "campaign sets both a clusters axis and a nodes axis; the "
@@ -259,6 +278,18 @@ CampaignSpec CampaignSpec::normalized() const {
                   ("campaign sets an autoscalers axis, but cluster \"" +
                    c.to_compact_string() +
                    "\" carries its own autoscaler= section; set it in one "
+                   "place")
+                      .c_str());
+    }
+  }
+  if (out.fault_mode()) {
+    // Same ownership contract as the autoscaler axis: a cluster item
+    // carrying its own faults= section would shadow the axis value.
+    for (const auto& c : out.clusters) {
+      WHISK_CHECK(!c.faults_set && c.faults.empty(),
+                  ("campaign sets a faults axis, but cluster \"" +
+                   c.to_compact_string() +
+                   "\" carries its own faults= section; set them in one "
                    "place")
                       .c_str());
     }
@@ -300,10 +331,15 @@ bool CampaignSpec::autoscaler_mode() const {
   return !autoscalers.empty() && autoscalers[0].enabled();
 }
 
+bool CampaignSpec::fault_mode() const {
+  if (faults_set || faults.size() > 1) return true;
+  return !faults.empty() && !faults[0].empty();
+}
+
 std::size_t CampaignSpec::size() const {
   std::size_t total = schedulers.size() * scenarios.size() * nodes.size() *
                       cores.size() * memories_mb.size() * clusters.size() *
-                      autoscalers.size() * seeds.size();
+                      autoscalers.size() * faults.size() * seeds.size();
   for (const auto& [name, values] : overrides) total *= values.size();
   return total;
 }
@@ -320,6 +356,8 @@ CampaignCell CampaignSpec::coordinates(std::size_t index) const {
     c.override_i[k] = rem % overrides[k].second.size();
     rem /= overrides[k].second.size();
   }
+  c.faults_i = rem % faults.size();
+  rem /= faults.size();
   c.autoscaler_i = rem % autoscalers.size();
   rem /= autoscalers.size();
   c.cluster_i = rem % clusters.size();
@@ -353,6 +391,9 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
   if (autoscaler_mode()) {
     c.spec.autoscaler(autoscalers[c.autoscaler_i]);
   }
+  if (fault_mode()) {
+    c.spec.faults(faults[c.faults_i]);
+  }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     c.spec.with_override(overrides[k].first,
                          overrides[k].second[c.override_i[k]]);
@@ -363,7 +404,7 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
 std::size_t CampaignSpec::group_index(
     std::size_t scheduler_i, std::size_t scenario_i, std::size_t nodes_i,
     std::size_t cores_i, std::size_t memory_i, std::size_t cluster_i,
-    std::size_t autoscaler_i,
+    std::size_t autoscaler_i, std::size_t faults_i,
     const std::vector<std::size_t>& override_i) const {
   WHISK_CHECK(scheduler_i < schedulers.size(),
               "group_index: scheduler coordinate out of range");
@@ -379,6 +420,8 @@ std::size_t CampaignSpec::group_index(
               "group_index: cluster coordinate out of range");
   WHISK_CHECK(autoscaler_i < autoscalers.size(),
               "group_index: autoscaler coordinate out of range");
+  WHISK_CHECK(faults_i < faults.size(),
+              "group_index: faults coordinate out of range");
   WHISK_CHECK(override_i.empty() || override_i.size() == overrides.size(),
               "group_index: give one coordinate per override axis (or none)");
   std::size_t index = scheduler_i;
@@ -388,6 +431,7 @@ std::size_t CampaignSpec::group_index(
   index = index * memories_mb.size() + memory_i;
   index = index * clusters.size() + cluster_i;
   index = index * autoscalers.size() + autoscaler_i;
+  index = index * faults.size() + faults_i;
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     const std::size_t coord = override_i.empty() ? 0 : override_i[k];
     WHISK_CHECK(coord < overrides[k].second.size(),
@@ -431,6 +475,10 @@ std::string CampaignSpec::label(const CampaignCell& cell,
   if (autoscalers.size() > 1) {
     parts.push_back("autoscaler=" +
                     autoscalers[cell.autoscaler_i].to_string());
+  }
+  if (faults.size() > 1) {
+    parts.push_back("faults=" +
+                    cluster::fault_list_to_string(faults[cell.faults_i], '+'));
   }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     if (overrides[k].second.size() > 1) {

@@ -25,6 +25,7 @@ struct CampaignCell {
   std::size_t memory_i = 0;
   std::size_t cluster_i = 0;
   std::size_t autoscaler_i = 0;
+  std::size_t faults_i = 0;
   std::vector<std::size_t> override_i;  // one per override axis
   std::size_t seed_i = 0;
   ExperimentSpec spec;
@@ -61,7 +62,14 @@ struct CampaignCell {
 // controllers (AutoscalerSpec grammar, "none" included) across every
 // deployment — the cost/SLO frontier is a `clusters=` x `autoscalers=`
 // grid. An autoscaler axis owns that dimension: cluster items must not
-// also carry an autoscaler= section.
+// also carry an autoscaler= section. `faults` (alias `fault`) sweeps
+// fault regimes the same way: each item is a '+'-joined FaultSpec list
+// ("none" for the fault-free baseline cell), e.g.
+//
+//   faults=none,crash-restart?mtbf-s=120+slow-node?factor=4
+//
+// and a faults axis likewise owns the dimension (cluster items must not
+// carry a faults= section of their own).
 //
 // The workload's load knob travels inside the scenario item
 // ("uniform?intensity=60"), never through ExperimentSpec::intensity(): one
@@ -73,7 +81,7 @@ struct CampaignCell {
 //
 // Cell expansion order is seed-innermost:
 //   scheduler > scenario > nodes > cores > memory > clusters > autoscalers
-//   > overrides > seed
+//   > faults > overrides > seed
 // so the cells of one "group" (every axis fixed except the seed) are
 // contiguous and seed-ordered — pooling a group's cells reproduces the
 // serial run_repetitions pooling byte for byte.
@@ -98,6 +106,13 @@ struct CampaignSpec {
   // Set by parse() when the grid names the axis (an explicit
   // `autoscalers=none` is a deliberate one-entry axis).
   bool autoscalers_set = false;
+  // Fault-regime axis, crossed with the deployments; each entry is one
+  // faults= list (empty = the fault-free baseline). The default single
+  // empty entry means no fault dimension.
+  std::vector<std::vector<cluster::FaultSpec>> faults = {{}};
+  // Set by parse() when the grid names the axis (an explicit `faults=none`
+  // is a deliberate one-entry axis).
+  bool faults_set = false;
   // Ablation axes, crossed like every other axis; kept sorted by name.
   std::vector<std::pair<std::string, std::vector<double>>> overrides;
   std::vector<std::uint64_t> seeds = {0, 1, 2, 3, 4};
@@ -136,13 +151,15 @@ struct CampaignSpec {
       std::size_t scheduler_i, std::size_t scenario_i = 0,
       std::size_t nodes_i = 0, std::size_t cores_i = 0,
       std::size_t memory_i = 0, std::size_t cluster_i = 0,
-      std::size_t autoscaler_i = 0,
+      std::size_t autoscaler_i = 0, std::size_t faults_i = 0,
       const std::vector<std::size_t>& override_i = {}) const;
 
   // True when the clusters axis is in play (any non-default entry).
   [[nodiscard]] bool cluster_mode() const;
   // True when the autoscalers axis is in play (any non-"none" entry).
   [[nodiscard]] bool autoscaler_mode() const;
+  // True when the faults axis is in play (any non-empty entry).
+  [[nodiscard]] bool fault_mode() const;
 
   // The paper's seed convention: 0..n-1.
   [[nodiscard]] static std::vector<std::uint64_t> first_seeds(int n);
@@ -159,8 +176,9 @@ struct CampaignSpec {
            a.memories_mb == b.memories_mb && a.clusters == b.clusters &&
            a.clusters_set == b.clusters_set &&
            a.autoscalers == b.autoscalers &&
-           a.autoscalers_set == b.autoscalers_set &&
-           a.overrides == b.overrides && a.seeds == b.seeds;
+           a.autoscalers_set == b.autoscalers_set && a.faults == b.faults &&
+           a.faults_set == b.faults_set && a.overrides == b.overrides &&
+           a.seeds == b.seeds;
   }
   friend bool operator!=(const CampaignSpec& a, const CampaignSpec& b) {
     return !(a == b);

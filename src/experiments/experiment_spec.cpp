@@ -108,6 +108,27 @@ ExperimentSpec& ExperimentSpec::autoscaler(std::string_view text) {
   return autoscaler(cluster::AutoscalerSpec::parse(text));
 }
 
+ExperimentSpec& ExperimentSpec::faults(std::vector<cluster::FaultSpec> specs) {
+  for (auto& f : specs) f = f.normalized();
+  faults_ = std::move(specs);
+  faults_set_ = true;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::faults(std::string_view text) {
+  return faults(cluster::parse_fault_list(text));
+}
+
+ExperimentSpec& ExperimentSpec::resilience(cluster::ResilienceSpec spec) {
+  resilience_ = spec.normalized();
+  resilience_set_ = true;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::resilience(std::string_view text) {
+  return resilience(cluster::ResilienceSpec::parse(text));
+}
+
 cluster::ClusterSpec ExperimentSpec::cluster() const {
   cluster::ClusterSpec spec =
       cluster_set_ ? cluster_ : cluster::ClusterSpec::homogeneous(nodes_);
@@ -124,6 +145,37 @@ cluster::ClusterSpec ExperimentSpec::cluster() const {
     spec.autoscaler_set = true;
     // Both halves were normalized independently and the autoscaler section
     // interacts with no other, so the fold stays canonical.
+  }
+  bool refold = false;
+  if (faults_set_) {
+    WHISK_CHECK(!spec.faults_set && spec.faults.empty(),
+                ("the experiment sets faults \"" +
+                 cluster::fault_list_to_string(faults_, ',') +
+                 "\" but the cluster spec already carries \"" +
+                 cluster::fault_list_to_string(spec.faults, ',') +
+                 "\"; set them in one place")
+                    .c_str());
+    spec.faults = faults_;
+    spec.faults_set = true;
+    refold = true;
+  }
+  if (resilience_set_) {
+    WHISK_CHECK(!spec.resilience_set && !spec.resilience.enabled(),
+                ("the experiment sets resilience \"" +
+                 resilience_.to_string() +
+                 "\" but the cluster spec already carries \"" +
+                 spec.resilience.to_string() + "\"; set it in one place")
+                    .c_str());
+    spec.resilience = resilience_;
+    spec.resilience_set = true;
+    refold = true;
+  }
+  if (refold) {
+    // Unlike the autoscaler, faults and resilience interact (a
+    // lost-completion fault is only survivable with a retry timeout), so
+    // the folded spec goes through full validation again.
+    spec.canonical = false;
+    spec = spec.normalized();
   }
   return spec;
 }

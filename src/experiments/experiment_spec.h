@@ -69,6 +69,30 @@ class ExperimentSpec {
     return autoscaler_set_;
   }
 
+  // Stochastic fault processes (cluster::FaultRegistry grammar, e.g.
+  // "crash-restart?mtbf-s=120&mttr-s=15,slow-node?factor=4"; "none" for an
+  // explicit empty list). Sugar for the deployment's faults= section:
+  // cluster() folds it in and re-validates the combined spec. Setting
+  // faults both here and inside an explicit cluster() is rejected.
+  ExperimentSpec& faults(std::vector<cluster::FaultSpec> specs);
+  ExperimentSpec& faults(std::string_view text);  // parse_fault_list
+  [[nodiscard]] const std::vector<cluster::FaultSpec>& faults() const {
+    return faults_;
+  }
+  [[nodiscard]] bool has_explicit_faults() const { return faults_set_; }
+
+  // Controller-side recovery policy (cluster::ResilienceSpec grammar, e.g.
+  // "timeout-s=2&max-attempts=3&hedge-p=0.95"). Same fold-and-conflict
+  // contract as faults().
+  ExperimentSpec& resilience(cluster::ResilienceSpec spec);
+  ExperimentSpec& resilience(std::string_view text);
+  [[nodiscard]] const cluster::ResilienceSpec& resilience() const {
+    return resilience_;
+  }
+  [[nodiscard]] bool has_explicit_resilience() const {
+    return resilience_set_;
+  }
+
   ExperimentSpec& cores(int value);
   [[nodiscard]] int cores() const { return cores_; }
   ExperimentSpec& nodes(int value);
@@ -119,6 +143,10 @@ class ExperimentSpec {
   bool cluster_set_ = false;
   cluster::AutoscalerSpec autoscaler_;
   bool autoscaler_set_ = false;
+  std::vector<cluster::FaultSpec> faults_;
+  bool faults_set_ = false;
+  cluster::ResilienceSpec resilience_;
+  bool resilience_set_ = false;
   double memory_mb_ = 32.0 * 1024.0;
   workload::ScenarioSpec scenario_;  // defaults to "uniform"
   int intensity_ = 30;

@@ -55,6 +55,17 @@ RunResult run_experiment(const ExperimentSpec& spec,
   out.cost_usd = cluster.cost_usd();
   out.scale_ups = cluster.scale_ups();
   out.scale_downs = cluster.scale_downs();
+  out.faults_injected = cluster.faults_injected();
+  out.retries = cluster.retries();
+  out.timeouts = cluster.timeouts();
+  out.hedges_won = cluster.hedges_won();
+  out.shed_calls = col.shed_calls();
+  out.dropped_calls = col.dropped_calls();
+  out.breaker_opens = cluster.breaker_opens();
+  out.unavailability_s = cluster.unavailability_s();
+  out.goodput = out.max_completion > 0.0
+                    ? static_cast<double>(col.ok_calls()) / out.max_completion
+                    : 0.0;
   if (cp.deployment.slo_set) {
     for (double r : out.responses) {
       if (r > cp.deployment.slo.threshold_s) ++out.slo_violations;

@@ -37,6 +37,24 @@ struct RunResult {
   // an autoscaler= section).
   std::size_t scale_ups = 0;
   std::size_t scale_downs = 0;
+  // Robustness telemetry (all 0 on fault-free, resilience-free runs).
+  // Fault events fired (crashes, flaps, slow windows, lost completions).
+  std::size_t faults_injected = 0;
+  // Resilience-layer activity: timeout-driven retries issued, per-call
+  // timeouts fired, hedged duplicates whose copy finished first, calls
+  // refused at admission (disposition=shed), calls abandoned after the
+  // attempt bound (disposition=dropped), and circuit-breaker trips.
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t hedges_won = 0;
+  std::size_t shed_calls = 0;
+  std::size_t dropped_calls = 0;
+  std::size_t breaker_opens = 0;
+  // Node-seconds spent failed (crash to restart), summed over nodes.
+  double unavailability_s = 0.0;
+  // Successful completions per second of makespan — the paper-adjacent
+  // "useful work" rate that shedding/dropping trades latency against.
+  double goodput = 0.0;
 };
 
 // Run one seeded experiment end to end (warm-up, 60 s burst, drain).

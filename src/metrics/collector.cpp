@@ -13,21 +13,36 @@ void Collector::add(const CallRecord& record) {
   WHISK_CHECK(record.exec_end >= record.exec_start,
               "execution ends before it starts");
   WHISK_CHECK(record.function >= 0, "record without a function id");
+  WHISK_CHECK(record.attempts >= 1, "record with attempts < 1");
   WHISK_CHECK(records_.size() < std::numeric_limits<std::uint32_t>::max(),
               "per-run record index overflow");
 
   const auto position = static_cast<std::uint32_t>(records_.size());
   records_.push_back(record);
 
+  if (record.attempts > 1) {
+    ++resubmitted_calls_;
+    resubmissions_ += static_cast<std::size_t>(record.attempts - 1);
+  }
+  if (record.disposition != Disposition::kOk) {
+    // Shed/dropped calls never executed: an empty execution interval is the
+    // invariant that keeps them out of every latency distribution below.
+    WHISK_CHECK(record.exec_end == record.exec_start,
+                "shed/dropped record claims an execution interval");
+    if (record.disposition == Disposition::kShed) {
+      ++shed_;
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
+
+  ++ok_;
   const auto f = static_cast<std::size_t>(record.function);
   if (f >= by_function_.size()) by_function_.resize(f + 1);
   by_function_[f].push_back(position);
 
   max_completion_ = std::max(max_completion_, record.completion);
-  if (record.attempts > 1) {
-    ++resubmitted_calls_;
-    resubmissions_ += static_cast<std::size_t>(record.attempts - 1);
-  }
   switch (record.start_kind) {
     case StartKind::kCold:
       ++cold_;
@@ -43,15 +58,18 @@ void Collector::add(const CallRecord& record) {
 
 std::vector<double> Collector::response_times() const {
   std::vector<double> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.response());
+  out.reserve(ok_);
+  for (const auto& r : records_) {
+    if (r.disposition == Disposition::kOk) out.push_back(r.response());
+  }
   return out;
 }
 
 std::vector<double> Collector::stretches() const {
   std::vector<double> out;
-  out.reserve(records_.size());
+  out.reserve(ok_);
   for (const auto& r : records_) {
+    if (r.disposition != Disposition::kOk) continue;
     out.push_back(r.response() / catalog_->reference_median(r.function));
   }
   return out;

@@ -26,10 +26,17 @@ class Collector {
   void add(const CallRecord& record);
   void reserve(std::size_t n) { records_.reserve(n); }
 
+  // Every resolved call — completed, shed or dropped. The latency metrics
+  // below cover only ok records; shed/dropped calls have no meaningful
+  // response time and would poison the distributions.
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] const std::vector<CallRecord>& records() const {
     return records_;
   }
+
+  [[nodiscard]] std::size_t ok_calls() const { return ok_; }
+  [[nodiscard]] std::size_t shed_calls() const { return shed_; }
+  [[nodiscard]] std::size_t dropped_calls() const { return dropped_; }
 
   // R(i) for every completed call, seconds.
   [[nodiscard]] std::vector<double> response_times() const;
@@ -71,9 +78,13 @@ class Collector {
 
   const workload::FunctionCatalog* catalog_;
   std::vector<CallRecord> records_;
-  // records_ positions per function; FunctionIds are dense catalog indices.
+  // records_ positions per function, ok records only; FunctionIds are
+  // dense catalog indices.
   std::vector<std::vector<std::uint32_t>> by_function_;
   double max_completion_ = 0.0;
+  std::size_t ok_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t dropped_ = 0;
   std::size_t cold_ = 0;
   std::size_t prewarm_ = 0;
   std::size_t warm_ = 0;

@@ -125,8 +125,13 @@ void JsonlSink::on_record(const CallRecord& record) {
       << ",\"completion\":" << record.completion
       << ",\"service\":" << record.service << ",\"start_kind\":\""
       << to_string(record.start_kind) << "\",\"attempts\":" << record.attempts
-      << ",\"response\":" << record.response() << ",\"stretch\":" << stretch
-      << "}\n";
+      << ",\"response\":" << record.response() << ",\"stretch\":" << stretch;
+  // Emitted only on shed/dropped records so fault-free runs stay
+  // byte-identical to the pre-disposition output.
+  if (record.disposition != Disposition::kOk) {
+    row << ",\"disposition\":\"" << to_string(record.disposition) << '"';
+  }
+  row << "}\n";
   *out_ << row.str();
 }
 
@@ -151,6 +156,9 @@ util::Summary StreamingSummary::summary() const {
 }
 
 void StreamingSummarySink::on_record(const CallRecord& record) {
+  // Shed/dropped calls have no latency; only ok records enter the
+  // distributions (mirrors Collector).
+  if (record.disposition != Disposition::kOk) return;
   const double r = record.response();
   response_.add(r);
   stretch_.add(r / catalog_->reference_median(record.function));
@@ -161,6 +169,7 @@ void StreamingSummarySink::on_record(const CallRecord& record) {
 
 void FunctionIndexSink::on_record(const CallRecord& record) {
   WHISK_CHECK(record.function >= 0, "record without a function id");
+  if (record.disposition != Disposition::kOk) return;
   const auto f = static_cast<std::size_t>(record.function);
   if (f >= by_function_.size()) by_function_.resize(f + 1);
   if (by_function_[f] == nullptr) {

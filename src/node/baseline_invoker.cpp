@@ -185,7 +185,7 @@ void BaselineInvoker::begin_exec(ActiveCall active) {
   // homogeneous 256 MB actions the weights are equal.
   const double weight = spec.memory_mb / 256.0;
   const auto task =
-      cpu_.start(active.record.service, spec.cpu_fraction, weight);
+      cpu_.start(scaled(active.record.service), spec.cpu_fraction, weight);
   running_.emplace(task, std::move(active));
 }
 

@@ -138,6 +138,16 @@ class Invoker {
   void set_node_index(int index) { node_index_ = index; }
   [[nodiscard]] int node_index() const { return node_index_; }
 
+  // Straggler control (slow-node fault): every sampled duration — service
+  // times and management ops alike — is multiplied by `factor`. 1.0 is
+  // nominal speed; already-running executions keep their sampled length,
+  // only durations drawn after the change are affected.
+  void set_speed_factor(double factor) {
+    WHISK_CHECK(factor >= 1.0, "speed factor must be >= 1");
+    speed_factor_ = factor;
+  }
+  [[nodiscard]] double speed_factor() const { return speed_factor_; }
+
  protected:
   // Implementation hook behind submit().
   virtual void on_submit(const workload::CallRequest& call) = 0;
@@ -160,9 +170,17 @@ class Invoker {
   void sync_station_telemetry(const container::ContainerPool& pool,
                               const container::DockerDaemon& daemon) const;
 
-  // Lognormal sample around `median` with spread `sigma`.
+  // Lognormal sample around `median` with spread `sigma`, stretched by the
+  // current straggler factor.
   double sample_lognormal(double median, double sigma) {
-    return rng_.lognormal(std::log(median), sigma);
+    return scaled(rng_.lognormal(std::log(median), sigma));
+  }
+
+  // Apply the straggler factor to a duration that bypasses
+  // sample_lognormal (pre-sampled service times handed to the CPU). The
+  // multiply-by-1.0 is IEEE-exact, so fault-free runs stay byte-identical.
+  [[nodiscard]] double scaled(double duration) const {
+    return duration * speed_factor_;
   }
 
   // Idle->loaded interpolated op duration for the current activity level.
@@ -179,6 +197,7 @@ class Invoker {
   sim::Rng rng_;
   mutable InvokerStats stats_;
   int node_index_ = 0;
+  double speed_factor_ = 1.0;
 
  private:
   DeliveryFn delivery_;

@@ -200,7 +200,7 @@ void OurInvoker::begin_exec(ActiveCall active) {
   active.record.service =
       catalog_->sample_service(active.record.function, rng_);
   const auto& spec = catalog_->spec(active.record.function);
-  const auto task = cpu_.start(active.record.service, spec.cpu_fraction);
+  const auto task = cpu_.start(scaled(active.record.service), spec.cpu_fraction);
   running_.emplace(task, std::move(active));
 }
 

@@ -403,6 +403,55 @@ TEST_F(CampaignTest, AutoscalerFreeGridsKeepTheLegacyColumnsStable) {
   EXPECT_NE(csv.find(",none,"), std::string::npos);
 }
 
+// The ISSUE's chaos determinism pin: a grid with every registered fault
+// process active (plus the full resilience layer) must produce
+// byte-identical per-cell output for any thread count — fault draws ride
+// on per-cell forked streams, never on shared state.
+TEST_F(CampaignTest, ChaosCellsAreInvariantUnderThreadCount) {
+  const auto spec = CampaignSpec::parse(
+      "schedulers=ours/sept,baseline/fifo; "
+      "scenarios=uniform?intensity=30; seeds=0..1; "
+      "clusters=node:4|resilience=timeout-s=8&max-attempts=4&retry-budget=1&"
+      "hedge-p=0.95&breaker-failures=3&max-queue=64; "
+      "faults=none,"
+      "crash-restart?mtbf-s=60&mttr-s=10+flap?period-s=40&down-s=4+"
+      "slow-node?mtbf-s=40&factor=3+lost-completion?probability=0.05");
+  ASSERT_TRUE(spec.fault_mode());
+  ASSERT_EQ(spec.size(), 8u);
+
+  auto run_at = [&](int threads) {
+    CampaignOptions opts;
+    opts.threads = threads;
+    std::ostringstream records;
+    metrics::MetricsPipeline pipeline;
+    pipeline.emplace<metrics::JsonlSink>(records, cat_);
+    opts.pipeline = &pipeline;
+    const auto result = run_campaign(spec, cat_, opts);
+    return cells_csv(result) + "\n---\n" + cells_jsonl(result) + "\n---\n" +
+           records.str();
+  };
+  const std::string at1 = run_at(1);
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, run_at(4));
+  EXPECT_EQ(at1, run_at(0)) << "0 = auto thread count";
+
+  // The faulted cells actually differ from the fault-free baseline — the
+  // invariance above is not comparing two inert runs.
+  CampaignOptions opts;
+  const auto result = run_campaign(spec, cat_, opts);
+  std::size_t faulted_injections = 0;
+  for (const auto& cell : result.cells) {
+    const auto coords = spec.coordinates(cell.index);
+    if (coords.faults_i == 1) {
+      faulted_injections += cell.faults_injected;
+    } else {
+      EXPECT_EQ(cell.faults_injected, 0u);
+      EXPECT_EQ(cell.unavailability_s, 0.0);
+    }
+  }
+  EXPECT_GT(faulted_injections, 0u);
+}
+
 TEST_F(CampaignTest, PooledHelpersNeedRetainedSamples) {
   CampaignSpec spec;
   spec.scenarios = {workload::ScenarioSpec::parse("uniform?intensity=30")};

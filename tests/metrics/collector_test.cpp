@@ -123,12 +123,83 @@ TEST_F(CollectorTest, QueueWaitDerived) {
   EXPECT_NEAR(r.queue_wait(), 0.6, 1e-12);
 }
 
+// A terminal record that never executed: shed at admission or dropped
+// after the attempt bound.
+CallRecord refused(workload::CallId id, Disposition d, int attempts = 1) {
+  CallRecord r;
+  r.id = id;
+  r.function = 0;
+  r.node = -1;
+  r.release = 1.0;
+  r.received = 1.0;
+  r.exec_start = 1.0;
+  r.exec_end = 1.0;
+  r.completion = 1.5;
+  r.attempts = attempts;
+  r.disposition = d;
+  return r;
+}
+
+TEST_F(CollectorTest, DispositionCountersPartitionSize) {
+  col_.add(rec(0, 0, 0.0, 1.0));
+  col_.add(refused(1, Disposition::kShed));
+  col_.add(refused(2, Disposition::kDropped, /*attempts=*/4));
+  col_.add(rec(3, 0, 0.0, 2.0));
+  EXPECT_EQ(col_.size(), 4u);
+  EXPECT_EQ(col_.ok_calls(), 2u);
+  EXPECT_EQ(col_.shed_calls(), 1u);
+  EXPECT_EQ(col_.dropped_calls(), 1u);
+  EXPECT_EQ(col_.ok_calls() + col_.shed_calls() + col_.dropped_calls(),
+            col_.size());
+}
+
+TEST_F(CollectorTest, LatencyMetricsCoverOkRecordsOnly) {
+  col_.add(rec(0, 0, 0.0, 1.0));
+  col_.add(refused(1, Disposition::kShed));
+  col_.add(refused(2, Disposition::kDropped, /*attempts=*/3));
+  // Shed/dropped records stay out of every latency distribution: their
+  // "response" is a refusal time, not a service observation.
+  EXPECT_EQ(col_.response_times().size(), 1u);
+  EXPECT_EQ(col_.stretches().size(), 1u);
+  EXPECT_EQ(col_.response_summary().count, 1u);
+  EXPECT_DOUBLE_EQ(col_.max_completion(), 1.0);
+  EXPECT_EQ(col_.calls_of(0), 1u);
+}
+
+TEST_F(CollectorTest, AttemptsFeedResubmissionAccounting) {
+  auto r = rec(0, 0, 0.0, 1.0);
+  r.attempts = 3;  // completed on the third try
+  col_.add(r);
+  col_.add(rec(1, 0, 0.0, 1.0));               // first-try completion
+  col_.add(refused(2, Disposition::kDropped, /*attempts=*/4));
+  EXPECT_EQ(col_.resubmitted_calls(), 2u);
+  EXPECT_EQ(col_.resubmissions(), 2u + 3u);
+}
+
 TEST(CollectorDeath, RejectsCompletionBeforeRelease) {
   const auto cat = workload::sebs_catalog();
   Collector col(cat);
   CallRecord r = rec(0, 0, 5.0, 6.0);
   r.completion = 4.0;
   EXPECT_DEATH(col.add(r), "completion");
+}
+
+TEST(CollectorDeath, RejectsAttemptsBelowOne) {
+  const auto cat = workload::sebs_catalog();
+  Collector col(cat);
+  CallRecord r = rec(0, 0, 0.0, 1.0);
+  r.attempts = 0;
+  EXPECT_DEATH(col.add(r), "attempts");
+}
+
+TEST(CollectorDeath, RejectsRefusedRecordWithExecutionInterval) {
+  const auto cat = workload::sebs_catalog();
+  Collector col(cat);
+  // A shed call that claims it executed violates the ok-only invariant the
+  // latency metrics rely on.
+  CallRecord r = rec(0, 0, 0.0, 1.0);
+  r.disposition = Disposition::kShed;
+  EXPECT_DEATH(col.add(r), "execution interval");
 }
 
 TEST(Concat, FlattensRepetitions) {

@@ -1,0 +1,57 @@
+// Prints both sides of the robustness subsystem: every registered fault
+// process (help line, declared parameters with defaults, and whether it
+// kills nodes / swallows completions), then the controller-side resilience
+// knobs a deployment's resilience= section accepts.
+//
+// Usage: fault_catalog
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/fault.h"
+#include "cluster/resilience.h"
+
+using namespace whisk;
+
+namespace {
+
+template <typename Param>
+void print_params(const std::vector<Param>& params) {
+  std::size_t width = 0;
+  for (const auto& param : params) {
+    width = std::max(width, param.name.size());
+  }
+  for (const auto& param : params) {
+    std::printf("  %-*s  %s  [default: %s]\n", static_cast<int>(width),
+                param.name.c_str(), param.help.c_str(),
+                param.default_value.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto& registry = cluster::FaultRegistry::instance();
+  std::printf(
+      "Registered fault processes (spec grammar \"name?key=value&...\", "
+      "','/'+'-joined into a faults= list; \"none\" = fault-free):\n\n");
+  for (const auto& name : registry.names()) {
+    const auto process = registry.create(name, cluster::FaultSpec{name, {}});
+    std::printf("%s\n  %s\n", name.c_str(), process->help().c_str());
+    if (process->disruptive()) {
+      std::printf("  disruptive: fails nodes (in-flight calls re-submit)\n");
+    }
+    if (process->drops_completions()) {
+      std::printf(
+          "  drops completions: requires resilience=timeout-s>0 or the "
+          "lost call would hang the run\n");
+    }
+    print_params(process->params());
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Resilience knobs (one resilience= section per deployment, "
+      "\"key=value&key=value\"; \"none\" disables recovery):\n\n");
+  print_params(cluster::resilience_params());
+  return 0;
+}

@@ -16,6 +16,8 @@
 
 #include "cluster/autoscaler.h"
 #include "cluster/balancer_registry.h"
+#include "cluster/fault.h"
+#include "cluster/resilience.h"
 #include "container/keep_alive.h"
 #include "core/policy_registry.h"
 #include "experiments/campaign.h"
@@ -45,6 +47,9 @@ int usage(const char* argv0) {
       "';')\n"
       "  autoscalers=none,target-util?low=0.3&high=0.85,queue-depth\n"
       "    (closed-loop scaling, crossed with every deployment)\n"
+      "  faults=none,crash-restart?mtbf-s=120+slow-node?factor=4\n"
+      "    (fault regimes, '+'-joined FaultSpec lists; pair with a\n"
+      "     resilience= section in the clusters items)\n"
       "\n"
       "options:\n"
       "  --threads N        worker threads (default 1; 0 = all cores)\n"
@@ -101,6 +106,22 @@ int list_registries() {
       std::printf("    %s (default %s): %s\n", param.name.c_str(),
                   param.default_value.c_str(), param.help.c_str());
     }
+  }
+  std::printf("faults (faults=<name>?...+...):\n");
+  auto& faults = whisk::cluster::FaultRegistry::instance();
+  for (const auto& name : faults.names()) {
+    const auto process =
+        faults.create(name, whisk::cluster::FaultSpec{name, {}});
+    std::printf("  %s: %s\n", name.c_str(), process->help().c_str());
+    for (const auto& param : process->params()) {
+      std::printf("    %s (default %s): %s\n", param.name.c_str(),
+                  param.default_value.c_str(), param.help.c_str());
+    }
+  }
+  std::printf("resilience knobs (clusters=...|resilience=k=v&...):\n");
+  for (const auto& param : whisk::cluster::resilience_params()) {
+    std::printf("  %s (default %s): %s\n", param.name.c_str(),
+                param.default_value.c_str(), param.help.c_str());
   }
   return 0;
 }
