@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "cluster/workflow_engine.h"
 #include "node/invoker_registry.h"
 #include "util/check.h"
 
@@ -101,6 +102,10 @@ Cluster::Cluster(sim::Engine& engine,
     }
   }
 
+  if (params_.workflow.enabled()) {
+    workflow_ = std::make_unique<WorkflowEngine>(params_.workflow, catalog);
+  }
+
   if (!deployment.faults.empty()) {
     // Each process gets a private stream forked from the cell seed by list
     // position — independent of node streams, the balancer stream and each
@@ -116,6 +121,9 @@ Cluster::Cluster(sim::Engine& engine,
     }
   }
 }
+
+// Out of line for the unique_ptr<WorkflowEngine> member's incomplete type.
+Cluster::~Cluster() = default;
 
 std::unique_ptr<node::Invoker> Cluster::make_invoker(
     std::size_t group, std::size_t index, std::size_t incarnation) {
@@ -246,11 +254,19 @@ void Cluster::warmup() {
 }
 
 void Cluster::run_scenario(const workload::Scenario& scenario) {
-  collector_.reserve(collector_.size() + scenario.size());
   expected_calls_ += scenario.size();
+  if (workflow_ != nullptr) {
+    // Every scenario call roots a workflow instance; the spawned stages
+    // are part of the expected workload from the start, so drain detection
+    // and fault gating wait for them too.
+    expected_calls_ += workflow_->register_roots(scenario);
+  }
+  collector_.reserve(expected_calls_);
   for (const auto& call : scenario.calls) {
-    engine_->schedule_at(call.release + params_.client_to_controller_s,
-                         [this, call] { submit_to_controller(call); });
+    workload::CallRequest submit = call;
+    if (workflow_ != nullptr) submit.cp_hint = workflow_->root_hint(submit);
+    engine_->schedule_at(submit.release + params_.client_to_controller_s,
+                         [this, submit] { submit_to_controller(submit); });
   }
   if (autoscaler_ != nullptr && !tick_scheduled_) {
     tick_scheduled_ = true;
@@ -573,7 +589,17 @@ double Cluster::hedge_delay() const {
 }
 
 void Cluster::collect_record(const metrics::CallRecord& record) {
-  collector_.add(record);
+  if (workflow_ != nullptr) {
+    metrics::CallRecord rec = record;
+    workflow_->annotate(rec);
+    collector_.add(rec);
+    // Advancing the DAG may release successors (fresh arrivals) or cascade
+    // drops back through this funnel; either way every spawned stage is in
+    // expected_calls_ already.
+    workflow_->on_resolved(rec, *this);
+  } else {
+    collector_.add(record);
+  }
   // The last expected call just resolved: cancel every pending fault draw
   // and breaker cooldown so a far-future timer cannot keep the engine
   // ticking past the workload.

@@ -19,8 +19,11 @@
 #include "sim/random.h"
 #include "workload/function.h"
 #include "workload/scenario.h"
+#include "workload/workflow.h"
 
 namespace whisk::cluster {
+
+class WorkflowEngine;
 
 struct ClusterParams {
   // Which node-level resource manager runs on the workers: any name
@@ -57,6 +60,12 @@ struct ClusterParams {
   // `dropped` disposition (the loop used to retry forever). A resilience=
   // section's max-attempts takes over for calls it tracks.
   int max_attempts = 16;
+
+  // Composite-function shape: when enabled, every scenario call becomes
+  // the root of one workflow instance and completed stages release their
+  // DAG successors as new arrivals. "none" (the default) keeps calls
+  // independent — the exact pre-workflow request path.
+  workload::WorkflowSpec workflow;
 };
 
 // Where a node is in its life. kDrained is derived: a draining node whose
@@ -131,6 +140,7 @@ class Cluster : public FaultHost {
  public:
   Cluster(sim::Engine& engine, const workload::FunctionCatalog& catalog,
           ClusterParams params, std::uint64_t seed);
+  ~Cluster();
 
   // Pre-warm every initial worker (paper Sec. V-A); administrative. Nodes
   // joining later start cold.
@@ -163,6 +173,16 @@ class Cluster : public FaultHost {
   // Calls re-submitted after a node failure (a call surviving two failures
   // counts twice).
   [[nodiscard]] std::size_t resubmissions() const { return resubmissions_; }
+
+  // Terminal records this run will produce: scenario calls plus, when a
+  // workflow is configured, every spawned downstream stage.
+  [[nodiscard]] std::size_t expected_calls() const {
+    return expected_calls_;
+  }
+  // True when the cluster expands calls into workflow DAGs.
+  [[nodiscard]] bool running_workflows() const {
+    return workflow_ != nullptr;
+  }
 
   // True when the deployment runs a closed-loop scaling controller.
   [[nodiscard]] bool autoscaling() const { return autoscaler_ != nullptr; }
@@ -215,6 +235,11 @@ class Cluster : public FaultHost {
   void fault_note_injected() override;
 
  private:
+  // The workflow engine drives released stages through submit_to_controller
+  // and cascades drops through collect_record — the same funnels every
+  // other call takes.
+  friend class WorkflowEngine;
+
   struct NodeSlot {
     std::unique_ptr<node::Invoker> invoker;
     std::size_t group = 0;
@@ -349,6 +374,10 @@ class Cluster : public FaultHost {
   // attempts on delivery. Empty unless a fail event fired. Unused for
   // calls the resilience layer tracks (Outstanding::attempts wins).
   std::unordered_map<workload::CallId, int> resubmitted_;
+
+  // Workflow subsystem; null unless params_.workflow is enabled
+  // (workflow-free runs take the exact pre-workflow code path).
+  std::unique_ptr<WorkflowEngine> workflow_;
 
   // Fault subsystem; all empty/null on fault-free deployments.
   std::vector<std::unique_ptr<FaultProcess>> fault_processes_;

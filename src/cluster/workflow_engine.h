@@ -1,0 +1,101 @@
+#pragma once
+
+#include <vector>
+
+#include "metrics/record.h"
+#include "sim/time.h"
+#include "workload/function.h"
+#include "workload/scenario.h"
+#include "workload/workflow.h"
+
+namespace whisk::cluster {
+
+class Cluster;
+
+// The runtime half of the workflow subsystem: turns each scenario call into
+// the root stage of one workflow instance and drives the DAG through the
+// cluster's existing completion path. A resolved stage (ok, shed or
+// dropped — the terminal-record funnel guarantees exactly one resolution
+// per call id) feeds its successors: a fan-in releases as a fresh arrival
+// once join_k predecessors succeeded, and cascade-drops once enough
+// predecessors failed that join_k is unreachable, so every spawned stage
+// resolves exactly once and the engine always drains.
+//
+// Determinism: stage ids are a pure function of (root id, stage index) and
+// all releases ride the cell's single event engine, so workflow campaigns
+// stay byte-identical for any --threads.
+//
+// Only constructed when the cluster's WorkflowSpec is enabled; workflow-free
+// runs never touch this code.
+class WorkflowEngine {
+ public:
+  WorkflowEngine(const workload::WorkflowSpec& spec,
+                 const workload::FunctionCatalog& catalog);
+
+  [[nodiscard]] const workload::WorkflowDag& dag() const { return dag_; }
+
+  // Adopt every scenario call as the root stage of a new instance. Returns
+  // the number of *additional* calls the cluster should expect (spawned
+  // stages; roots are already counted). Requires globally sequential call
+  // ids starting at 0 — i.e. a single run_scenario per cluster.
+  std::size_t register_roots(const workload::Scenario& scenario);
+
+  // Expected remaining downstream work (reference medians along the longest
+  // path, stage inclusive) for the root stage of `call` — the cp_hint
+  // critical-path-aware policies sort by.
+  [[nodiscard]] double root_hint(const workload::CallRequest& call) const;
+
+  // Stamp workflow/stage identity onto a terminal record.
+  void annotate(metrics::CallRecord& record) const;
+
+  // Advance the DAG for a freshly collected terminal record: count the
+  // disposition, extend the realized critical path, release or cascade-drop
+  // successors, and emit the WorkflowRecord once every stage has resolved.
+  void on_resolved(const metrics::CallRecord& record, Cluster& cluster);
+
+ private:
+  struct StageState {
+    int ok_preds = 0;
+    int failed_preds = 0;
+    bool released = false;  // spawned as an arrival, or cascade-dropped
+    bool resolved = false;
+    // Realized critical path up to (not including) this stage, frozen at
+    // release: max cp over the ok predecessors that released it.
+    double cp_at_release = 0.0;
+  };
+
+  struct Instance {
+    workload::FunctionId root_function = workload::kInvalidFunction;
+    sim::SimTime start = 0.0;   // root release r(i)
+    sim::SimTime finish = 0.0;  // max stage completion so far
+    double critical_path_s = 0.0;
+    int resolved = 0;
+    int ok = 0;
+    int shed = 0;
+    int dropped = 0;
+    bool emitted = false;
+    std::vector<StageState> stages;
+  };
+
+  // (instance, stage) for a call id; ids are dense by construction.
+  [[nodiscard]] std::size_t instance_of(workload::CallId id) const;
+  [[nodiscard]] int stage_of(workload::CallId id) const;
+  [[nodiscard]] workload::CallId stage_call_id(std::size_t instance,
+                                               int stage) const;
+  [[nodiscard]] workload::FunctionId stage_function(
+      workload::FunctionId root, int stage) const;
+
+  void release_stage(std::size_t instance, int stage, Cluster& cluster);
+  void cascade_drop(std::size_t instance, int stage, Cluster& cluster);
+  void maybe_emit(std::size_t instance, Cluster& cluster);
+
+  workload::WorkflowDag dag_;
+  const workload::FunctionCatalog* catalog_;
+  // Per root function: expected remaining work from each stage (reference
+  // medians along the longest downstream path, stage inclusive).
+  std::vector<std::vector<double>> hints_;
+  std::vector<Instance> instances_;
+  std::size_t roots_ = 0;  // spawned stage ids start here
+};
+
+}  // namespace whisk::cluster

@@ -1,0 +1,31 @@
+#include "core/critical_path_policy.h"
+
+#include <memory>
+
+namespace whisk::core {
+namespace {
+
+class CriticalPathPolicy final : public Policy {
+ public:
+  double priority(const PolicyContext& ctx) const override {
+    // Bursts last tens of seconds and cp_remaining is tenths of seconds,
+    // so 1e-6 * r' never outweighs a real critical-path difference while
+    // still ordering equal-remainder calls by arrival.
+    return -ctx.cp_remaining + 1e-6 * ctx.received;
+  }
+  std::string_view name() const override { return "critical-path"; }
+  // The receive-time term grows without bound while cp_remaining is
+  // bounded by the DAG, so every call eventually outranks new arrivals.
+  bool starvation_free() const override { return true; }
+};
+
+}  // namespace
+
+void register_critical_path_policy(PolicyRegistry& registry) {
+  registry.register_factory("critical-path", [](const PolicyParams&) {
+    return std::make_unique<CriticalPathPolicy>();
+  });
+  registry.register_alias("cp", "critical-path");
+}
+
+}  // namespace whisk::core

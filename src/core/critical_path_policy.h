@@ -1,0 +1,23 @@
+#pragma once
+
+// Critical-path priority ("critical-path"): the first DAG-aware policy.
+// Workflow stages arrive annotated with cp_remaining, the expected work
+// (reference medians) left on their longest downstream path; serving the
+// largest remainder first is LPT list scheduling on the workflow level, so
+// the stages every successor is waiting on clear the queue before leaf
+// work that can overlap with anything.
+//
+//   priority = -cp_remaining + epsilon * r'(i)
+//
+// Independent calls (cp_remaining = 0) degrade to FIFO among themselves and
+// sort behind any workflow stage, which is exactly the intent: work that
+// gates other work goes first. The epsilon * r'(i) term both breaks ties
+// FIFO-style and ages the queue, so no stage class starves.
+
+#include "core/policy_registry.h"
+
+namespace whisk::core {
+
+void register_critical_path_policy(PolicyRegistry& registry);
+
+}  // namespace whisk::core

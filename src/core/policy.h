@@ -16,6 +16,10 @@ struct PolicyContext {
   sim::SimTime received = 0.0;  // r'(i): when the invoker pulled the call
   workload::FunctionId function = workload::kInvalidFunction;
   const RuntimeHistory* history = nullptr;
+  // Expected remaining critical-path work when the call is a workflow
+  // stage (CallRequest::cp_hint); 0 for independent calls. Only
+  // DAG-aware policies read it.
+  double cp_remaining = 0.0;
 };
 
 // A node-level scheduling policy (paper Sec. IV). A policy maps an incoming

@@ -7,6 +7,7 @@ PolicyRegistry& PolicyRegistry::instance() {
     auto* r = new PolicyRegistry();
     detail::register_builtin_policies(*r);
     register_sjf_aging_policy(*r);
+    register_critical_path_policy(*r);
     return r;
   }();
   return *registry;

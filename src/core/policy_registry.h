@@ -43,4 +43,8 @@ void register_builtin_policies(PolicyRegistry& registry);
 // Defined in aging_policy.cpp: registers "sjf-aging".
 void register_sjf_aging_policy(PolicyRegistry& registry);
 
+// Defined in critical_path_policy.cpp: registers "critical-path" (+ alias
+// "cp").
+void register_critical_path_policy(PolicyRegistry& registry);
+
 }  // namespace whisk::core

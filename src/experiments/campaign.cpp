@@ -85,6 +85,17 @@ std::string effective_faults(const CampaignSpec& spec,
   return cluster::fault_list_to_string({}, '+');
 }
 
+// The cell's effective workflow shape as a spec string ("none" for
+// independent-calls cells). Unlike autoscalers/faults the workflow axis is
+// the only carrier (ClusterSpec has no workflow= section).
+std::string effective_workflow(const CampaignSpec& spec,
+                               const CampaignCell& cell) {
+  if (spec.workflow_mode()) {
+    return spec.workflows[cell.workflow_i].to_string();
+  }
+  return workload::WorkflowSpec{}.to_string();
+}
+
 // Per-group telemetry as one CSV-friendly field:
 // "big:nodes_ever=2:calls=120:cold=3|small:nodes_ever=4:calls=310:cold=0".
 // nodes_ever counts every node the group ever had (joins included) — a
@@ -153,6 +164,7 @@ metrics::RunContext cell_context(const CampaignSpec& spec,
   ctx.fields.push_back({"cluster", effective_cluster(spec, cell)});
   ctx.fields.push_back({"autoscaler", effective_autoscaler(spec, cell)});
   ctx.fields.push_back({"faults", effective_faults(spec, cell)});
+  ctx.fields.push_back({"workflow", effective_workflow(spec, cell)});
   for (std::size_t k = 0; k < spec.overrides.size(); ++k) {
     ctx.fields.push_back(
         {"override:" + spec.overrides[k].first,
@@ -191,6 +203,15 @@ metrics::RunContext cell_context(const CampaignSpec& spec,
                           /*numeric=*/true});
     ctx.fields.push_back(
         {"goodput", util::fmt_g(result->goodput), /*numeric=*/true});
+    ctx.fields.push_back({"workflows", std::to_string(result->workflows),
+                          /*numeric=*/true});
+    ctx.fields.push_back({"wf_e2e_p99", util::fmt_g(result->wf_e2e_p99),
+                          /*numeric=*/true});
+    ctx.fields.push_back({"wf_critical_path_s",
+                          util::fmt_g(result->wf_critical_path_s),
+                          /*numeric=*/true});
+    ctx.fields.push_back({"wf_slack_s", util::fmt_g(result->wf_slack_s),
+                          /*numeric=*/true});
   }
   return ctx;
 }
@@ -245,6 +266,10 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
     res.breaker_opens = run.breaker_opens;
     res.unavailability_s = run.unavailability_s;
     res.goodput = run.goodput;
+    res.workflows = run.workflows;
+    res.wf_e2e_p99 = run.wf_e2e_p99;
+    res.wf_critical_path_s = run.wf_critical_path_s;
+    res.wf_slack_s = run.wf_slack_s;
     if (options.retain_samples) {
       res.responses = std::move(run.responses);
       res.stretches = std::move(run.stretches);
@@ -378,7 +403,7 @@ node::InvokerStats total_stats(std::span<const CellResult> cells) {
 std::string cells_csv(const CampaignResult& result) {
   std::ostringstream out;
   out << "cell,scheduler,scenario,seed,nodes,cores,memory_mb,cluster,"
-         "autoscaler,faults,overrides,"
+         "autoscaler,faults,workflow,overrides,"
          "calls,r_mean,r_p50,r_p75,r_p95,r_p99,r_max,"
          "s_mean,s_p50,s_p75,s_p95,s_p99,s_max,"
          "max_completion,cold_starts,prewarm_starts,warm_starts,"
@@ -386,6 +411,7 @@ std::string cells_csv(const CampaignResult& result) {
          "cost_usd,node_hours,slo_violations,scale_ups,scale_downs,"
          "faults_injected,retries,timeouts,hedges_won,shed_calls,"
          "dropped_calls,breaker_opens,unavailability_s,goodput,"
+         "workflows,wf_e2e_p99,wf_critical_path_s,wf_slack_s,"
          "groups\n";
   for (const auto& res : result.cells) {
     const CampaignCell cell = result.spec.coordinates(res.index);
@@ -402,6 +428,7 @@ std::string cells_csv(const CampaignResult& result) {
         << metrics::csv_field(effective_cluster(result.spec, cell)) << ','
         << metrics::csv_field(effective_autoscaler(result.spec, cell)) << ','
         << metrics::csv_field(effective_faults(result.spec, cell)) << ','
+        << metrics::csv_field(effective_workflow(result.spec, cell)) << ','
         << metrics::csv_field(overrides_field(result.spec, cell))
         << ',' << res.calls;
     append_summary_csv(out, res.response_summary());
@@ -417,7 +444,10 @@ std::string cells_csv(const CampaignResult& result) {
         << res.retries << ',' << res.timeouts << ',' << res.hedges_won
         << ',' << res.shed_calls << ',' << res.dropped_calls << ','
         << res.breaker_opens << ',' << util::fmt_g(res.unavailability_s)
-        << ',' << util::fmt_g(res.goodput) << ','
+        << ',' << util::fmt_g(res.goodput) << ',' << res.workflows << ','
+        << util::fmt_g(res.wf_e2e_p99) << ','
+        << util::fmt_g(res.wf_critical_path_s) << ','
+        << util::fmt_g(res.wf_slack_s) << ','
         << metrics::csv_field(groups_field(res.groups)) << '\n';
   }
   return out.str();
@@ -444,6 +474,8 @@ std::string cells_jsonl(const CampaignResult& result) {
         << metrics::json_escape(effective_autoscaler(result.spec, cell))
         << "\",\"faults\":\""
         << metrics::json_escape(effective_faults(result.spec, cell))
+        << "\",\"workflow\":\""
+        << metrics::json_escape(effective_workflow(result.spec, cell))
         << "\",\"overrides\":{";
     for (std::size_t k = 0; k < result.spec.overrides.size(); ++k) {
       if (k > 0) out << ',';
@@ -477,7 +509,12 @@ std::string cells_jsonl(const CampaignResult& result) {
         << ",\"dropped_calls\":" << res.dropped_calls
         << ",\"breaker_opens\":" << res.breaker_opens
         << ",\"unavailability_s\":" << util::fmt_g(res.unavailability_s)
-        << ",\"goodput\":" << util::fmt_g(res.goodput) << ",\"groups\":[";
+        << ",\"goodput\":" << util::fmt_g(res.goodput)
+        << ",\"workflows\":" << res.workflows
+        << ",\"wf_e2e_p99\":" << util::fmt_g(res.wf_e2e_p99)
+        << ",\"wf_critical_path_s\":" << util::fmt_g(res.wf_critical_path_s)
+        << ",\"wf_slack_s\":" << util::fmt_g(res.wf_slack_s)
+        << ",\"groups\":[";
     for (std::size_t g = 0; g < res.groups.size(); ++g) {
       if (g > 0) out << ',';
       const auto& group = res.groups[g];

@@ -54,6 +54,11 @@ struct CellResult {
   std::size_t breaker_opens = 0;
   double unavailability_s = 0.0;
   double goodput = 0.0;
+  // Workflow telemetry (see RunResult; all 0 on workflow-free cells).
+  std::size_t workflows = 0;
+  double wf_e2e_p99 = 0.0;
+  double wf_critical_path_s = 0.0;
+  double wf_slack_s = 0.0;
 
   // Populated only when samples are NOT retained (with samples present the
   // exact vectors already answer everything and the streams would be

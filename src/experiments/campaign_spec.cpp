@@ -13,7 +13,7 @@ namespace {
 
 constexpr const char* kAxisNames =
     "schedulers, scenarios, seeds, nodes, cores, memory-mb, clusters, "
-    "autoscalers, faults, override:<name>";
+    "autoscalers, faults, workflows, override:<name>";
 
 using util::trim_ws;
 
@@ -120,6 +120,7 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
     if (key == "memory_mb") key = "memory-mb";  // alias; one axis identity
     if (key == "autoscaler") key = "autoscalers";
     if (key == "fault") key = "faults";
+    if (key == "workflow") key = "workflows";
     const std::string_view value = trim_ws(axis.substr(eq + 1));
     WHISK_CHECK(std::find(seen_axes.begin(), seen_axes.end(), key) ==
                     seen_axes.end(),
@@ -179,6 +180,14 @@ CampaignSpec CampaignSpec::parse(std::string_view text) {
         // parses to the empty (fault-free) regime.
         spec.faults.push_back(cluster::parse_fault_list(trim_ws(item)));
       }
+    } else if (key == "workflows") {
+      spec.workflows_set = true;
+      spec.workflows.clear();
+      for (std::string_view item : split(value, ',')) {
+        // Items use '+' between dag edges ("dag?edges=a>b+a>c"); "none" is
+        // the independent-calls baseline cell.
+        spec.workflows.push_back(workload::WorkflowSpec::parse(trim_ws(item)));
+      }
     } else if (key.rfind("override:", 0) == 0) {
       const std::string name = std::string(trim_ws(key).substr(9));
       WHISK_CHECK(!name.empty(), "campaign override axis has no name");
@@ -233,6 +242,11 @@ std::string CampaignSpec::to_string() const {
       return cluster::fault_list_to_string(f, '+');
     });
   }
+  if (workflow_mode()) {
+    out += "; workflows=" + join_items(workflows, [](const auto& w) {
+      return w.to_string();
+    });
+  }
   for (const auto& [name, values] : overrides) {
     out += "; override:" + name + "=" +
            join_items(values, [](double v) { return util::fmt_g(v); });
@@ -251,6 +265,7 @@ CampaignSpec CampaignSpec::normalized() const {
   WHISK_CHECK(!out.clusters.empty(), "campaign has no cluster specs");
   WHISK_CHECK(!out.autoscalers.empty(), "campaign has no autoscaler specs");
   WHISK_CHECK(!out.faults.empty(), "campaign has no fault regimes");
+  WHISK_CHECK(!out.workflows.empty(), "campaign has no workflow shapes");
   for (auto& s : out.schedulers) s = s.normalized();
   for (auto& s : out.scenarios) s = s.normalized();
   for (auto& c : out.clusters) c = c.normalized();
@@ -258,12 +273,14 @@ CampaignSpec CampaignSpec::normalized() const {
   for (auto& regime : out.faults) {
     for (auto& f : regime) f = f.normalized();
   }
+  for (auto& w : out.workflows) w = w.normalized();
   // Canonicalize: non-default cluster entries behave exactly like an
   // explicit clusters= axis, so equality and round-trips see one
   // representation.
   out.clusters_set = out.cluster_mode();
   out.autoscalers_set = out.autoscaler_mode();
   out.faults_set = out.fault_mode();
+  out.workflows_set = out.workflow_mode();
   if (out.cluster_mode()) {
     WHISK_CHECK(out.nodes.size() == 1 && out.nodes[0] == 1,
                 "campaign sets both a clusters axis and a nodes axis; the "
@@ -336,10 +353,16 @@ bool CampaignSpec::fault_mode() const {
   return !faults.empty() && !faults[0].empty();
 }
 
+bool CampaignSpec::workflow_mode() const {
+  if (workflows_set || workflows.size() > 1) return true;
+  return !workflows.empty() && workflows[0].enabled();
+}
+
 std::size_t CampaignSpec::size() const {
   std::size_t total = schedulers.size() * scenarios.size() * nodes.size() *
                       cores.size() * memories_mb.size() * clusters.size() *
-                      autoscalers.size() * faults.size() * seeds.size();
+                      autoscalers.size() * faults.size() * workflows.size() *
+                      seeds.size();
   for (const auto& [name, values] : overrides) total *= values.size();
   return total;
 }
@@ -356,6 +379,8 @@ CampaignCell CampaignSpec::coordinates(std::size_t index) const {
     c.override_i[k] = rem % overrides[k].second.size();
     rem /= overrides[k].second.size();
   }
+  c.workflow_i = rem % workflows.size();
+  rem /= workflows.size();
   c.faults_i = rem % faults.size();
   rem /= faults.size();
   c.autoscaler_i = rem % autoscalers.size();
@@ -394,6 +419,9 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
   if (fault_mode()) {
     c.spec.faults(faults[c.faults_i]);
   }
+  if (workflow_mode()) {
+    c.spec.workflow(workflows[c.workflow_i]);
+  }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     c.spec.with_override(overrides[k].first,
                          overrides[k].second[c.override_i[k]]);
@@ -404,7 +432,7 @@ CampaignCell CampaignSpec::cell(std::size_t index) const {
 std::size_t CampaignSpec::group_index(
     std::size_t scheduler_i, std::size_t scenario_i, std::size_t nodes_i,
     std::size_t cores_i, std::size_t memory_i, std::size_t cluster_i,
-    std::size_t autoscaler_i, std::size_t faults_i,
+    std::size_t autoscaler_i, std::size_t faults_i, std::size_t workflow_i,
     const std::vector<std::size_t>& override_i) const {
   WHISK_CHECK(scheduler_i < schedulers.size(),
               "group_index: scheduler coordinate out of range");
@@ -422,6 +450,8 @@ std::size_t CampaignSpec::group_index(
               "group_index: autoscaler coordinate out of range");
   WHISK_CHECK(faults_i < faults.size(),
               "group_index: faults coordinate out of range");
+  WHISK_CHECK(workflow_i < workflows.size(),
+              "group_index: workflow coordinate out of range");
   WHISK_CHECK(override_i.empty() || override_i.size() == overrides.size(),
               "group_index: give one coordinate per override axis (or none)");
   std::size_t index = scheduler_i;
@@ -432,6 +462,7 @@ std::size_t CampaignSpec::group_index(
   index = index * clusters.size() + cluster_i;
   index = index * autoscalers.size() + autoscaler_i;
   index = index * faults.size() + faults_i;
+  index = index * workflows.size() + workflow_i;
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     const std::size_t coord = override_i.empty() ? 0 : override_i[k];
     WHISK_CHECK(coord < overrides[k].second.size(),
@@ -479,6 +510,9 @@ std::string CampaignSpec::label(const CampaignCell& cell,
   if (faults.size() > 1) {
     parts.push_back("faults=" +
                     cluster::fault_list_to_string(faults[cell.faults_i], '+'));
+  }
+  if (workflows.size() > 1) {
+    parts.push_back("workflow=" + workflows[cell.workflow_i].to_string());
   }
   for (std::size_t k = 0; k < overrides.size(); ++k) {
     if (overrides[k].second.size() > 1) {

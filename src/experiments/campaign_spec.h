@@ -26,6 +26,7 @@ struct CampaignCell {
   std::size_t cluster_i = 0;
   std::size_t autoscaler_i = 0;
   std::size_t faults_i = 0;
+  std::size_t workflow_i = 0;
   std::vector<std::size_t> override_i;  // one per override axis
   std::size_t seed_i = 0;
   ExperimentSpec spec;
@@ -69,7 +70,14 @@ struct CampaignCell {
 //   faults=none,crash-restart?mtbf-s=120+slow-node?factor=4
 //
 // and a faults axis likewise owns the dimension (cluster items must not
-// carry a faults= section of their own).
+// carry a faults= section of their own). `workflows` (alias `workflow`)
+// sweeps composite-function DAG shapes (WorkflowSpec grammar, "none" for
+// the independent-calls baseline cell):
+//
+//   workflows=none,chain?stages=4,fanout?width=8&join=all
+//
+// Workflow items use '+' inside dag edge lists ("dag?edges=a>b+a>c"),
+// since ',' separates axis items.
 //
 // The workload's load knob travels inside the scenario item
 // ("uniform?intensity=60"), never through ExperimentSpec::intensity(): one
@@ -81,7 +89,7 @@ struct CampaignCell {
 //
 // Cell expansion order is seed-innermost:
 //   scheduler > scenario > nodes > cores > memory > clusters > autoscalers
-//   > faults > overrides > seed
+//   > faults > workflows > overrides > seed
 // so the cells of one "group" (every axis fixed except the seed) are
 // contiguous and seed-ordered — pooling a group's cells reproduces the
 // serial run_repetitions pooling byte for byte.
@@ -113,6 +121,13 @@ struct CampaignSpec {
   // Set by parse() when the grid names the axis (an explicit `faults=none`
   // is a deliberate one-entry axis).
   bool faults_set = false;
+  // Composite-function axis: each entry is one WorkflowSpec ("none" = the
+  // independent-calls baseline). The default single "none" entry means no
+  // workflow dimension.
+  std::vector<workload::WorkflowSpec> workflows = {workload::WorkflowSpec{}};
+  // Set by parse() when the grid names the axis (an explicit
+  // `workflows=none` is a deliberate one-entry axis).
+  bool workflows_set = false;
   // Ablation axes, crossed like every other axis; kept sorted by name.
   std::vector<std::pair<std::string, std::vector<double>>> overrides;
   std::vector<std::uint64_t> seeds = {0, 1, 2, 3, 4};
@@ -152,6 +167,7 @@ struct CampaignSpec {
       std::size_t nodes_i = 0, std::size_t cores_i = 0,
       std::size_t memory_i = 0, std::size_t cluster_i = 0,
       std::size_t autoscaler_i = 0, std::size_t faults_i = 0,
+      std::size_t workflow_i = 0,
       const std::vector<std::size_t>& override_i = {}) const;
 
   // True when the clusters axis is in play (any non-default entry).
@@ -160,6 +176,8 @@ struct CampaignSpec {
   [[nodiscard]] bool autoscaler_mode() const;
   // True when the faults axis is in play (any non-empty entry).
   [[nodiscard]] bool fault_mode() const;
+  // True when the workflows axis is in play (any enabled entry).
+  [[nodiscard]] bool workflow_mode() const;
 
   // The paper's seed convention: 0..n-1.
   [[nodiscard]] static std::vector<std::uint64_t> first_seeds(int n);
@@ -177,8 +195,9 @@ struct CampaignSpec {
            a.clusters_set == b.clusters_set &&
            a.autoscalers == b.autoscalers &&
            a.autoscalers_set == b.autoscalers_set && a.faults == b.faults &&
-           a.faults_set == b.faults_set && a.overrides == b.overrides &&
-           a.seeds == b.seeds;
+           a.faults_set == b.faults_set && a.workflows == b.workflows &&
+           a.workflows_set == b.workflows_set &&
+           a.overrides == b.overrides && a.seeds == b.seeds;
   }
   friend bool operator!=(const CampaignSpec& a, const CampaignSpec& b) {
     return !(a == b);

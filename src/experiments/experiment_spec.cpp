@@ -125,6 +125,16 @@ ExperimentSpec& ExperimentSpec::resilience(cluster::ResilienceSpec spec) {
   return *this;
 }
 
+ExperimentSpec& ExperimentSpec::workflow(workload::WorkflowSpec spec) {
+  workflow_ = spec.normalized();
+  workflow_set_ = true;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::workflow(std::string_view text) {
+  return workflow(workload::WorkflowSpec::parse(text));
+}
+
 ExperimentSpec& ExperimentSpec::resilience(std::string_view text) {
   return resilience(cluster::ResilienceSpec::parse(text));
 }

@@ -11,6 +11,7 @@
 #include "node/params.h"
 #include "workload/scenario_registry.h"
 #include "workload/scenario_spec.h"
+#include "workload/workflow.h"
 
 namespace whisk::experiments {
 
@@ -93,6 +94,16 @@ class ExperimentSpec {
     return resilience_set_;
   }
 
+  // Composite-function shape (workload::WorkflowSpec grammar, e.g.
+  // "chain?stages=4" or "fanout?width=8&join=all"; "none" keeps calls
+  // independent). Every scenario call then roots one workflow instance.
+  ExperimentSpec& workflow(workload::WorkflowSpec spec);
+  ExperimentSpec& workflow(std::string_view text);  // WorkflowSpec::parse
+  [[nodiscard]] const workload::WorkflowSpec& workflow() const {
+    return workflow_;
+  }
+  [[nodiscard]] bool has_explicit_workflow() const { return workflow_set_; }
+
   ExperimentSpec& cores(int value);
   [[nodiscard]] int cores() const { return cores_; }
   ExperimentSpec& nodes(int value);
@@ -147,6 +158,8 @@ class ExperimentSpec {
   bool faults_set_ = false;
   cluster::ResilienceSpec resilience_;
   bool resilience_set_ = false;
+  workload::WorkflowSpec workflow_;  // "none" unless set
+  bool workflow_set_ = false;
   double memory_mb_ = 32.0 * 1024.0;
   workload::ScenarioSpec scenario_;  // defaults to "uniform"
   int intensity_ = 30;

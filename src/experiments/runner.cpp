@@ -22,6 +22,7 @@ RunResult run_experiment(const ExperimentSpec& spec,
   // verbatim (groups override the base NodeParams).
   cp.deployment = spec.cluster();
   cp.node = spec.node_params();
+  cp.workflow = spec.workflow();
 
   // Scenario and cluster noise derive from independent streams of the same
   // seed, so two schedulers at the same seed see the identical call
@@ -40,7 +41,9 @@ RunResult run_experiment(const ExperimentSpec& spec,
   engine.run();
 
   const auto& col = cluster.collector();
-  WHISK_CHECK(col.size() == scenario.size(),
+  // expected_calls() is scenario.size() plus, under a workflow, every
+  // spawned downstream stage.
+  WHISK_CHECK(col.size() == cluster.expected_calls(),
               "not every call completed: the simulation deadlocked");
 
   RunResult out;
@@ -63,6 +66,10 @@ RunResult run_experiment(const ExperimentSpec& spec,
   out.dropped_calls = col.dropped_calls();
   out.breaker_opens = cluster.breaker_opens();
   out.unavailability_s = cluster.unavailability_s();
+  out.workflows = col.workflows().size();
+  out.wf_e2e_p99 = col.workflow_e2e_p99();
+  out.wf_critical_path_s = col.workflow_critical_path_mean();
+  out.wf_slack_s = col.workflow_slack_mean();
   out.goodput = out.max_completion > 0.0
                     ? static_cast<double>(col.ok_calls()) / out.max_completion
                     : 0.0;

@@ -52,6 +52,14 @@ struct RunResult {
   std::size_t breaker_opens = 0;
   // Node-seconds spent failed (crash to restart), summed over nodes.
   double unavailability_s = 0.0;
+  // Workflow-level metrics (all 0 on workflow-free runs): instances whose
+  // every stage resolved, end-to-end latency p99, mean realized critical
+  // path and mean slack (e2e minus critical path — queueing, network and
+  // fan-in straggler time).
+  std::size_t workflows = 0;
+  double wf_e2e_p99 = 0.0;
+  double wf_critical_path_s = 0.0;
+  double wf_slack_s = 0.0;
   // Successful completions per second of makespan — the paper-adjacent
   // "useful work" rate that shedding/dropping trades latency against.
   double goodput = 0.0;

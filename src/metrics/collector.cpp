@@ -118,6 +118,49 @@ std::size_t Collector::calls_of(workload::FunctionId f) const {
   return idx == nullptr ? 0 : idx->size();
 }
 
+void Collector::add_workflow(const WorkflowRecord& record) {
+  WHISK_CHECK(record.stages >= 1, "workflow record with no stages");
+  WHISK_CHECK(record.ok + record.shed + record.dropped == record.stages,
+              "workflow record dispositions do not partition its stages");
+  WHISK_CHECK(record.finish >= record.start,
+              "workflow finishes before it starts");
+  WHISK_CHECK(record.critical_path_s >= 0.0,
+              "workflow with a negative critical path");
+  // The critical path sums execution intervals along one released chain;
+  // every link also paid queueing and network time, so e2e dominates it
+  // (tiny epsilon for the float summation).
+  WHISK_CHECK(record.critical_path_s <= record.e2e() + 1e-9,
+              "workflow critical path exceeds its end-to-end latency");
+  workflows_.push_back(record);
+}
+
+std::vector<double> Collector::workflow_e2e() const {
+  std::vector<double> out;
+  out.reserve(workflows_.size());
+  for (const auto& w : workflows_) out.push_back(w.e2e());
+  return out;
+}
+
+double Collector::workflow_e2e_p99() const {
+  if (workflows_.empty()) return 0.0;
+  const auto e2e = workflow_e2e();
+  return util::percentile(e2e, 99.0);
+}
+
+double Collector::workflow_critical_path_mean() const {
+  if (workflows_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& w : workflows_) total += w.critical_path_s;
+  return total / static_cast<double>(workflows_.size());
+}
+
+double Collector::workflow_slack_mean() const {
+  if (workflows_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& w : workflows_) total += w.slack();
+  return total / static_cast<double>(workflows_.size());
+}
+
 std::vector<double> concat(const std::vector<std::vector<double>>& reps) {
   std::vector<double> out;
   std::size_t total = 0;

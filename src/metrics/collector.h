@@ -72,6 +72,22 @@ class Collector {
 
   [[nodiscard]] std::size_t calls_of(workload::FunctionId f) const;
 
+  // Workflow-level accounting (clusters running a workflow DAG; empty
+  // otherwise). add_workflow enforces the instance invariants loudly:
+  // ok/shed/dropped partition the stage count, finish >= start, and the
+  // end-to-end latency dominates the realized critical path.
+  void add_workflow(const WorkflowRecord& record);
+  [[nodiscard]] const std::vector<WorkflowRecord>& workflows() const {
+    return workflows_;
+  }
+  // End-to-end latency of every workflow instance, insertion order.
+  [[nodiscard]] std::vector<double> workflow_e2e() const;
+  [[nodiscard]] double workflow_e2e_p99() const;
+  // Mean realized critical path / mean slack (e2e minus critical path)
+  // over all instances; 0 with no workflows.
+  [[nodiscard]] double workflow_critical_path_mean() const;
+  [[nodiscard]] double workflow_slack_mean() const;
+
  private:
   [[nodiscard]] const std::vector<std::uint32_t>* bucket(
       workload::FunctionId f) const;
@@ -90,6 +106,7 @@ class Collector {
   std::size_t warm_ = 0;
   std::size_t resubmitted_calls_ = 0;
   std::size_t resubmissions_ = 0;
+  std::vector<WorkflowRecord> workflows_;
 };
 
 // Merge the samples of several repetitions into one flat vector (the paper

@@ -87,7 +87,8 @@ void OurInvoker::on_submit(const workload::CallRequest& call) {
   // Priority is computed once, now, from node-local history (Sec. IV), and
   // the arrival is recorded afterwards so RECT's r-bar(i) refers to the
   // *previous* call of the same function.
-  const core::PolicyContext ctx{rec.received, rec.function, &history_};
+  const core::PolicyContext ctx{rec.received, rec.function, &history_,
+                                call.cp_hint};
   const double priority = policy_->priority(ctx);
   history_.record_arrival(rec.function, rec.received);
 

@@ -20,6 +20,12 @@ struct CallRequest {
   CallId id = -1;
   FunctionId function = kInvalidFunction;
   sim::SimTime release = 0.0;  // r(i), seconds from experiment start
+
+  // Expected remaining work (reference medians along the longest downstream
+  // path, this call inclusive) when the call is a workflow stage; 0 for
+  // independent calls. Critical-path-aware policies sort by it; everything
+  // else ignores it.
+  double cp_hint = 0.0;
 };
 
 // A full test scenario: the measured burst (paper Sec. V-A). Requests are

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/registry.h"
+
+namespace whisk::workload {
+
+// Declarative workflow selection in the established "name[?key=value&...]"
+// spec idiom (ScenarioSpec, FaultSpec, ...): "chain?stages=4",
+// "fanout?width=8&join=all", "dag?edges=a>b+a>c+b>d+c>d". The reserved
+// name "none" (the default) means calls stay independent — the simulator's
+// pre-workflow behavior, bit for bit.
+//
+// Parse accepts any case; normalized() resolves aliases, lowercases keys,
+// validates every key against the shape's declared parameters and builds
+// the DAG once so a bad spec dies loudly at parse time, not mid-sweep.
+// to_string() renders the canonical grid-safe form and round-trips through
+// parse().
+struct WorkflowSpec {
+  std::string name = "none";
+  std::map<std::string, std::string> params;
+
+  [[nodiscard]] static WorkflowSpec parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] WorkflowSpec normalized() const;
+
+  // False for the reserved no-op spec "none".
+  [[nodiscard]] bool enabled() const { return name != "none"; }
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] double number(std::string_view key, double fallback) const;
+  [[nodiscard]] std::size_t count(std::string_view key,
+                                  std::size_t fallback) const;
+  [[nodiscard]] std::string text(std::string_view key) const;
+
+  friend bool operator==(const WorkflowSpec& a, const WorkflowSpec& b) {
+    return a.name == b.name && a.params == b.params;
+  }
+  friend bool operator!=(const WorkflowSpec& a, const WorkflowSpec& b) {
+    return !(a == b);
+  }
+};
+
+// One declared parameter of a workflow shape, for --list / catalog output.
+struct WorkflowParam {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+// One stage of an instantiated workflow DAG. Stages are stored in
+// topological order with stage 0 the unique source (the root call of the
+// scenario); edges only point forward.
+struct WorkflowStage {
+  std::string label;
+
+  // The stage runs function (root_function + offset) mod catalog size, so
+  // a DAG instantiates against whatever function the scenario drew for the
+  // root call. functions=root keeps every offset 0; functions=rotate gives
+  // stage s offset s (asymmetric branches).
+  int function_offset = 0;
+
+  std::vector<int> successors;  // topo indices, strictly > this stage's
+  int preds = 0;                // in-degree
+  // Ok predecessors required to release this stage: preds for join=all
+  // fan-ins, k for k-of-n scatter-gather joins, 0 only for the source.
+  int join_k = 0;
+};
+
+// A validated workflow shape: topologically ordered stages, one source.
+struct WorkflowDag {
+  std::vector<WorkflowStage> stages;
+
+  [[nodiscard]] std::size_t size() const { return stages.size(); }
+};
+
+// A registered workflow shape: metadata for catalogs plus the DAG builder.
+class WorkflowDef {
+ public:
+  virtual ~WorkflowDef() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string help() const = 0;
+  [[nodiscard]] virtual std::vector<WorkflowParam> params() const = 0;
+
+  // Build the DAG for `spec` (parameter values are validated here, so
+  // every parameter needs a usable default — the registry probes shapes
+  // with an empty parameter map).
+  [[nodiscard]] virtual WorkflowDag build(const WorkflowSpec& spec) const = 0;
+};
+
+// The open extension surface for workflow shapes, mirroring the fault /
+// scenario / policy registries: register a WorkflowDef under a name and
+// `workflows=` campaign axes, whisk_sweep --list and workflow_catalog
+// discover it.
+class WorkflowRegistry : public util::FactoryRegistry<WorkflowDef> {
+ public:
+  static WorkflowRegistry& instance();
+
+ private:
+  WorkflowRegistry() : FactoryRegistry("workflow") {}
+};
+
+// Validate structural invariants (non-empty, single source at index 0,
+// forward-only edges, consistent preds/join_k, unique labels) and abort
+// with a loud message naming `context` when one fails. Every DAG funnels
+// through this in make_workflow_dag; exposed for shape authors' tests.
+void validate_workflow_dag(const WorkflowDag& dag, const std::string& context);
+
+// Build + validate the DAG for an enabled spec. Aborts on "none".
+[[nodiscard]] WorkflowDag make_workflow_dag(const WorkflowSpec& spec);
+
+}  // namespace whisk::workload

@@ -1,0 +1,175 @@
+// The workflow engine's runtime contracts:
+//   * every spawned stage resolves exactly once, and per instance the
+//     ok/shed/dropped dispositions partition the stage count,
+//   * e2e latency >= realized critical path >= the longest ok stage's
+//     execution interval,
+//   * chaos (crashes + retries) never double-releases a join — the
+//     "resolved twice" / add_workflow invariants make violations fatal,
+//   * a workflow-free cluster never instantiates the engine.
+#include "cluster/workflow_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "cluster/cluster_spec.h"
+#include "workload/scenario_registry.h"
+#include "workload/workflow.h"
+
+namespace whisk::cluster {
+namespace {
+
+class WorkflowClusterTest : public ::testing::Test {
+ protected:
+  WorkflowClusterTest() : catalog_(workload::sebs_catalog()) {}
+
+  workload::Scenario burst(const std::string& spec, std::uint64_t seed,
+                           int cores) {
+    workload::ScenarioContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.cores = cores;
+    sim::Rng rng(seed);
+    return workload::make_scenario(spec, ctx, rng);
+  }
+
+  // Assert the cross-record invariants for one finished workflow cluster
+  // and return records grouped by owning instance.
+  std::map<workload::CallId, std::vector<metrics::CallRecord>>
+  check_exactly_once(const Cluster& cluster, std::size_t roots,
+                     std::size_t stages_per_instance) {
+    const auto& col = cluster.collector();
+    EXPECT_EQ(cluster.expected_calls(), roots * stages_per_instance);
+    EXPECT_EQ(col.size(), cluster.expected_calls());
+
+    std::set<workload::CallId> ids;
+    std::set<std::pair<workload::CallId, int>> slots;
+    std::map<workload::CallId, std::vector<metrics::CallRecord>> by_instance;
+    for (const auto& rec : col.records()) {
+      EXPECT_TRUE(ids.insert(rec.id).second)
+          << "call " << rec.id << " resolved twice";
+      EXPECT_GE(rec.workflow, 0);
+      EXPECT_GE(rec.stage, 0);
+      EXPECT_TRUE(slots.insert({rec.workflow, rec.stage}).second)
+          << "stage " << rec.stage << " of workflow " << rec.workflow
+          << " resolved twice";
+      by_instance[rec.workflow].push_back(rec);
+    }
+    EXPECT_EQ(by_instance.size(), roots);
+    return by_instance;
+  }
+
+  workload::FunctionCatalog catalog_;
+};
+
+TEST_F(WorkflowClusterTest, ChainResolvesEveryStageExactlyOnce) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  params.workflow = workload::WorkflowSpec::parse("chain?stages=4");
+  Cluster cluster(engine, catalog_, params, 3);
+  cluster.warmup();
+  const auto scenario = burst("fixed-total?total=60", 3, /*cores=*/5);
+  cluster.run_scenario(scenario);
+  engine.run();
+
+  const auto by_instance =
+      check_exactly_once(cluster, scenario.size(), /*stages_per_instance=*/4);
+
+  const auto& workflows = cluster.collector().workflows();
+  ASSERT_EQ(workflows.size(), scenario.size());
+  for (const auto& wf : workflows) {
+    EXPECT_EQ(wf.stages, 4);
+    EXPECT_EQ(wf.ok + wf.shed + wf.dropped, wf.stages);
+    EXPECT_EQ(wf.ok, 4) << "fault-free chain sheds nothing";
+  }
+}
+
+TEST_F(WorkflowClusterTest, E2eDominatesCriticalPathDominatesLongestStage) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 4;
+  params.workflow = workload::WorkflowSpec::parse("fanout?width=6");
+  Cluster cluster(engine, catalog_, params, 11);
+  cluster.warmup();
+  const auto scenario = burst("fixed-total?total=40", 11, /*cores=*/4);
+  cluster.run_scenario(scenario);
+  engine.run();
+
+  const auto by_instance =
+      check_exactly_once(cluster, scenario.size(), /*stages_per_instance=*/8);
+
+  // Longest ok execution interval per instance.
+  std::map<workload::CallId, double> longest;
+  for (const auto& [root, recs] : by_instance) {
+    for (const auto& rec : recs) {
+      if (rec.disposition != metrics::Disposition::kOk) continue;
+      longest[root] =
+          std::max(longest[root], rec.exec_end - rec.exec_start);
+    }
+  }
+
+  const auto& workflows = cluster.collector().workflows();
+  ASSERT_EQ(workflows.size(), scenario.size());
+  for (const auto& wf : workflows) {
+    EXPECT_GE(wf.e2e(), wf.critical_path_s - 1e-9) << "workflow " << wf.id;
+    EXPECT_GE(wf.critical_path_s, longest[wf.id] - 1e-9)
+        << "workflow " << wf.id;
+    EXPECT_GE(wf.slack(), -1e-9);
+  }
+}
+
+// Chaos: crashes interrupt in-flight stages, the resilience layer retries
+// and eventually drops, k-of-n joins release before stragglers finish.
+// The run must still resolve every spawned stage exactly once and emit
+// exactly one WorkflowRecord per instance — a double-released join would
+// trip the engine's "resolved twice" check and abort.
+TEST_F(WorkflowClusterTest, ChaosNeverDoubleReleasesAJoin) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  params.workflow = workload::WorkflowSpec::parse("fanout?width=4&join=2");
+  params.deployment = ClusterSpec::parse(
+      "node:3; "
+      "faults=crash-restart?mtbf-s=25&mttr-s=5,flap?period-s=20&down-s=3; "
+      "resilience=timeout-s=10&max-attempts=3&retry-budget=1");
+  Cluster cluster(engine, catalog_, params, 13);
+  cluster.warmup();
+  const auto scenario = burst("uniform?intensity=30", 13, /*cores=*/15);
+  cluster.run_scenario(scenario);
+  engine.run();
+
+  check_exactly_once(cluster, scenario.size(), /*stages_per_instance=*/6);
+  EXPECT_GT(cluster.faults_injected(), 0u);
+
+  const auto& workflows = cluster.collector().workflows();
+  ASSERT_EQ(workflows.size(), scenario.size());
+  for (const auto& wf : workflows) {
+    EXPECT_EQ(wf.ok + wf.shed + wf.dropped, wf.stages);
+    EXPECT_GE(wf.e2e(), wf.critical_path_s - 1e-9);
+  }
+}
+
+TEST_F(WorkflowClusterTest, WorkflowFreeClustersSkipTheEngine) {
+  sim::Engine engine;
+  ClusterParams params;
+  params.node.cores = 5;
+  Cluster cluster(engine, catalog_, params, 1);
+  EXPECT_FALSE(cluster.running_workflows());
+  cluster.warmup();
+  const auto scenario = burst("fixed-total?total=30", 1, /*cores=*/5);
+  cluster.run_scenario(scenario);
+  engine.run();
+  EXPECT_EQ(cluster.expected_calls(), scenario.size());
+  EXPECT_TRUE(cluster.collector().workflows().empty());
+  for (const auto& rec : cluster.collector().records()) {
+    EXPECT_EQ(rec.workflow, -1);
+    EXPECT_EQ(rec.stage, -1);
+  }
+}
+
+}  // namespace
+}  // namespace whisk::cluster

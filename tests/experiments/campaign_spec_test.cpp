@@ -99,7 +99,8 @@ TEST(CampaignSpecTest, GroupIndexInvertsTheCellExpansion) {
     EXPECT_EQ(spec.group_index(cell.scheduler_i, cell.scenario_i,
                                cell.nodes_i, cell.cores_i, cell.memory_i,
                                cell.cluster_i, cell.autoscaler_i,
-                               cell.faults_i, cell.override_i),
+                               cell.faults_i, cell.workflow_i,
+                               cell.override_i),
               i / spec.seeds_per_group())
         << "cell " << i;
   }

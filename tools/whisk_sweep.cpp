@@ -27,6 +27,7 @@
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "workload/scenario_registry.h"
+#include "workload/workflow.h"
 
 using namespace whisk;
 
@@ -50,6 +51,9 @@ int usage(const char* argv0) {
       "  faults=none,crash-restart?mtbf-s=120+slow-node?factor=4\n"
       "    (fault regimes, '+'-joined FaultSpec lists; pair with a\n"
       "     resilience= section in the clusters items)\n"
+      "  workflows=none,chain?stages=4,fanout?width=8&join=all\n"
+      "    (composite-function DAGs rooted at every scenario call;\n"
+      "     dag edge lists use '+': dag?edges=a>b+a>c)\n"
       "\n"
       "options:\n"
       "  --threads N        worker threads (default 1; 0 = all cores)\n"
@@ -122,6 +126,16 @@ int list_registries() {
   for (const auto& param : whisk::cluster::resilience_params()) {
     std::printf("  %s (default %s): %s\n", param.name.c_str(),
                 param.default_value.c_str(), param.help.c_str());
+  }
+  std::printf("workflows (workflows=<name>?...):\n");
+  auto& workflows = whisk::workload::WorkflowRegistry::instance();
+  for (const auto& name : workflows.names()) {
+    const auto def = workflows.create(name);
+    std::printf("  %s: %s\n", name.c_str(), def->help().c_str());
+    for (const auto& param : def->params()) {
+      std::printf("    %s (default %s): %s\n", param.name.c_str(),
+                  param.default_value.c_str(), param.help.c_str());
+    }
   }
   return 0;
 }

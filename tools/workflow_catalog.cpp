@@ -1,0 +1,68 @@
+// Prints every registered workflow shape: help line, declared parameters
+// with defaults, and the DAG each shape builds from its defaults (stages
+// in topological order with fan-in/join annotations) — the discoverability
+// mirror of scenario_catalog and fault_catalog for the workflows= axis.
+//
+// Usage: workflow_catalog
+#include <algorithm>
+#include <cstdio>
+
+#include "workload/workflow.h"
+
+using namespace whisk;
+
+namespace {
+
+void print_params(const std::vector<workload::WorkflowParam>& params) {
+  std::size_t width = 0;
+  for (const auto& param : params) {
+    width = std::max(width, param.name.size());
+  }
+  for (const auto& param : params) {
+    std::printf("  %-*s  %s  [default: %s]\n", static_cast<int>(width),
+                param.name.c_str(), param.help.c_str(),
+                param.default_value.c_str());
+  }
+}
+
+// "s0 -> s1 s2 [join 2/2]" per stage: enough to eyeball the shape a spec
+// expands to without running anything.
+void print_dag(const workload::WorkflowDag& dag) {
+  std::printf("  default DAG (%zu stages):\n", dag.size());
+  for (const auto& stage : dag.stages) {
+    std::printf("    %s", stage.label.c_str());
+    if (stage.function_offset != 0) {
+      std::printf(" (fn+%d)", stage.function_offset);
+    }
+    if (stage.preds > 1) {
+      std::printf(" [join %d/%d]", stage.join_k, stage.preds);
+    }
+    if (!stage.successors.empty()) {
+      std::printf(" ->");
+      for (int succ : stage.successors) {
+        std::printf(" %s", dag.stages[static_cast<std::size_t>(succ)]
+                               .label.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto& registry = workload::WorkflowRegistry::instance();
+  std::printf(
+      "Registered workflow shapes (spec grammar \"name?key=value&...\"; "
+      "\"none\" = independent calls). Every scenario call roots one "
+      "instance; a stage runs (root function + offset) mod catalog "
+      "size:\n\n");
+  for (const auto& name : registry.names()) {
+    const auto def = registry.create(name);
+    std::printf("%s\n  %s\n", name.c_str(), def->help().c_str());
+    print_params(def->params());
+    print_dag(def->build(workload::WorkflowSpec{std::string(name), {}}));
+    std::printf("\n");
+  }
+  return 0;
+}
