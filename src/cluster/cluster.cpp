@@ -253,6 +253,17 @@ void Cluster::warmup() {
   for (const NodeSlot& slot : nodes_) slot.invoker->warmup();
 }
 
+void Cluster::adopt_collector_storage(metrics::Collector&& storage) {
+  WHISK_CHECK(collector_.size() == 0 && expected_calls_ == 0,
+              "adopt_collector_storage after the run started");
+  storage.reset(*catalog_);
+  collector_ = std::move(storage);
+}
+
+metrics::Collector Cluster::release_collector_storage() {
+  return std::move(collector_);
+}
+
 void Cluster::run_scenario(const workload::Scenario& scenario) {
   expected_calls_ += scenario.size();
   if (workflow_ != nullptr) {
@@ -260,6 +271,8 @@ void Cluster::run_scenario(const workload::Scenario& scenario) {
     // are part of the expected workload from the start, so drain detection
     // and fault gating wait for them too.
     expected_calls_ += workflow_->register_roots(scenario);
+    // One workflow record per root — the workflow-side reserve hint.
+    collector_.reserve_workflows(scenario.size());
   }
   collector_.reserve(expected_calls_);
   for (const auto& call : scenario.calls) {

@@ -154,6 +154,14 @@ class Cluster : public FaultHost {
   [[nodiscard]] const metrics::Collector& collector() const {
     return collector_;
   }
+
+  // Workspace reuse (experiments::CellWorkspace): seed the collector with
+  // recycled storage — cleared, capacity kept — before any call resolves,
+  // and take the storage back when the run is over. Only the container
+  // capacity survives the round trip, so a recycling run is byte-identical
+  // to a fresh one.
+  void adopt_collector_storage(metrics::Collector&& storage);
+  [[nodiscard]] metrics::Collector release_collector_storage();
   // Nodes ever deployed (drained/failed ones included).
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   // Nodes the balancer may currently route to.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "experiments/runner.h"
+#include "experiments/workspace.h"
 #include "metrics/csv.h"
 #include "metrics/sink.h"
 #include "util/check.h"
@@ -230,6 +231,14 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
   out.spec = spec;
   out.cells.resize(total);
 
+  // One reusable workspace per worker: warm engine arena, recycled
+  // collector columns, memoized scenarios. Worker-local by construction,
+  // so the hot path shares no mutable state between threads (the one
+  // mutex below guards only the post-cell flush bookkeeping).
+  const bool want_records =
+      options.retain_records || options.pipeline != nullptr;
+  std::vector<CellWorkspace> workspaces(static_cast<std::size_t>(threads));
+
   // Flush/progress state; cells finish in schedule order, the pipeline
   // consumes them in index order. `flushing` elects one worker to stream
   // the ready prefix *outside* the lock, so pipeline file I/O never blocks
@@ -240,13 +249,13 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
   std::size_t next_flush = 0;
   bool flushing = false;
 
-  auto run_cell = [&](std::size_t i) {
+  auto run_cell = [&](std::size_t i, CellWorkspace& ws) {
     const CampaignCell cell = spec.cell(i);
-    RunResult run = run_experiment(cell.spec, cat);
+    RunResult run = ws.run(cell.spec, cat, want_records);
 
     CellResult& res = out.cells[i];
     res.index = i;
-    res.calls = run.records.size();
+    res.calls = run.calls;
     res.ok_calls = run.responses.size();
     res.max_completion = run.max_completion;
     res.stats = run.stats;
@@ -312,11 +321,18 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
   };
 
   if (threads == 1 || total <= 1) {
-    for (std::size_t i = 0; i < total; ++i) run_cell(i);
+    for (std::size_t i = 0; i < total; ++i) run_cell(i, workspaces[0]);
   } else {
     util::ThreadPool pool(threads);
     for (std::size_t i = 0; i < total; ++i) {
-      pool.submit([&run_cell, i] { run_cell(i); });
+      pool.submit([&run_cell, &workspaces, i] {
+        // Tasks only ever run on this pool's workers, whose indices are
+        // 0..threads-1 by construction.
+        const int w = util::ThreadPool::worker_index();
+        WHISK_CHECK(w >= 0 && static_cast<std::size_t>(w) < workspaces.size(),
+                    "campaign cell ran off its own pool");
+        run_cell(i, workspaces[static_cast<std::size_t>(w)]);
+      });
     }
     pool.wait_idle();
   }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "experiments/workspace.h"
 #include "sim/engine.h"
 #include "util/check.h"
 #include "workload/scenario_registry.h"
@@ -10,75 +11,11 @@ namespace whisk::experiments {
 
 RunResult run_experiment(const ExperimentSpec& spec,
                          const workload::FunctionCatalog& cat) {
-  sim::Engine engine;
-
-  const SchedulerSpec sched = spec.scheduler().normalized();
-  cluster::ClusterParams cp;
-  cp.invoker = sched.invoker;
-  cp.policy = sched.policy;
-  cp.balancer = sched.balancer;
-  // The legacy nodes()/cores()/memory_mb() triple arrives here as a
-  // one-group homogeneous ClusterSpec; explicit .cluster() specs arrive
-  // verbatim (groups override the base NodeParams).
-  cp.deployment = spec.cluster();
-  cp.node = spec.node_params();
-  cp.workflow = spec.workflow();
-
-  // Scenario and cluster noise derive from independent streams of the same
-  // seed, so two schedulers at the same seed see the identical call
-  // sequence (the paper compares schedulers on the same 5 sequences).
-  sim::Rng scenario_rng =
-      sim::Rng(spec.seed()).fork(sim::hash_tag("scenario"));
-  const workload::Scenario scenario = workload::make_scenario(
-      spec.scenario(), spec.scenario_context(cat), scenario_rng);
-
-  cluster::Cluster cluster(engine, cat, cp,
-                           sim::Rng(spec.seed())
-                               .fork(sim::hash_tag("cluster"))
-                               .next_u64());
-  cluster.warmup();
-  cluster.run_scenario(scenario);
-  engine.run();
-
-  const auto& col = cluster.collector();
-  // expected_calls() is scenario.size() plus, under a workflow, every
-  // spawned downstream stage.
-  WHISK_CHECK(col.size() == cluster.expected_calls(),
-              "not every call completed: the simulation deadlocked");
-
-  RunResult out;
-  out.records = col.records();
-  out.responses = col.response_times();
-  out.stretches = col.stretches();
-  out.max_completion = col.max_completion();
-  out.stats = cluster.total_stats();
-  out.groups = cluster.group_stats();
-  out.resubmissions = cluster.resubmissions();
-  out.node_hours = cluster.node_hours();
-  out.cost_usd = cluster.cost_usd();
-  out.scale_ups = cluster.scale_ups();
-  out.scale_downs = cluster.scale_downs();
-  out.faults_injected = cluster.faults_injected();
-  out.retries = cluster.retries();
-  out.timeouts = cluster.timeouts();
-  out.hedges_won = cluster.hedges_won();
-  out.shed_calls = col.shed_calls();
-  out.dropped_calls = col.dropped_calls();
-  out.breaker_opens = cluster.breaker_opens();
-  out.unavailability_s = cluster.unavailability_s();
-  out.workflows = col.workflows().size();
-  out.wf_e2e_p99 = col.workflow_e2e_p99();
-  out.wf_critical_path_s = col.workflow_critical_path_mean();
-  out.wf_slack_s = col.workflow_slack_mean();
-  out.goodput = out.max_completion > 0.0
-                    ? static_cast<double>(col.ok_calls()) / out.max_completion
-                    : 0.0;
-  if (cp.deployment.slo_set) {
-    for (double r : out.responses) {
-      if (r > cp.deployment.slo.threshold_s) ++out.slo_violations;
-    }
-  }
-  return out;
+  // A single-use workspace is exactly the historical fresh-construction
+  // path (cold engine, cold collector, scenario generated on first use);
+  // campaigns keep one workspace per worker and amortize all of it.
+  CellWorkspace workspace;
+  return workspace.run(spec, cat);
 }
 
 std::vector<RunResult> run_repetitions(ExperimentSpec spec,
@@ -118,9 +55,9 @@ std::vector<double> run_idle_function_benchmark(
   std::size_t seen = 0;
   while (static_cast<int>(seen) < calls) {
     engine.run();
-    const auto& recs = cluster.collector().records();
-    WHISK_CHECK(recs.size() == seen + 1, "idle benchmark lost a call");
-    responses.push_back(recs.back().response());
+    const auto& col = cluster.collector();
+    WHISK_CHECK(col.size() == seen + 1, "idle benchmark lost a call");
+    responses.push_back(col.record(col.size() - 1).response());
     ++seen;
     if (static_cast<int>(seen) < calls) {
       workload::Scenario next;

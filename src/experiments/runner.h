@@ -15,6 +15,10 @@ namespace whisk::experiments {
 
 // Everything the paper reports about one run.
 struct RunResult {
+  // Terminal records the run produced (ok + shed + dropped). Always set,
+  // even when `records` was not materialized (CellWorkspace::run with
+  // want_records = false).
+  std::size_t calls = 0;
   std::vector<metrics::CallRecord> records;
   std::vector<double> responses;  // R(i), seconds
   std::vector<double> stretches;  // S(i)

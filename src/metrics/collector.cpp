@@ -14,11 +14,24 @@ void Collector::add(const CallRecord& record) {
               "execution ends before it starts");
   WHISK_CHECK(record.function >= 0, "record without a function id");
   WHISK_CHECK(record.attempts >= 1, "record with attempts < 1");
-  WHISK_CHECK(records_.size() < std::numeric_limits<std::uint32_t>::max(),
+  WHISK_CHECK(completion_.size() < std::numeric_limits<std::uint32_t>::max(),
               "per-run record index overflow");
 
-  const auto position = static_cast<std::uint32_t>(records_.size());
-  records_.push_back(record);
+  const auto position = static_cast<std::uint32_t>(completion_.size());
+  id_.push_back(record.id);
+  function_.push_back(record.function);
+  node_.push_back(record.node);
+  release_.push_back(record.release);
+  received_.push_back(record.received);
+  exec_start_.push_back(record.exec_start);
+  exec_end_.push_back(record.exec_end);
+  completion_.push_back(record.completion);
+  service_.push_back(record.service);
+  start_kind_.push_back(record.start_kind);
+  attempts_.push_back(record.attempts);
+  disposition_.push_back(record.disposition);
+  workflow_root_.push_back(record.workflow);
+  stage_.push_back(record.stage);
 
   if (record.attempts > 1) {
     ++resubmitted_calls_;
@@ -56,11 +69,86 @@ void Collector::add(const CallRecord& record) {
   }
 }
 
+void Collector::reserve(std::size_t n) {
+  id_.reserve(n);
+  function_.reserve(n);
+  node_.reserve(n);
+  release_.reserve(n);
+  received_.reserve(n);
+  exec_start_.reserve(n);
+  exec_end_.reserve(n);
+  completion_.reserve(n);
+  service_.reserve(n);
+  start_kind_.reserve(n);
+  attempts_.reserve(n);
+  disposition_.reserve(n);
+  workflow_root_.reserve(n);
+  stage_.reserve(n);
+}
+
+void Collector::reset(const workload::FunctionCatalog& catalog) {
+  catalog_ = &catalog;
+  id_.clear();
+  function_.clear();
+  node_.clear();
+  release_.clear();
+  received_.clear();
+  exec_start_.clear();
+  exec_end_.clear();
+  completion_.clear();
+  service_.clear();
+  start_kind_.clear();
+  attempts_.clear();
+  disposition_.clear();
+  workflow_root_.clear();
+  stage_.clear();
+  // Keep the per-function buckets themselves (and their capacity); only
+  // their contents belong to the finished run.
+  for (auto& bucket : by_function_) bucket.clear();
+  max_completion_ = 0.0;
+  ok_ = shed_ = dropped_ = 0;
+  cold_ = prewarm_ = warm_ = 0;
+  resubmitted_calls_ = 0;
+  resubmissions_ = 0;
+  workflows_.clear();
+}
+
+CallRecord Collector::record(std::size_t i) const {
+  WHISK_CHECK(i < completion_.size(), "record index out of range");
+  CallRecord out;
+  out.id = id_[i];
+  out.function = function_[i];
+  out.node = node_[i];
+  out.release = release_[i];
+  out.received = received_[i];
+  out.exec_start = exec_start_[i];
+  out.exec_end = exec_end_[i];
+  out.completion = completion_[i];
+  out.service = service_[i];
+  out.start_kind = start_kind_[i];
+  out.attempts = attempts_[i];
+  out.disposition = disposition_[i];
+  out.workflow = workflow_root_[i];
+  out.stage = stage_[i];
+  return out;
+}
+
+std::vector<CallRecord> Collector::records() const {
+  std::vector<CallRecord> out;
+  out.reserve(completion_.size());
+  for (std::size_t i = 0; i < completion_.size(); ++i) {
+    out.push_back(record(i));
+  }
+  return out;
+}
+
 std::vector<double> Collector::response_times() const {
   std::vector<double> out;
   out.reserve(ok_);
-  for (const auto& r : records_) {
-    if (r.disposition == Disposition::kOk) out.push_back(r.response());
+  for (std::size_t i = 0; i < completion_.size(); ++i) {
+    if (disposition_[i] == Disposition::kOk) {
+      out.push_back(completion_[i] - release_[i]);
+    }
   }
   return out;
 }
@@ -68,9 +156,10 @@ std::vector<double> Collector::response_times() const {
 std::vector<double> Collector::stretches() const {
   std::vector<double> out;
   out.reserve(ok_);
-  for (const auto& r : records_) {
-    if (r.disposition != Disposition::kOk) continue;
-    out.push_back(r.response() / catalog_->reference_median(r.function));
+  for (std::size_t i = 0; i < completion_.size(); ++i) {
+    if (disposition_[i] != Disposition::kOk) continue;
+    out.push_back((completion_[i] - release_[i]) /
+                  catalog_->reference_median(function_[i]));
   }
   return out;
 }
@@ -89,7 +178,7 @@ std::vector<double> Collector::response_times_of(
   const auto* idx = bucket(f);
   if (idx == nullptr) return out;
   out.reserve(idx->size());
-  for (std::uint32_t i : *idx) out.push_back(records_[i].response());
+  for (std::uint32_t i : *idx) out.push_back(completion_[i] - release_[i]);
   return out;
 }
 
@@ -99,7 +188,9 @@ std::vector<double> Collector::stretches_of(workload::FunctionId f) const {
   if (idx == nullptr) return out;
   out.reserve(idx->size());
   const double ref = catalog_->reference_median(f);
-  for (std::uint32_t i : *idx) out.push_back(records_[i].response() / ref);
+  for (std::uint32_t i : *idx) {
+    out.push_back((completion_[i] - release_[i]) / ref);
+  }
   return out;
 }
 

@@ -18,21 +18,42 @@ namespace whisk::metrics {
 // per-function queries and the counters are O(answer)/O(1) instead of a
 // full-record scan per call (the fairness experiment queries them per
 // function per repetition).
+//
+// Storage is struct-of-arrays: add() appends each CallRecord field to its
+// own dense column. The metric scans (response_times, stretches) touch only
+// the two or three columns they read instead of striding over 96-byte
+// records, and a recycled collector (experiments::CellWorkspace) keeps
+// every column's capacity across runs — with the reserve() hint Cluster
+// plumbs from the scenario's expected call count, add() never allocates on
+// the campaign steady state. Whole records are materialized on demand.
 class Collector {
  public:
+  // Recyclable empty shell (CellWorkspace parks storage in one between
+  // runs); reset() must point it at a catalog before use.
+  Collector() = default;
   explicit Collector(const workload::FunctionCatalog& catalog)
       : catalog_(&catalog) {}
 
   void add(const CallRecord& record);
-  void reserve(std::size_t n) { records_.reserve(n); }
+  // Capacity hints — plumbed from the scenario's expected call count (and
+  // expected workflow instances) by Cluster::run_scenario so the columns
+  // never grow mid-run.
+  void reserve(std::size_t n);
+  void reserve_workflows(std::size_t n) { workflows_.reserve(n); }
+
+  // Clear every container but keep its capacity, and re-point the catalog:
+  // the workspace-reuse primitive (clear-not-free).
+  void reset(const workload::FunctionCatalog& catalog);
 
   // Every resolved call — completed, shed or dropped. The latency metrics
   // below cover only ok records; shed/dropped calls have no meaningful
   // response time and would poison the distributions.
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const std::vector<CallRecord>& records() const {
-    return records_;
-  }
+  [[nodiscard]] std::size_t size() const { return completion_.size(); }
+
+  // Record i reassembled from the columns.
+  [[nodiscard]] CallRecord record(std::size_t i) const;
+  // All records, insertion order, in one exact-sized allocation.
+  [[nodiscard]] std::vector<CallRecord> records() const;
 
   [[nodiscard]] std::size_t ok_calls() const { return ok_; }
   [[nodiscard]] std::size_t shed_calls() const { return shed_; }
@@ -92,10 +113,26 @@ class Collector {
   [[nodiscard]] const std::vector<std::uint32_t>* bucket(
       workload::FunctionId f) const;
 
-  const workload::FunctionCatalog* catalog_;
-  std::vector<CallRecord> records_;
-  // records_ positions per function, ok records only; FunctionIds are
-  // dense catalog indices.
+  const workload::FunctionCatalog* catalog_ = nullptr;
+
+  // Column store, index-aligned: entry i of every column is record i.
+  std::vector<workload::CallId> id_;
+  std::vector<workload::FunctionId> function_;
+  std::vector<int> node_;
+  std::vector<sim::SimTime> release_;
+  std::vector<sim::SimTime> received_;
+  std::vector<sim::SimTime> exec_start_;
+  std::vector<sim::SimTime> exec_end_;
+  std::vector<sim::SimTime> completion_;
+  std::vector<sim::SimTime> service_;
+  std::vector<StartKind> start_kind_;
+  std::vector<int> attempts_;
+  std::vector<Disposition> disposition_;
+  std::vector<workload::CallId> workflow_root_;
+  std::vector<int> stage_;
+
+  // Record positions per function, ok records only; FunctionIds are dense
+  // catalog indices.
   std::vector<std::vector<std::uint32_t>> by_function_;
   double max_completion_ = 0.0;
   std::size_t ok_ = 0;

@@ -189,6 +189,22 @@ void Engine::execute_top() {
   if (meta_[top.slot].gen != 0xffffffffu) free_.push_back(top.slot);
 }
 
+void Engine::reset() {
+  // Destroy pending callbacks and recycle their slots (same retirement
+  // rule as release_slot); executed slots are already on the free list.
+  for (const HeapEntry& e : heap_) {
+    fn_at(e.slot) = nullptr;
+    SlotMeta& m = meta_[e.slot];
+    m.heap_pos = kNoHeapPos;
+    ++m.gen;
+    if (m.gen != 0xffffffffu) free_.push_back(e.slot);
+  }
+  heap_.clear();
+  now_ = 0.0;
+  next_seq_ = 1;
+  executed_ = 0;
+}
+
 bool Engine::step() {
   if (heap_.empty()) return false;
   execute_top();

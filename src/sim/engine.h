@@ -75,6 +75,16 @@ class Engine {
   // Execute exactly one pending event, if any. Returns false when drained.
   bool step();
 
+  // Return the engine to its just-constructed observable state while
+  // keeping the slot arena, heap array and free list warm — the
+  // workspace-reuse primitive (experiments::CellWorkspace). Any still-
+  // pending events (normally none: campaign runs drain the queue) are
+  // destroyed, and every outstanding EventId is invalidated through the
+  // usual generation bump. Event ordering is unaffected by reuse: the heap
+  // orders on (time, seq) alone, so recycled slot numbering can never
+  // change which event runs next.
+  void reset();
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::size_t executed() const { return executed_; }

@@ -5,6 +5,12 @@
 #include "util/check.h"
 
 namespace whisk::util {
+namespace {
+
+// Set once at worker start; a thread belongs to at most one pool.
+thread_local int tl_worker_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   WHISK_CHECK(threads >= 1, "a thread pool needs at least one worker");
@@ -53,7 +59,10 @@ int ThreadPool::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+int ThreadPool::worker_index() { return tl_worker_index; }
+
 void ThreadPool::worker_loop(std::size_t index) {
+  tl_worker_index = static_cast<int>(index);
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     std::function<void()> task;

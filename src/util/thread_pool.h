@@ -55,6 +55,12 @@ class ThreadPool {
   // clamped to 1.
   [[nodiscard]] static int hardware_threads();
 
+  // Index of the calling thread within its owning pool (0-based), or -1
+  // off any pool worker. Lets a task pick its per-worker slot (e.g.
+  // run_campaign's one-CellWorkspace-per-worker array) without threading an
+  // index through every submit.
+  [[nodiscard]] static int worker_index();
+
  private:
   void worker_loop(std::size_t index);
 

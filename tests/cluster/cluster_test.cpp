@@ -56,7 +56,7 @@ TEST_F(ClusterTest, ResponseIncludesNetworkPath) {
       workload::CallRequest{0, *catalog_.find("graph-bfs"), 0.0});
   cluster.run_scenario(s);
   engine.run();
-  const auto& rec = cluster.collector().records().at(0);
+  const auto rec = cluster.collector().record(0);
   // r'(i) = release + client->controller + controller->invoker.
   EXPECT_NEAR(rec.received - rec.release, 0.005, 1e-9);
   // c(i) >= exec_end + return path.
@@ -76,7 +76,7 @@ TEST_F(ClusterTest, IdleResponseMatchesTableOneOverhead) {
       workload::CallRequest{0, *catalog_.find("graph-bfs"), 0.0});
   cluster.run_scenario(s);
   engine.run();
-  const auto& rec = cluster.collector().records().at(0);
+  const auto rec = cluster.collector().record(0);
   const double overhead = rec.response() - rec.service;
   EXPECT_GT(overhead, 0.005);
   EXPECT_LT(overhead, 0.05);

@@ -4,6 +4,13 @@
 // trajectory can be tracked by scripts/CI instead of eyeballs.
 //
 // Usage: bench_report [output.json]     (default: BENCH_engine.json)
+//        bench_report --check [baseline.json]
+//
+// --check re-measures just the two gated workloads (engine churn and
+// 1-thread campaign cells/sec), compares them against the committed
+// baseline JSON, and exits non-zero on a >30% regression in either — a
+// cheap CI tripwire. Parallel scaling is reported by the full run but
+// never gated: it depends on the runner's core count, not the code.
 //
 // Needs no google-benchmark: each workload is self-timed over enough
 // repetitions to exceed a minimum wall-clock budget, and the best (lowest
@@ -15,6 +22,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -57,10 +67,41 @@ Measurement measure(Fn&& fn, double min_seconds = 0.5) {
   return best;
 }
 
-long peak_rss_kb() {
+// Process-lifetime peak RSS: getrusage's high-water mark, which nothing
+// resets. Used for the whole-run footprint at the bottom of the report.
+long process_peak_rss_kb() {
   rusage usage{};
   getrusage(RUSAGE_SELF, &usage);
   return usage.ru_maxrss;  // KiB on Linux
+}
+
+// Resets the kernel's per-mm RSS high-water mark (VmHWM) so the next
+// peak_rss_since_reset_kb() call reflects only the phase that ran in
+// between — the per-thread-count campaign footprint, not whatever earlier
+// phase happened to peak higher. Best-effort: kernels without
+// CONFIG_PROC_PAGE_MONITOR reject the write and the read degrades to the
+// process-lifetime peak.
+void reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return;
+  std::fputs("5", f);
+  std::fclose(f);
+}
+
+long peak_rss_since_reset_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      long kb = 0;
+      if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) {
+        std::fclose(f);
+        return kb;
+      }
+    }
+    std::fclose(f);
+  }
+  return process_peak_rss_kb();
 }
 
 // The end-to-end experiment grid the campaign layer is benchmarked on:
@@ -227,13 +268,16 @@ std::size_t run_workflow_path_workload(
   return result.cells.size();
 }
 
-// One campaign throughput sample at a fixed pool size.
+// One campaign throughput sample at a fixed pool size, with the peak RSS
+// the phase reached (VmHWM reset before each phase).
 struct ScalePoint {
   int threads = 1;
   Measurement m;
+  long peak_rss_kb = 0;
 };
 
-void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
+void emit(std::FILE* out, const char* churn_label, int hw_threads,
+          Measurement new_churn,
           Measurement seed_churn, Measurement new_drain,
           Measurement seed_drain, Measurement new_hist, Measurement seed_hist,
           const std::vector<ScalePoint>& scaling, Measurement hetero,
@@ -270,11 +314,14 @@ void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"campaign\": {\n");
   std::fprintf(out, "    \"cells\": %zu,\n", scaling.front().m.events);
+  std::fprintf(out, "    \"hw_threads\": %d,\n", hw_threads);
   std::fprintf(out, "    \"scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     std::fprintf(out,
-                 "      {\"threads\": %d, \"cells_per_sec\": %.2f}%s\n",
+                 "      {\"threads\": %d, \"cells_per_sec\": %.2f, "
+                 "\"peak_rss_kb\": %ld}%s\n",
                  scaling[i].threads, scaling[i].m.events_per_sec,
+                 scaling[i].peak_rss_kb,
                  i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(out, "    ],\n");
@@ -346,13 +393,91 @@ void emit(std::FILE* out, const char* churn_label, Measurement new_churn,
                (wf_plain.events_per_sec / wf_single.events_per_sec - 1.0) *
                    100.0);
   std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"peak_rss_kb\": %ld\n", peak_rss_kb());
+  std::fprintf(out, "  \"peak_rss_kb\": %ld\n", process_peak_rss_kb());
   std::fprintf(out, "}\n");
+}
+
+// Pulls the number that follows the last anchor, with each anchor located
+// forward from the previous one (e.g. {"campaign", "\"threads\": 1,",
+// "\"cells_per_sec\": "}). Deliberately a string scan, not a JSON parser:
+// this tool writes the file it later checks, so the layout is its own.
+// Returns a negative value when any anchor is missing.
+double extract_number(const std::string& json,
+                      std::initializer_list<const char*> anchors) {
+  std::size_t pos = 0;
+  for (const char* a : anchors) {
+    pos = json.find(a, pos);
+    if (pos == std::string::npos) return -1.0;
+    pos += std::strlen(a);
+  }
+  return std::atof(json.c_str() + pos);
+}
+
+// `bench_report --check [baseline.json]`: re-measure the two gated
+// workloads and fail on a >30% throughput regression against the
+// committed baseline. 30% is far outside run-to-run noise for best-of-N
+// measurements (a few percent on a quiet box) but well inside the damage
+// an accidental O(n) slip or a dropped compiler flag causes.
+int run_check(const std::string& baseline_path) {
+  std::FILE* f = std::fopen(baseline_path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "check: cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::string json;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+  std::fclose(f);
+
+  const double base_churn = extract_number(
+      json, {"\"engine_churn\"", "\"new\"", "\"events_per_sec\": "});
+  const double base_cells = extract_number(
+      json, {"\"campaign\"", "\"threads\": 1,", "\"cells_per_sec\": "});
+  if (base_churn <= 0.0 || base_cells <= 0.0) {
+    std::fprintf(stderr, "check: %s lacks engine_churn/campaign numbers\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr, "check: measuring engine churn...\n");
+  constexpr std::size_t kChurnEvents = 100000;
+  const auto churn = measure([] {
+    return whisk::bench::run_engine_churn<whisk::sim::Engine>(kChurnEvents,
+                                                              42);
+  });
+  std::fprintf(stderr, "check: measuring campaign cells/sec (1 thread)...\n");
+  const auto cat = whisk::workload::sebs_catalog();
+  const auto campaign = measure(
+      [&cat] { return run_campaign_workload(cat, 1); }, 1.0);
+
+  constexpr double kMaxRegression = 0.30;
+  int failures = 0;
+  auto gate = [&failures](const char* name, double fresh, double base) {
+    const double floor = base * (1.0 - kMaxRegression);
+    const bool ok = fresh >= floor;
+    std::fprintf(stderr,
+                 "check: %-24s %12.2f vs baseline %12.2f (floor %12.2f) %s\n",
+                 name, fresh, base, floor, ok ? "ok" : "REGRESSION");
+    if (!ok) ++failures;
+  };
+  gate("engine_churn ev/s", churn.events_per_sec, base_churn);
+  gate("campaign 1t cells/s", campaign.events_per_sec, base_cells);
+  if (failures > 0) {
+    std::fprintf(stderr, "check: FAILED (%d regression%s > %.0f%%)\n",
+                 failures, failures == 1 ? "" : "s", kMaxRegression * 100.0);
+    return 1;
+  }
+  std::fprintf(stderr, "check: ok\n");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--check") == 0) {
+    return run_check(argc > 2 ? argv[2] : "BENCH_engine.json");
+  }
   const std::string path = argc > 1 ? argv[1] : "BENCH_engine.json";
   constexpr std::size_t kChurnEvents = 100000;
   constexpr std::size_t kDrainEvents = 100000;
@@ -400,10 +525,10 @@ int main(int argc, char** argv) {
     if (!scaling.empty() && scaling.back().threads >= threads) continue;
     std::fprintf(stderr, "measuring campaign cells/sec (%d thread%s)...\n",
                  threads, threads == 1 ? "" : "s");
-    scaling.push_back(
-        {threads, measure([&cat, threads] {
-           return run_campaign_workload(cat, threads);
-         }, 1.0)});
+    reset_peak_rss();
+    const auto m = measure(
+        [&cat, threads] { return run_campaign_workload(cat, threads); }, 1.0);
+    scaling.push_back({threads, m, peak_rss_since_reset_kb()});
   }
   std::fprintf(stderr, "measuring heterogeneous-fleet cells/sec...\n");
   const auto hetero = measure(
@@ -468,19 +593,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  emit(stdout, "engine_hot_path", new_churn, seed_churn, new_drain,
-       seed_drain, new_hist, seed_hist, scaling, hetero, autoscaled,
-       fault_base, fault_tracked, fault_dormant, fault_armed, wf_m[0],
-       wf_m[1], wf_m[2]);
+  emit(stdout, "engine_hot_path", hw_threads, new_churn, seed_churn,
+       new_drain, seed_drain, new_hist, seed_hist, scaling, hetero,
+       autoscaled, fault_base, fault_tracked, fault_dormant, fault_armed,
+       wf_m[0], wf_m[1], wf_m[2]);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  emit(f, "engine_hot_path", new_churn, seed_churn, new_drain, seed_drain,
-       new_hist, seed_hist, scaling, hetero, autoscaled, fault_base,
-       fault_tracked, fault_dormant, fault_armed, wf_m[0], wf_m[1],
-       wf_m[2]);
+  emit(f, "engine_hot_path", hw_threads, new_churn, seed_churn, new_drain,
+       seed_drain, new_hist, seed_hist, scaling, hetero, autoscaled,
+       fault_base, fault_tracked, fault_dormant, fault_armed, wf_m[0],
+       wf_m[1], wf_m[2]);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (churn speedup: %.2fx)\n", path.c_str(),
                new_churn.events_per_sec / seed_churn.events_per_sec);

@@ -56,7 +56,7 @@ int usage(const char* argv0) {
       "     dag edge lists use '+': dag?edges=a>b+a>c)\n"
       "\n"
       "options:\n"
-      "  --threads N        worker threads (default 1; 0 = all cores)\n"
+      "  --threads N        worker threads (default: all cores)\n"
       "  --cells-csv F      per-cell summary CSV\n"
       "  --cells-jsonl F    per-cell summary JSON Lines\n"
       "  --records-csv F    full per-call record CSV (streamed)\n"
@@ -149,6 +149,9 @@ int main(int argc, char** argv) {
   std::string records_csv_path;
   std::string records_jsonl_path;
   experiments::CampaignOptions opts;
+  // CLI default: all cores (the library default stays 1 thread). Output is
+  // byte-identical for any thread count, so parallelism is free here.
+  opts.threads = 0;
   bool quiet = false;
 
   auto need_value = [&](int& i) -> const char* {
@@ -219,8 +222,13 @@ int main(int argc, char** argv) {
                           : opts.threads;
   if (!quiet) {
     std::fprintf(stderr, "campaign: %s\n", spec.to_string().c_str());
-    std::fprintf(stderr, "cells: %zu (%zu groups x %zu seeds), threads: %d\n",
-                 total, spec.group_count(), spec.seeds_per_group(), threads);
+    // The *effective* worker count (after the 0 = all-cores default), so a
+    // log always records how the grid actually ran.
+    std::fprintf(stderr,
+                 "cells: %zu (%zu groups x %zu seeds), threads: %d of %d "
+                 "hardware\n",
+                 total, spec.group_count(), spec.seeds_per_group(), threads,
+                 util::ThreadPool::hardware_threads());
   }
 
   // Per-record streaming sinks, fed in cell order while the campaign runs.
