@@ -135,11 +135,13 @@ CampaignCell CampaignResult::group_cell(std::size_t g) const {
   WHISK_CHECK(g < group_count(), "campaign group index out of range");
   // Full cell(), not coordinates(): group_cell's contract includes a
   // populated .spec (callers may re-run or inspect the configuration).
-  return spec.cell(g * spec.seeds_per_group());
+  return spec.cell(global_group(g) * spec.seeds_per_group());
 }
 
 std::string CampaignResult::group_label(std::size_t g) const {
-  return spec.label(spec.coordinates(g * spec.seeds_per_group()),
+  WHISK_CHECK(g < group_count(), "campaign group index out of range");
+  return spec.label(spec.coordinates(global_group(g) *
+                                     spec.seeds_per_group()),
                     /*with_seed=*/false);
 }
 
@@ -221,7 +223,17 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
                             const workload::FunctionCatalog& cat,
                             const CampaignOptions& options) {
   const CampaignSpec spec = raw_spec.normalized();
-  const std::size_t total = spec.size();
+  // Resolve the slice to run: the whole grid unless the options carry a
+  // shard. A shard from a different grid (or hand-rolled) is a caller bug;
+  // catch it loudly rather than run the wrong cells.
+  const ShardRange shard =
+      options.shard ? *options.shard : spec.shard(0, 1);
+  WHISK_CHECK(shard.begin_group <= shard.end_group &&
+                  shard.end_group <= spec.group_count(),
+              "campaign shard range does not fit this grid");
+  WHISK_CHECK(shard.seeds_per_group == spec.seeds_per_group(),
+              "campaign shard was built for a different seed axis");
+  const std::size_t total = shard.cells();
   const int threads = options.threads == 0
                           ? util::ThreadPool::hardware_threads()
                           : options.threads;
@@ -229,6 +241,7 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
 
   CampaignResult out;
   out.spec = spec;
+  out.shard = shard;
   out.cells.resize(total);
 
   // One reusable workspace per worker: warm engine arena, recycled
@@ -249,12 +262,16 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
   std::size_t next_flush = 0;
   bool flushing = false;
 
+  // `i` is shard-local (slot in out.cells); the cell itself — coordinates,
+  // seed, CSV index — is the global one, so shard output matches the
+  // corresponding slice of an unsharded run byte for byte.
   auto run_cell = [&](std::size_t i, CellWorkspace& ws) {
-    const CampaignCell cell = spec.cell(i);
+    const std::size_t global = shard.begin_cell() + i;
+    const CampaignCell cell = spec.cell(global);
     RunResult run = ws.run(cell.spec, cat, want_records);
 
     CellResult& res = out.cells[i];
-    res.index = i;
+    res.index = global;
     res.calls = run.calls;
     res.ok_calls = run.responses.size();
     res.max_completion = run.max_completion;
@@ -304,8 +321,8 @@ CampaignResult run_campaign(const CampaignSpec& raw_spec,
         const std::size_t idx = next_flush++;  // claimed; release the lock
         lock.unlock();
         CellResult& ready = out.cells[idx];  // finished: no other writer
-        options.pipeline->begin_run(
-            cell_context(spec, spec.coordinates(idx), &ready));
+        options.pipeline->begin_run(cell_context(
+            spec, spec.coordinates(shard.begin_cell() + idx), &ready));
         for (const auto& rec : ready.records) {
           options.pipeline->consume(rec);
         }

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -86,6 +87,12 @@ struct CampaignOptions {
   // Keep the full CallRecords per cell (per-function post-hoc queries).
   bool retain_records = false;
   std::size_t reservoir_capacity = 4096;
+  // Run only this group-aligned slice of the grid (default: everything).
+  // Must come from shard()/subshard() on the same grid; cell indices,
+  // seeds and group indices stay global, so a shard run is byte-identical
+  // to the matching slice of an unsharded run — the distributed campaign
+  // contract.
+  std::optional<ShardRange> shard;
   // Optional per-record sinks. Cells are flushed through the pipeline in
   // cell-index order no matter which thread finished first, so file output
   // is byte-identical for any thread count.
@@ -98,12 +105,19 @@ struct CampaignOptions {
 class CampaignResult {
  public:
   CampaignSpec spec;
+  // The slice of the grid these cells cover — the whole grid unless the
+  // run was sharded. `cells` holds the shard's cells in order; each
+  // CellResult::index is the *global* cell index.
+  ShardRange shard;
   std::vector<CellResult> cells;
 
   // A group = all cells sharing every non-seed coordinate; contiguous and
-  // seed-ordered by the expansion order contract.
-  [[nodiscard]] std::size_t group_count() const {
-    return spec.group_count();
+  // seed-ordered by the expansion order contract. Group arguments here are
+  // shard-local (0 .. group_count()-1); global_group maps them back to the
+  // grid-wide group index.
+  [[nodiscard]] std::size_t group_count() const { return shard.groups(); }
+  [[nodiscard]] std::size_t global_group(std::size_t g) const {
+    return shard.begin_group + g;
   }
   [[nodiscard]] std::span<const CellResult> group(std::size_t g) const;
   // The group's first cell, for axis coordinates.

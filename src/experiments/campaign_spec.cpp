@@ -103,7 +103,67 @@ std::string join_items(const std::vector<T>& items, Fn&& render) {
   return out;
 }
 
+// The balanced contiguous partition both shard() and subshard() use:
+// element j of m over a count of `total` starts at j*total/m. Monotone in
+// j, exhaustive, disjoint, and every part is within one of total/m.
+std::size_t partition_start(std::size_t total, std::size_t j, std::size_t m) {
+  return total * j / m;
+}
+
 }  // namespace
+
+ShardRange ShardRange::subshard(std::size_t j, std::size_t m) const {
+  WHISK_CHECK(m > 0, "shard subdivision needs a positive count");
+  WHISK_CHECK(j < m, "shard subdivision index out of range");
+  ShardRange out;
+  out.index = j;
+  out.count = m;
+  out.begin_group = begin_group + partition_start(groups(), j, m);
+  out.end_group = begin_group + partition_start(groups(), j + 1, m);
+  out.seeds_per_group = seeds_per_group;
+  return out;
+}
+
+std::string ShardRange::selector() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::pair<std::size_t, std::size_t> ShardRange::parse_selector(
+    std::string_view text) {
+  const std::size_t slash = text.find('/');
+  WHISK_CHECK(slash != std::string_view::npos,
+              ("shard selector \"" + std::string(text) +
+               "\" is not i/n (e.g. \"0/4\")")
+                  .c_str());
+  unsigned long long i = 0;
+  unsigned long long n = 0;
+  const bool ok =
+      util::parse_whole_number(trim_ws(text.substr(0, slash)), &i) &&
+      util::parse_whole_number(trim_ws(text.substr(slash + 1)), &n);
+  WHISK_CHECK(ok, ("shard selector \"" + std::string(text) +
+                   "\" needs two whole numbers i/n")
+                      .c_str());
+  WHISK_CHECK(n > 0, ("shard selector \"" + std::string(text) +
+                      "\" has a zero shard count")
+                         .c_str());
+  WHISK_CHECK(i < n, ("shard selector \"" + std::string(text) +
+                      "\" is out of range: index must be < count")
+                         .c_str());
+  return {static_cast<std::size_t>(i), static_cast<std::size_t>(n)};
+}
+
+ShardRange CampaignSpec::shard(std::size_t i, std::size_t n) const {
+  WHISK_CHECK(n > 0, "campaign shard count must be positive");
+  WHISK_CHECK(i < n, "campaign shard index must be < the shard count");
+  const std::size_t g = group_count();
+  ShardRange out;
+  out.index = i;
+  out.count = n;
+  out.begin_group = partition_start(g, i, n);
+  out.end_group = partition_start(g, i + 1, n);
+  out.seeds_per_group = seeds_per_group();
+  return out;
+}
 
 CampaignSpec CampaignSpec::parse(std::string_view text) {
   CampaignSpec spec;

@@ -32,6 +32,60 @@ struct CampaignCell {
   ExperimentSpec spec;
 };
 
+// A contiguous, group-aligned slice of a campaign's expanded cell index
+// space — the unit of distribution for multi-process campaigns. Shards are
+// aligned to group boundaries (a group = every non-seed coordinate fixed),
+// so one group's seed-ordered cells never straddle two workers and group
+// aggregation needs no cross-shard reconciliation. Cell indices, group
+// indices and per-cell seeds are the *global* ones: they derive from grid
+// coordinates alone, so a shard run is byte-identical to the same slice of
+// an unsharded run.
+//
+// A shard renders as the pair (grid string, "i/n" selector): parsing the
+// grid back and calling shard(i, n) reproduces the identical range, which
+// is how `whisk_sweep "<grid>" --shard i/n` round-trips.
+struct ShardRange {
+  std::size_t index = 0;  // which shard (0-based)
+  std::size_t count = 1;  // out of how many
+  std::size_t begin_group = 0;  // [begin_group, end_group)
+  std::size_t end_group = 0;
+  std::size_t seeds_per_group = 1;
+
+  [[nodiscard]] std::size_t groups() const { return end_group - begin_group; }
+  [[nodiscard]] std::size_t begin_cell() const {
+    return begin_group * seeds_per_group;
+  }
+  [[nodiscard]] std::size_t end_cell() const {
+    return end_group * seeds_per_group;
+  }
+  [[nodiscard]] std::size_t cells() const {
+    return groups() * seeds_per_group;
+  }
+  [[nodiscard]] bool empty() const { return begin_group == end_group; }
+
+  // Partition this shard's group range into `m` contiguous sub-shards with
+  // the same balanced formula as CampaignSpec::shard, so sharding composes:
+  // a worker handed shard i/n can fan its slice out again, and the
+  // concatenation of every sub-shard is exactly the parent.
+  [[nodiscard]] ShardRange subshard(std::size_t j, std::size_t m) const;
+
+  // The CLI selector: "i/n".
+  [[nodiscard]] std::string selector() const;
+  // Parse "i/n" (whole numbers, i < n, n > 0); aborts with a diagnostic
+  // otherwise. Returns {index, count} — feed it to CampaignSpec::shard.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> parse_selector(
+      std::string_view text);
+
+  friend bool operator==(const ShardRange& a, const ShardRange& b) {
+    return a.index == b.index && a.count == b.count &&
+           a.begin_group == b.begin_group && a.end_group == b.end_group &&
+           a.seeds_per_group == b.seeds_per_group;
+  }
+  friend bool operator!=(const ShardRange& a, const ShardRange& b) {
+    return !(a == b);
+  }
+};
+
 // A declarative sweep grid — the campaign-level mirror of SchedulerSpec and
 // ScenarioSpec. The paper's result grids (schedulers x scenarios x 5 seeds,
 // with deployment axes where a figure sweeps them) are one CampaignSpec;
@@ -148,6 +202,15 @@ struct CampaignSpec {
   [[nodiscard]] std::size_t group_count() const {
     return size() / seeds.size();
   }
+
+  // Deterministically partition the expanded cell index space into `n`
+  // contiguous, group-aligned sub-ranges and return the `i`-th (0-based).
+  // Shard i covers groups [i*G/n, (i+1)*G/n) — balanced to within one
+  // group, exhaustive and disjoint over i = 0..n-1 for any n (shards beyond
+  // the group count come back empty). Everything about the cells inside a
+  // shard — indices, group indices, per-cell seeds — is identical to the
+  // unsharded expansion.
+  [[nodiscard]] ShardRange shard(std::size_t i, std::size_t n) const;
 
   // Expand cell `index` (0 <= index < size()) deterministically.
   [[nodiscard]] CampaignCell cell(std::size_t index) const;

@@ -1,0 +1,191 @@
+// CampaignSpec::shard / ShardRange: the deterministic, group-aligned
+// partition the distributed campaign driver is built on. The contracts
+// pinned here: shards are exhaustive, disjoint, contiguous and balanced to
+// within one group for any shard count; sharding composes (subshard of the
+// whole == shard); selectors round-trip; and a sharded run_campaign
+// produces exactly the matching byte slice of the unsharded run, with
+// global cell indices, group indices and seeds.
+#include "experiments/campaign_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiments/campaign.h"
+
+namespace whisk::experiments {
+namespace {
+
+// A grid with `groups` groups (1, 2, 5 or 12) and 3 seeds per group.
+CampaignSpec grid_with_groups(std::size_t groups) {
+  std::string scenarios;
+  std::size_t per_sched = groups;
+  std::string schedulers = "schedulers=baseline/fifo";
+  if (groups % 2 == 0) {
+    schedulers += ",ours/sept";
+    per_sched = groups / 2;
+  }
+  for (std::size_t i = 0; i < per_sched; ++i) {
+    if (i > 0) scenarios += ',';
+    // Multiples of 10 only: the scenario generator splits intensity
+    // evenly across the catalog functions.
+    scenarios += "uniform?intensity=" + std::to_string(10 + 10 * i);
+  }
+  const CampaignSpec spec = CampaignSpec::parse(
+      schedulers + "; scenarios=" + scenarios + "; seeds=0..2; cores=5");
+  EXPECT_EQ(spec.group_count(), groups);
+  return spec;
+}
+
+TEST(CampaignShardTest, PartitionIsExhaustiveDisjointAlignedAndBalanced) {
+  for (const std::size_t groups : {1UL, 2UL, 5UL, 12UL}) {
+    const CampaignSpec spec = grid_with_groups(groups);
+    for (const std::size_t n : {1UL, 2UL, 3UL, 7UL}) {
+      std::size_t next_group = 0;
+      std::size_t next_cell = 0;
+      std::size_t min_size = spec.group_count();
+      std::size_t max_size = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const ShardRange shard = spec.shard(i, n);
+        EXPECT_EQ(shard.index, i);
+        EXPECT_EQ(shard.count, n);
+        EXPECT_EQ(shard.seeds_per_group, spec.seeds_per_group());
+        // Contiguous and disjoint: each shard starts where the previous
+        // one ended, in both group and cell space.
+        EXPECT_EQ(shard.begin_group, next_group) << groups << " g, " << n
+                                                 << " shards, shard " << i;
+        EXPECT_LE(shard.begin_group, shard.end_group);
+        EXPECT_EQ(shard.begin_cell(), next_cell);
+        EXPECT_EQ(shard.cells(), shard.groups() * spec.seeds_per_group());
+        next_group = shard.end_group;
+        next_cell = shard.end_cell();
+        min_size = std::min(min_size, shard.groups());
+        max_size = std::max(max_size, shard.groups());
+      }
+      // Exhaustive: the last shard ends exactly at the grid boundary.
+      EXPECT_EQ(next_group, spec.group_count());
+      EXPECT_EQ(next_cell, spec.size());
+      // Balanced to within one group.
+      EXPECT_LE(max_size - min_size, 1UL) << groups << " groups over " << n;
+    }
+  }
+}
+
+TEST(CampaignShardTest, ShardsBeyondTheGroupCountAreEmpty) {
+  const CampaignSpec spec = grid_with_groups(2);
+  std::size_t non_empty = 0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    const ShardRange shard = spec.shard(i, 7);
+    if (!shard.empty()) ++non_empty;
+    EXPECT_EQ(shard.cells(), shard.empty() ? 0UL : spec.seeds_per_group());
+  }
+  EXPECT_EQ(non_empty, 2UL);
+}
+
+TEST(CampaignShardTest, SubshardOfTheWholeGridEqualsShard) {
+  for (const std::size_t groups : {1UL, 5UL, 12UL}) {
+    const CampaignSpec spec = grid_with_groups(groups);
+    const ShardRange whole = spec.shard(0, 1);
+    for (const std::size_t m : {1UL, 2UL, 3UL, 7UL}) {
+      for (std::size_t j = 0; j < m; ++j) {
+        EXPECT_EQ(whole.subshard(j, m).begin_group,
+                  spec.shard(j, m).begin_group);
+        EXPECT_EQ(whole.subshard(j, m).end_group, spec.shard(j, m).end_group);
+      }
+    }
+  }
+}
+
+TEST(CampaignShardTest, SubshardsTileTheirParent) {
+  const CampaignSpec spec = grid_with_groups(12);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ShardRange parent = spec.shard(i, 3);
+    std::size_t next = parent.begin_group;
+    for (std::size_t j = 0; j < 2; ++j) {
+      const ShardRange sub = parent.subshard(j, 2);
+      EXPECT_EQ(sub.begin_group, next);
+      EXPECT_EQ(sub.seeds_per_group, parent.seeds_per_group);
+      next = sub.end_group;
+    }
+    EXPECT_EQ(next, parent.end_group);
+  }
+}
+
+TEST(CampaignShardTest, SelectorRoundTrips) {
+  const CampaignSpec spec = grid_with_groups(5);
+  const ShardRange shard = spec.shard(2, 3);
+  EXPECT_EQ(shard.selector(), "2/3");
+  const auto [i, n] = ShardRange::parse_selector(shard.selector());
+  EXPECT_EQ(i, 2UL);
+  EXPECT_EQ(n, 3UL);
+  EXPECT_EQ(spec.shard(i, n), shard);
+  const auto [i2, n2] = ShardRange::parse_selector(" 0 / 12 ");
+  EXPECT_EQ(i2, 0UL);
+  EXPECT_EQ(n2, 12UL);
+}
+
+TEST(CampaignShardDeathTest, RejectsMalformedSelectorsAndRanges) {
+  EXPECT_DEATH((void)ShardRange::parse_selector("3"), "i/n");
+  EXPECT_DEATH((void)ShardRange::parse_selector("x/3"), "whole number");
+  EXPECT_DEATH((void)ShardRange::parse_selector("1/0"), "zero shard count");
+  EXPECT_DEATH((void)ShardRange::parse_selector("3/3"), "index");
+  const CampaignSpec spec = grid_with_groups(2);
+  EXPECT_DEATH((void)spec.shard(2, 2), "index");
+  EXPECT_DEATH((void)spec.shard(0, 0), "positive");
+  EXPECT_DEATH((void)spec.shard(0, 1).subshard(2, 2), "index");
+}
+
+TEST(CampaignShardTest, ShardedRunsAreByteSlicesOfTheFullRun) {
+  const CampaignSpec spec = grid_with_groups(5);
+  const workload::FunctionCatalog cat = workload::sebs_catalog();
+
+  CampaignOptions opts;
+  opts.threads = 1;
+  const CampaignResult full = run_campaign(spec, cat, opts);
+  const std::string full_csv = cells_csv(full);
+  const std::string full_jsonl = cells_jsonl(full);
+  const std::size_t header_end = full_csv.find('\n') + 1;
+
+  std::string merged_csv = full_csv.substr(0, header_end);
+  std::string merged_jsonl;
+  for (std::size_t i = 0; i < 3; ++i) {
+    CampaignOptions sopts;
+    sopts.threads = 1;
+    sopts.shard = spec.shard(i, 3);
+    const CampaignResult part = run_campaign(spec, cat, sopts);
+
+    // Global cell indices and seeds, local slots.
+    ASSERT_EQ(part.cells.size(), sopts.shard->cells());
+    for (std::size_t k = 0; k < part.cells.size(); ++k) {
+      EXPECT_EQ(part.cells[k].index, sopts.shard->begin_cell() + k);
+    }
+    // Group accessors answer in global terms.
+    for (std::size_t g = 0; g < part.group_count(); ++g) {
+      EXPECT_EQ(part.group_label(g),
+                full.group_label(sopts.shard->begin_group + g));
+    }
+
+    const std::string part_csv = cells_csv(part);
+    EXPECT_EQ(part_csv.substr(0, header_end),
+              full_csv.substr(0, header_end));
+    merged_csv += part_csv.substr(header_end);
+    merged_jsonl += cells_jsonl(part);
+  }
+  EXPECT_EQ(merged_csv, full_csv);
+  EXPECT_EQ(merged_jsonl, full_jsonl);
+}
+
+TEST(CampaignShardDeathTest, RunRejectsForeignShards) {
+  const CampaignSpec big = grid_with_groups(12);
+  const CampaignSpec small = grid_with_groups(1);
+  const workload::FunctionCatalog cat = workload::sebs_catalog();
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.shard = big.shard(2, 3);  // groups [8, 12) — off the small grid
+  EXPECT_DEATH((void)run_campaign(small, cat, opts), "does not fit");
+}
+
+}  // namespace
+}  // namespace whisk::experiments

@@ -12,7 +12,9 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cluster/autoscaler.h"
 #include "cluster/balancer_registry.h"
@@ -21,6 +23,7 @@
 #include "container/keep_alive.h"
 #include "core/policy_registry.h"
 #include "experiments/campaign.h"
+#include "experiments/distributed.h"
 #include "metrics/sink.h"
 #include "node/invoker_registry.h"
 #include "util/parse.h"
@@ -64,7 +67,20 @@ int usage(const char* argv0) {
       "  --no-samples       bounded memory: streaming summaries only\n"
       "  --reservoir N      quantile reservoir capacity (default 4096)\n"
       "  --quiet            no progress, no per-cell table\n"
-      "  --list             print every registered component name and exit\n",
+      "  --list             print every registered component name and exit\n"
+      "\n"
+      "distributed campaigns (merged output is byte-identical to a\n"
+      "single-process run at any worker count):\n"
+      "  --workers N        shard the grid across N worker processes,\n"
+      "                     merge deterministically (crashed shards are\n"
+      "                     re-run; workers use --threads each, default 1)\n"
+      "  --shard i/n        run only shard i of n (group-aligned slice;\n"
+      "                     global cell indices/seeds, CSV keeps a header)\n"
+      "  --merge OUT F...   merge per-shard --cells-csv/--cells-jsonl\n"
+      "                     partials (shard order) into OUT and exit\n"
+      "  --verbose          in --workers runs: forward worker stderr\n"
+      "  --worker           internal: speak the worker wire protocol on\n"
+      "                     stdout (spawned by --workers drivers)\n",
       argv0);
   return 2;
 }
@@ -140,14 +156,78 @@ int list_registries() {
   return 0;
 }
 
+// Offline deterministic merge of per-shard partial files written by
+// separate `--shard i/n --cells-csv/--cells-jsonl` runs (e.g. shards run
+// on different machines). Inputs must be listed in shard order. CSV
+// partials each carry the header row: the merge keeps the first and
+// verifies the rest match; JSONL (first byte '{') is plain concatenation.
+int merge_partials(const std::string& out_path,
+                   const std::vector<std::string>& inputs) {
+  if (inputs.empty()) {
+    std::fprintf(stderr, "--merge needs at least one input file\n");
+    return 2;
+  }
+  std::string merged;
+  std::string csv_header;
+  bool jsonl = false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::ifstream in(inputs[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", inputs[i].c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    if (i == 0) {
+      jsonl = !data.empty() && data.front() == '{';
+      if (!jsonl) {
+        const std::size_t nl = data.find('\n');
+        if (nl == std::string::npos) {
+          std::fprintf(stderr, "%s has no CSV header row\n",
+                       inputs[i].c_str());
+          return 1;
+        }
+        csv_header = data.substr(0, nl + 1);
+      }
+      merged = data;
+      continue;
+    }
+    if (jsonl) {
+      merged += data;
+      continue;
+    }
+    const std::size_t nl = data.find('\n');
+    if (nl == std::string::npos || data.substr(0, nl + 1) != csv_header) {
+      std::fprintf(stderr, "%s does not share the first input's CSV header\n",
+                   inputs[i].c_str());
+      return 1;
+    }
+    merged.append(data, nl + 1, std::string::npos);
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << merged;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string grid_text;
+  std::vector<std::string> positional;
   std::string cells_csv_path;
   std::string cells_jsonl_path;
   std::string records_csv_path;
   std::string records_jsonl_path;
+  std::string shard_selector;
+  std::string merge_out;
+  int workers = 0;  // 0 = single-process (no distribution)
+  bool worker_mode = false;
+  bool verbose = false;
+  bool threads_given = false;
   experiments::CampaignOptions opts;
   // CLI default: all cores (the library default stays 1 thread). Output is
   // byte-identical for any thread count, so parallelism is free here.
@@ -178,6 +258,21 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--threads") == 0) {
       opts.threads = need_count(i);
+      threads_given = true;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      workers = need_count(i);
+      if (workers == 0) {
+        std::fprintf(stderr, "--workers needs a value > 0\n");
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      shard_selector = need_value(i);
+    } else if (std::strcmp(arg, "--worker") == 0) {
+      worker_mode = true;
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      merge_out = need_value(i);
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
     } else if (std::strcmp(arg, "--cells-csv") == 0) {
       cells_csv_path = need_value(i);
     } else if (std::strcmp(arg, "--cells-jsonl") == 0) {
@@ -205,29 +300,153 @@ int main(int argc, char** argv) {
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return usage(argv[0]);
-    } else if (grid_text.empty()) {
-      grid_text = arg;
     } else {
-      std::fprintf(stderr, "more than one grid argument\n");
-      return usage(argv[0]);
+      positional.emplace_back(arg);
     }
   }
-  if (grid_text.empty()) return usage(argv[0]);
+
+  // Offline merge mode: positionals are the per-shard partial files.
+  if (!merge_out.empty()) return merge_partials(merge_out, positional);
+
+  if (positional.size() > 1) {
+    std::fprintf(stderr, "more than one grid argument\n");
+    return usage(argv[0]);
+  }
+  if (positional.empty()) return usage(argv[0]);
+  const std::string grid_text = positional.front();
+
+  if (worker_mode && shard_selector.empty()) {
+    std::fprintf(stderr, "--worker needs --shard i/n\n");
+    return usage(argv[0]);
+  }
+  if (workers > 0 && !shard_selector.empty()) {
+    std::fprintf(stderr, "--workers and --shard are mutually exclusive "
+                         "(the driver assigns shards)\n");
+    return usage(argv[0]);
+  }
+  if (workers > 0 &&
+      (!records_csv_path.empty() || !records_jsonl_path.empty())) {
+    std::fprintf(stderr, "--records-csv/--records-jsonl do not combine with "
+                         "--workers (per-call record streaming is "
+                         "single-process)\n");
+    return usage(argv[0]);
+  }
 
   const auto cat = workload::sebs_catalog();
   const auto spec = experiments::CampaignSpec::parse(grid_text);
-  const std::size_t total = spec.size();
+
+  // Worker mode: run the assigned shard and speak the wire protocol on
+  // stdout. Silent on stderr unless the driver forwarded --verbose.
+  if (worker_mode) {
+    const auto [shard_i, shard_n] =
+        experiments::ShardRange::parse_selector(shard_selector);
+    experiments::DistributedOptions dopts;
+    dopts.worker_threads = threads_given ? opts.threads : 1;
+    dopts.retain_samples = opts.retain_samples;
+    dopts.reservoir_capacity = opts.reservoir_capacity;
+    dopts.verbose = verbose;
+    experiments::run_worker_protocol(spec, cat, shard_i, shard_n, dopts, 1);
+    return 0;
+  }
+
+  // Driver mode: shard the grid across worker processes (self-invocations
+  // of this binary) and merge their output deterministically.
+  if (workers > 0) {
+    experiments::DistributedOptions dopts;
+    dopts.workers = workers;
+    dopts.worker_threads = threads_given ? opts.threads : 1;
+    dopts.retain_samples = opts.retain_samples;
+    dopts.reservoir_capacity = opts.reservoir_capacity;
+    dopts.verbose = verbose;
+    dopts.worker_command = {argv[0], grid_text, "--threads",
+                           std::to_string(dopts.worker_threads),
+                           "--reservoir",
+                           std::to_string(dopts.reservoir_capacity)};
+    if (!dopts.retain_samples) dopts.worker_command.push_back("--no-samples");
+    if (verbose) dopts.worker_command.push_back("--verbose");
+
+    if (!quiet) {
+      std::fprintf(stderr, "campaign: %s\n", spec.to_string().c_str());
+      std::fprintf(stderr,
+                   "cells: %zu (%zu groups x %zu seeds), workers: %d x %d "
+                   "threads\n",
+                   spec.size(), spec.group_count(), spec.seeds_per_group(),
+                   workers, dopts.worker_threads);
+    }
+    const auto result = experiments::run_distributed(spec, cat, dopts);
+    for (const auto& shard : result.shards) {
+      if (shard.attempts > 1 && !quiet) {
+        std::fprintf(stderr, "shard %s needed %d attempts\n",
+                     shard.range.selector().c_str(), shard.attempts);
+      }
+    }
+
+    util::Table agg({"group", "seeds", "calls", "avg R", "p50 R", "p95 R",
+                     "p99 R", "avg S", "p50 S", "max c(i)", "cold"});
+    const std::size_t per = result.spec.seeds_per_group();
+    for (const auto& g : result.groups) {
+      const util::Summary r = g.response.summary();
+      const util::Summary s = g.stretch.summary();
+      agg.add_row({result.spec.label(result.spec.coordinates(g.group * per),
+                                     /*with_seed=*/false),
+                   std::to_string(per), std::to_string(r.count),
+                   util::fmt(r.mean), util::fmt(r.p50), util::fmt(r.p95),
+                   util::fmt(r.p99), util::fmt(s.mean, 1),
+                   util::fmt(s.p50, 1), util::fmt(g.max_completion),
+                   std::to_string(g.cold_starts)});
+    }
+    std::printf("%s", agg.to_string().c_str());
+    if (!quiet) {
+      std::fprintf(stderr, "peak worker rss: %ld kb\n",
+                   result.peak_worker_rss_kb);
+    }
+
+    if (!cells_csv_path.empty()) {
+      std::ofstream out(cells_csv_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", cells_csv_path.c_str());
+        return 1;
+      }
+      out << result.cells_csv;
+      if (!quiet) std::fprintf(stderr, "wrote %s\n", cells_csv_path.c_str());
+    }
+    if (!cells_jsonl_path.empty()) {
+      std::ofstream out(cells_jsonl_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", cells_jsonl_path.c_str());
+        return 1;
+      }
+      out << result.cells_jsonl;
+      if (!quiet) {
+        std::fprintf(stderr, "wrote %s\n", cells_jsonl_path.c_str());
+      }
+    }
+    return 0;
+  }
+
+  // Single-process path, optionally restricted to one shard of the grid.
+  std::string shard_prefix;
+  if (!shard_selector.empty()) {
+    const auto [shard_i, shard_n] =
+        experiments::ShardRange::parse_selector(shard_selector);
+    opts.shard = spec.shard(shard_i, shard_n);
+    shard_prefix = "[shard " + opts.shard->selector() + "] ";
+  }
+  const std::size_t total =
+      opts.shard ? opts.shard->cells() : spec.size();
   const int threads = opts.threads == 0
                           ? util::ThreadPool::hardware_threads()
                           : opts.threads;
   if (!quiet) {
-    std::fprintf(stderr, "campaign: %s\n", spec.to_string().c_str());
+    std::fprintf(stderr, "%scampaign: %s\n", shard_prefix.c_str(),
+                 spec.to_string().c_str());
     // The *effective* worker count (after the 0 = all-cores default), so a
     // log always records how the grid actually ran.
     std::fprintf(stderr,
-                 "cells: %zu (%zu groups x %zu seeds), threads: %d of %d "
-                 "hardware\n",
-                 total, spec.group_count(), spec.seeds_per_group(), threads,
+                 "%scells: %zu of %zu (%zu groups x %zu seeds), threads: %d "
+                 "of %d hardware\n",
+                 shard_prefix.c_str(), total, spec.size(), spec.group_count(),
+                 spec.seeds_per_group(), threads,
                  util::ThreadPool::hardware_threads());
   }
 
@@ -255,10 +474,18 @@ int main(int argc, char** argv) {
 
   if (!quiet) {
     const std::size_t step = total <= 100 ? 1 : total / 100;
-    opts.progress = [step, total](std::size_t done, std::size_t all) {
+    // Sharded runs print whole lines with the shard id up front (several
+    // shards may share one terminal); plain runs keep the \r ticker.
+    opts.progress = [step, total, shard_prefix](std::size_t done,
+                                                std::size_t all) {
       if (done % step == 0 || done == all) {
-        std::fprintf(stderr, "\r[%zu/%zu] cells done", done, total);
-        if (done == all) std::fprintf(stderr, "\n");
+        if (shard_prefix.empty()) {
+          std::fprintf(stderr, "\r[%zu/%zu] cells done", done, total);
+          if (done == all) std::fprintf(stderr, "\n");
+        } else {
+          std::fprintf(stderr, "%s%zu/%zu cells done\n",
+                       shard_prefix.c_str(), done, total);
+        }
       }
     };
   }
